@@ -1,0 +1,71 @@
+//! Dynamically shared ROB baseline (Figure 11).
+//!
+//! With no resource management at all, either thread may occupy any ROB/LSQ
+//! entry. The paper shows this is *worse* than equal partitioning for most
+//! batch co-runners: a latency-sensitive thread stalled on a miss clogs the
+//! shared ROB without benefiting from it.
+
+use cpu_sim::{CoreSetup, FetchPolicy, PartitionPolicy};
+use mem_sim::Sharing;
+use sim_model::CoreConfig;
+
+/// The dynamically shared ROB configuration: ICOUNT fetch, shared caches and
+/// predictor (as in the baseline), but no ROB/LSQ partitioning.
+pub fn dynamic_rob_setup(_cfg: &CoreConfig) -> CoreSetup {
+    CoreSetup {
+        partition: PartitionPolicy::Dynamic,
+        fetch_policy: FetchPolicy::ICount,
+        l1i_sharing: Sharing::Shared,
+        l1d_sharing: Sharing::Shared,
+        bp_sharing: Sharing::Shared,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_model::ThreadId;
+
+    #[test]
+    fn dynamic_setup_has_full_capacity_limits() {
+        let cfg = CoreConfig::default();
+        let setup = dynamic_rob_setup(&cfg);
+        assert_eq!(setup.partition.rob_limit(&cfg, ThreadId::T0), cfg.rob_capacity);
+        assert_eq!(setup.partition.rob_limit(&cfg, ThreadId::T1), cfg.rob_capacity);
+        assert!(setup.partition.enforce_total_capacity());
+        assert_eq!(setup.l1d_sharing, Sharing::Shared);
+    }
+
+    #[test]
+    fn a_stalled_thread_can_clog_the_shared_rob() {
+        // Functional check of the mechanism behind Figure 11: under dynamic
+        // sharing a miss-bound thread grabs most of the ROB, hurting an
+        // MLP-rich co-runner relative to equal partitioning.
+        use cpu_sim::{run_pair, SimLength};
+        use workloads::{batch, latency_sensitive};
+
+        let cfg = CoreConfig::default();
+        let length = SimLength::quick();
+        let equal = run_pair(
+            &cfg,
+            CoreSetup::baseline(&cfg),
+            latency_sensitive::data_serving(3),
+            batch::zeusmp(3),
+            length,
+        );
+        let dynamic = run_pair(
+            &cfg,
+            dynamic_rob_setup(&cfg),
+            latency_sensitive::data_serving(3),
+            batch::zeusmp(3),
+            length,
+        );
+        let equal_batch = equal.uipc(ThreadId::T1);
+        let dynamic_batch = dynamic.uipc(ThreadId::T1);
+        assert!(
+            dynamic_batch < equal_batch * 1.05,
+            "dynamic sharing should not beat equal partitioning for an MLP-rich batch thread \
+             (equal={equal_batch:.3}, dynamic={dynamic_batch:.3})"
+        );
+    }
+}

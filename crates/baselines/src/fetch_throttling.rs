@@ -1,0 +1,90 @@
+//! Fetch-throttling baseline (Figure 12).
+//!
+//! Front-end resource management: allocate fetch bandwidth between the
+//! threads at a 1:M ratio (the latency-sensitive thread gets the `1`). The
+//! paper evaluates M ∈ {2, 4, 8, 16} on top of a *dynamically shared* ROB —
+//! the point being that admission control alone cannot keep a miss-bound
+//! thread from clogging the window.
+
+use cpu_sim::{CoreSetup, FetchPolicy, PartitionPolicy};
+use mem_sim::Sharing;
+use sim_model::{CoreConfig, ThreadId};
+
+/// The fetch-throttling ratios (`M` in 1:M) evaluated in Figure 12.
+pub const FETCH_THROTTLING_RATIOS: [u32; 4] = [2, 4, 8, 16];
+
+/// Builds the fetch-throttling configuration: dynamically shared ROB, shared
+/// caches/predictor, and a throttled fetch policy that gives `ls_thread` one
+/// fetch cycle for every `ratio` cycles granted to the co-runner.
+///
+/// # Panics
+///
+/// Panics if `ratio == 0`.
+pub fn fetch_throttling_setup(_cfg: &CoreConfig, ls_thread: ThreadId, ratio: u32) -> CoreSetup {
+    CoreSetup {
+        partition: PartitionPolicy::Dynamic,
+        fetch_policy: FetchPolicy::throttled(ls_thread, ratio),
+        l1i_sharing: Sharing::Shared,
+        l1d_sharing: Sharing::Shared,
+        bp_sharing: Sharing::Shared,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_match_the_figure() {
+        assert_eq!(FETCH_THROTTLING_RATIOS, [2, 4, 8, 16]);
+    }
+
+    #[test]
+    fn setup_uses_dynamic_rob_and_throttled_fetch() {
+        let cfg = CoreConfig::default();
+        let setup = fetch_throttling_setup(&cfg, ThreadId::T0, 4);
+        assert_eq!(setup.partition, PartitionPolicy::Dynamic);
+        match setup.fetch_policy {
+            FetchPolicy::Throttled { throttled, ratio } => {
+                assert_eq!(throttled, ThreadId::T0);
+                assert_eq!(ratio, 4);
+            }
+            other => panic!("expected a throttled policy, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn heavier_throttling_hurts_the_latency_sensitive_thread() {
+        use cpu_sim::{run_pair, SimLength};
+        use workloads::{batch, latency_sensitive};
+
+        let cfg = CoreConfig::default();
+        let length = SimLength::quick();
+        let mild = run_pair(
+            &cfg,
+            fetch_throttling_setup(&cfg, ThreadId::T0, 2),
+            latency_sensitive::web_search(5),
+            batch::zeusmp(5),
+            length,
+        );
+        let harsh = run_pair(
+            &cfg,
+            fetch_throttling_setup(&cfg, ThreadId::T0, 16),
+            latency_sensitive::web_search(5),
+            batch::zeusmp(5),
+            length,
+        );
+        assert!(
+            harsh.uipc(ThreadId::T0) < mild.uipc(ThreadId::T0),
+            "a 1:16 ratio must hurt the throttled thread more than 1:2 (1:2={:.3}, 1:16={:.3})",
+            mild.uipc(ThreadId::T0),
+            harsh.uipc(ThreadId::T0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_ratio_rejected() {
+        let _ = fetch_throttling_setup(&CoreConfig::default(), ThreadId::T0, 0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Idealised software scheduling baseline (Figure 13).
+//!
+//! Software schedulers such as SMiTe can only pick colocation-friendly
+//! application pairs; they cannot reprovision microarchitectural resources.
+//! The paper bounds what such scheduling could ever achieve by simulating a
+//! core in which *all* dynamically shared structures (L1-I, L1-D, branch
+//! predictor) are contention-free — i.e. private per thread — while the ROB
+//! and LSQ stay equally partitioned. Stretch is complementary: the combined
+//! configuration (private L1s/BP plus the asymmetric B-mode ROB split) is
+//! also provided.
+
+use cpu_sim::{CoreSetup, FetchPolicy, PartitionPolicy};
+use mem_sim::Sharing;
+use sim_model::{CoreConfig, ThreadId};
+
+/// Ideal software scheduling: private L1-I, L1-D and branch predictor for
+/// each thread, equally partitioned ROB/LSQ.
+pub fn ideal_scheduling_setup(cfg: &CoreConfig) -> CoreSetup {
+    CoreSetup {
+        partition: PartitionPolicy::equal(cfg),
+        fetch_policy: FetchPolicy::ICount,
+        l1i_sharing: Sharing::PrivatePerThread,
+        l1d_sharing: Sharing::PrivatePerThread,
+        bp_sharing: Sharing::PrivatePerThread,
+    }
+}
+
+/// Ideal software scheduling combined with Stretch's B-mode ROB skew
+/// (`ls_rob`-`batch_rob` entries, latency-sensitive thread given by
+/// `ls_thread`) — the "Stretch + Ideal Software Scheduling" bar of Figure 13.
+///
+/// # Panics
+///
+/// Panics if the requested skew exceeds the ROB capacity.
+pub fn ideal_scheduling_with_stretch_setup(
+    cfg: &CoreConfig,
+    ls_thread: ThreadId,
+    ls_rob: usize,
+    batch_rob: usize,
+) -> CoreSetup {
+    let (t0, t1) =
+        if ls_thread == ThreadId::T0 { (ls_rob, batch_rob) } else { (batch_rob, ls_rob) };
+    CoreSetup {
+        partition: PartitionPolicy::rob_split(cfg, t0, t1),
+        fetch_policy: FetchPolicy::ICount,
+        l1i_sharing: Sharing::PrivatePerThread,
+        l1d_sharing: Sharing::PrivatePerThread,
+        bp_sharing: Sharing::PrivatePerThread,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_scheduling_privatises_everything_but_the_window() {
+        let cfg = CoreConfig::default();
+        let s = ideal_scheduling_setup(&cfg);
+        assert_eq!(s.l1i_sharing, Sharing::PrivatePerThread);
+        assert_eq!(s.l1d_sharing, Sharing::PrivatePerThread);
+        assert_eq!(s.bp_sharing, Sharing::PrivatePerThread);
+        assert_eq!(s.partition.rob_limit(&cfg, ThreadId::T0), 96);
+    }
+
+    #[test]
+    fn combined_setup_applies_the_skew() {
+        let cfg = CoreConfig::default();
+        let s = ideal_scheduling_with_stretch_setup(&cfg, ThreadId::T0, 56, 136);
+        assert_eq!(s.partition.rob_limit(&cfg, ThreadId::T0), 56);
+        assert_eq!(s.partition.rob_limit(&cfg, ThreadId::T1), 136);
+        assert_eq!(s.l1d_sharing, Sharing::PrivatePerThread);
+        let swapped = ideal_scheduling_with_stretch_setup(&cfg, ThreadId::T1, 56, 136);
+        assert_eq!(swapped.partition.rob_limit(&cfg, ThreadId::T1), 56);
+    }
+
+    #[test]
+    fn removing_cache_contention_helps_the_batch_thread() {
+        use cpu_sim::{run_pair, SimLength};
+        use workloads::{batch, latency_sensitive};
+
+        let cfg = CoreConfig::default();
+        let length = SimLength::quick();
+        let shared = run_pair(
+            &cfg,
+            CoreSetup::baseline(&cfg),
+            latency_sensitive::web_serving(9),
+            batch::by_name("gcc", 9).unwrap(),
+            length,
+        );
+        let ideal = run_pair(
+            &cfg,
+            ideal_scheduling_setup(&cfg),
+            latency_sensitive::web_serving(9),
+            batch::by_name("gcc", 9).unwrap(),
+            length,
+        );
+        assert!(
+            ideal.uipc(ThreadId::T1) >= shared.uipc(ThreadId::T1) * 0.98,
+            "removing L1/BP contention should not hurt the batch thread \
+             (shared={:.3}, ideal={:.3})",
+            shared.uipc(ThreadId::T1),
+            ideal.uipc(ThreadId::T1)
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! Comparison systems evaluated against Stretch.
+//!
+//! The paper compares Stretch against four alternatives, all reproduced here
+//! as [`cpu_sim::CoreSetup`] constructors plus supporting policy code:
+//!
+//! * [`dynamic_sharing`] — a dynamically shared ROB (no partitioning at
+//!   all), the Figure 11 configuration;
+//! * [`fetch_throttling`] — front-end control: the latency-sensitive thread
+//!   receives one fetch cycle for every `M` given to the batch thread
+//!   (Figure 12), as on IBM POWER;
+//! * [`ideal_scheduling`] — idealised software scheduling (SMiTe-style):
+//!   contention in all dynamically shared structures is assumed away by
+//!   giving each thread private L1s and branch predictor (Figure 13);
+//! * [`elfen`] — Elfen-style fine-grain borrowing: the latency-sensitive
+//!   thread time-shares the core with a non-contentious partner at
+//!   sub-millisecond granularity, which is how the paper modulates core
+//!   performance for the Section II slack measurement.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dynamic_sharing;
+pub mod elfen;
+pub mod fetch_throttling;
+pub mod ideal_scheduling;
+
+pub use dynamic_sharing::dynamic_rob_setup;
+pub use elfen::{DutyCycle, ElfenSchedule};
+pub use fetch_throttling::{fetch_throttling_setup, FETCH_THROTTLING_RATIOS};
+pub use ideal_scheduling::{ideal_scheduling_setup, ideal_scheduling_with_stretch_setup};

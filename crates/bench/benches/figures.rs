@@ -1,0 +1,220 @@
+//! Criterion benches: one benchmark per table/figure of the paper.
+//!
+//! Each benchmark exercises the code path that regenerates the corresponding
+//! figure, on a scaled-down input (quick sampling plan, a representative
+//! workload pair instead of the full 4 × 29 matrix) so that `cargo bench`
+//! completes in minutes on a laptop. The full-size experiments are run by the
+//! `figureNN` binaries (`cargo run --release -p stretch-bench --bin figureNN`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use baselines::{dynamic_rob_setup, fetch_throttling_setup, ideal_scheduling_setup};
+use cluster::CaseStudy;
+use cpu_sim::{
+    run_pair, run_standalone, run_standalone_with_rob, CoreSetup, SimLength, StudiedResource,
+};
+use qos::{latency_vs_load, slack_curve, ServiceSpec, SimParams};
+use sim_model::{CoreConfig, ThreadId};
+use stretch::{RobSkew, StretchMode};
+use workloads::{batch, latency_sensitive};
+
+fn cfg() -> CoreConfig {
+    CoreConfig::default()
+}
+
+fn quick() -> SimLength {
+    SimLength::quick()
+}
+
+fn bench_fig01_latency_vs_load(c: &mut Criterion) {
+    let spec = ServiceSpec::web_search();
+    c.bench_function("fig01_latency_vs_load", |b| {
+        b.iter(|| black_box(latency_vs_load(&spec, SimParams::quick(1), 0.2, 4)))
+    });
+}
+
+fn bench_fig02_slack(c: &mut Criterion) {
+    let spec = ServiceSpec::web_search();
+    c.bench_function("fig02_slack", |b| {
+        b.iter(|| black_box(slack_curve(&spec, SimParams::quick(2), &[0.3])))
+    });
+}
+
+fn bench_fig03_colocation(c: &mut Criterion) {
+    let core = cfg();
+    c.bench_function("fig03_colocation_baseline_pair", |b| {
+        b.iter(|| {
+            black_box(run_pair(
+                &core,
+                CoreSetup::baseline(&core),
+                latency_sensitive::web_search(3),
+                batch::zeusmp(3),
+                quick(),
+            ))
+        })
+    });
+}
+
+fn bench_fig04_resources(c: &mut Criterion) {
+    let core = cfg();
+    c.bench_function("fig04_shared_rob_only_pair", |b| {
+        b.iter(|| {
+            black_box(run_pair(
+                &core,
+                StudiedResource::Rob.setup(&core),
+                latency_sensitive::web_search(4),
+                batch::zeusmp(4),
+                quick(),
+            ))
+        })
+    });
+}
+
+fn bench_fig05_resources_all(c: &mut Criterion) {
+    let core = cfg();
+    c.bench_function("fig05_shared_l1d_only_pair", |b| {
+        b.iter(|| {
+            black_box(run_pair(
+                &core,
+                StudiedResource::L1D.setup(&core),
+                latency_sensitive::data_serving(5),
+                batch::lbm(5),
+                quick(),
+            ))
+        })
+    });
+}
+
+fn bench_fig06_rob_sweep(c: &mut Criterion) {
+    let core = cfg();
+    c.bench_function("fig06_rob_sweep_point", |b| {
+        b.iter(|| black_box(run_standalone_with_rob(&core, batch::zeusmp(6), 48, quick())))
+    });
+}
+
+fn bench_fig07_mlp(c: &mut Criterion) {
+    let core = cfg();
+    c.bench_function("fig07_mlp_census", |b| {
+        b.iter(|| {
+            let r = run_standalone(&core, batch::zeusmp(7), quick());
+            black_box(r.mlp.fraction_at_least(2))
+        })
+    });
+}
+
+fn bench_fig09_skew_sweep(c: &mut Criterion) {
+    let core = cfg();
+    let mut setup = CoreSetup::baseline(&core);
+    setup.partition = StretchMode::BatchBoost(RobSkew::recommended_b_mode())
+        .partition_policy(&core, ThreadId::T0);
+    c.bench_function("fig09_bmode_56_136_pair", |b| {
+        b.iter(|| {
+            black_box(run_pair(
+                &core,
+                setup,
+                latency_sensitive::web_search(9),
+                batch::zeusmp(9),
+                quick(),
+            ))
+        })
+    });
+}
+
+fn bench_fig10_bmode_per_benchmark(c: &mut Criterion) {
+    let core = cfg();
+    let mut setup = CoreSetup::baseline(&core);
+    setup.partition = StretchMode::BatchBoost(RobSkew::recommended_b_mode())
+        .partition_policy(&core, ThreadId::T0);
+    c.bench_function("fig10_bmode_mcf_pair", |b| {
+        b.iter(|| {
+            black_box(run_pair(
+                &core,
+                setup,
+                latency_sensitive::media_streaming(10),
+                batch::by_name("mcf", 10).expect("mcf exists"),
+                quick(),
+            ))
+        })
+    });
+}
+
+fn bench_fig11_dynamic_rob(c: &mut Criterion) {
+    let core = cfg();
+    c.bench_function("fig11_dynamic_rob_pair", |b| {
+        b.iter(|| {
+            black_box(run_pair(
+                &core,
+                dynamic_rob_setup(&core),
+                latency_sensitive::data_serving(11),
+                batch::zeusmp(11),
+                quick(),
+            ))
+        })
+    });
+}
+
+fn bench_fig12_fetch_throttling(c: &mut Criterion) {
+    let core = cfg();
+    c.bench_function("fig12_fetch_throttling_1_8_pair", |b| {
+        b.iter(|| {
+            black_box(run_pair(
+                &core,
+                fetch_throttling_setup(&core, ThreadId::T0, 8),
+                latency_sensitive::web_search(12),
+                batch::zeusmp(12),
+                quick(),
+            ))
+        })
+    });
+}
+
+fn bench_fig13_sw_scheduling(c: &mut Criterion) {
+    let core = cfg();
+    c.bench_function("fig13_ideal_scheduling_pair", |b| {
+        b.iter(|| {
+            black_box(run_pair(
+                &core,
+                ideal_scheduling_setup(&core),
+                latency_sensitive::web_serving(13),
+                batch::by_name("gcc", 13).expect("gcc exists"),
+                quick(),
+            ))
+        })
+    });
+}
+
+fn bench_fig14_cluster(c: &mut Criterion) {
+    c.bench_function("fig14_cluster_case_studies", |b| {
+        b.iter(|| {
+            black_box((CaseStudy::web_search().run(), CaseStudy::youtube().run()))
+        })
+    });
+}
+
+fn bench_tables_config(c: &mut Criterion) {
+    c.bench_function("tables_workload_registry", |b| {
+        b.iter(|| black_box(workloads::all_profiles().len()))
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
+    targets =
+        bench_fig01_latency_vs_load,
+        bench_fig02_slack,
+        bench_fig03_colocation,
+        bench_fig04_resources,
+        bench_fig05_resources_all,
+        bench_fig06_rob_sweep,
+        bench_fig07_mlp,
+        bench_fig09_skew_sweep,
+        bench_fig10_bmode_per_benchmark,
+        bench_fig11_dynamic_rob,
+        bench_fig12_fetch_throttling,
+        bench_fig13_sw_scheduling,
+        bench_fig14_cluster,
+        bench_tables_config,
+}
+criterion_main!(figures);

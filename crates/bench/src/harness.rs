@@ -1,0 +1,228 @@
+//! Shared experiment machinery: colocation matrices, stand-alone references
+//! and parallel execution.
+
+use cpu_sim::{run_pair, run_standalone, ColocationResult, CoreSetup, SimLength};
+use sim_model::{CoreConfig, ThreadId};
+use std::collections::HashMap;
+use std::sync::Mutex;
+use workloads::{batch, latency_sensitive};
+
+/// Common experiment parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentConfig {
+    /// Core configuration (Table II defaults).
+    pub core: CoreConfig,
+    /// Simulation length per run.
+    pub length: SimLength,
+    /// Base RNG seed; every workload pairing derives its own stream from it.
+    pub seed: u64,
+    /// Number of worker threads for the experiment matrix (0 = all cores).
+    pub parallelism: usize,
+}
+
+impl ExperimentConfig {
+    /// The standard configuration used by the figure binaries.
+    pub fn standard() -> ExperimentConfig {
+        ExperimentConfig {
+            core: CoreConfig::default(),
+            length: SimLength::standard(),
+            seed: 42,
+            parallelism: 0,
+        }
+    }
+
+    /// A reduced configuration for tests and criterion benches.
+    pub fn quick() -> ExperimentConfig {
+        ExperimentConfig {
+            core: CoreConfig::default(),
+            length: SimLength::quick(),
+            seed: 42,
+            parallelism: 0,
+        }
+    }
+
+    fn workers(&self) -> usize {
+        if self.parallelism > 0 {
+            self.parallelism
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        }
+    }
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> ExperimentConfig {
+        ExperimentConfig::standard()
+    }
+}
+
+/// Outcome of one latency-sensitive × batch colocation run.
+#[derive(Debug, Clone)]
+pub struct PairOutcome {
+    /// Latency-sensitive workload name (thread 0).
+    pub ls: String,
+    /// Batch workload name (thread 1).
+    pub batch: String,
+    /// UIPC of the latency-sensitive thread.
+    pub ls_uipc: f64,
+    /// UIPC of the batch thread.
+    pub batch_uipc: f64,
+}
+
+/// The four latency-sensitive workload names.
+pub fn ls_names() -> Vec<String> {
+    latency_sensitive::NAMES.iter().map(|s| s.to_string()).collect()
+}
+
+/// The 29 batch workload names.
+pub fn batch_names() -> Vec<String> {
+    batch::NAMES.iter().map(|s| s.to_string()).collect()
+}
+
+/// Runs `f` over `items` on a pool of OS threads, preserving input order.
+pub fn parallel_map<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    assert!(workers > 0, "need at least one worker");
+    let n = items.len();
+    let mut results: Vec<Option<R>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+    let results = Mutex::new(results);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let items_ref = &items;
+    let f_ref = &f;
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(n.max(1)) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f_ref(&items_ref[i]);
+                results.lock().expect("no panics while holding the lock")[i] = Some(r);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("scope joined all workers")
+        .into_iter()
+        .map(|r| r.expect("every index was processed"))
+        .collect()
+}
+
+/// Derives a per-pair seed so that the same pairing always sees the same
+/// instruction streams across configurations (paired comparisons).
+pub fn pair_seed(base: u64, ls: &str, batch_name: &str) -> u64 {
+    let mut h = base ^ 0x9E37_79B9_7F4A_7C15;
+    for b in ls.bytes().chain(batch_name.bytes()) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs the full latency-sensitive × batch colocation matrix under one core
+/// setup.
+pub fn run_matrix(cfg: &ExperimentConfig, setup: CoreSetup) -> Vec<PairOutcome> {
+    run_matrix_with(cfg, |_ls, _batch| setup)
+}
+
+/// Runs the colocation matrix, letting the caller pick a setup per pairing
+/// (used by experiments whose configuration depends on the pair, e.g. fetch
+/// throttling needs to know which thread is latency-sensitive).
+pub fn run_matrix_with(
+    cfg: &ExperimentConfig,
+    setup_for: impl Fn(&str, &str) -> CoreSetup + Sync,
+) -> Vec<PairOutcome> {
+    let pairs: Vec<(String, String)> = ls_names()
+        .into_iter()
+        .flat_map(|ls| batch_names().into_iter().map(move |b| (ls.clone(), b)))
+        .collect();
+    parallel_map(pairs, cfg.workers(), |(ls, batch_name)| {
+        let setup = setup_for(ls, batch_name);
+        run_single_pair(cfg, setup, ls, batch_name)
+    })
+}
+
+/// Runs one latency-sensitive × batch pairing under a setup.
+pub fn run_single_pair(
+    cfg: &ExperimentConfig,
+    setup: CoreSetup,
+    ls: &str,
+    batch_name: &str,
+) -> PairOutcome {
+    let seed = pair_seed(cfg.seed, ls, batch_name);
+    let ls_trace = latency_sensitive::by_name(ls, seed).expect("known latency-sensitive name");
+    let batch_trace = batch::by_name(batch_name, seed ^ 1).expect("known batch name");
+    let result: ColocationResult =
+        run_pair(&cfg.core, setup, ls_trace, batch_trace, cfg.length);
+    PairOutcome {
+        ls: ls.to_string(),
+        batch: batch_name.to_string(),
+        ls_uipc: result.uipc(ThreadId::T0),
+        batch_uipc: result.uipc(ThreadId::T1),
+    }
+}
+
+/// Stand-alone full-core UIPC for every workload in the study (the
+/// normalisation baseline for Figures 3–6). Results are keyed by workload
+/// name.
+pub fn standalone_reference(cfg: &ExperimentConfig) -> HashMap<String, f64> {
+    let mut names = ls_names();
+    names.extend(batch_names());
+    let outcomes = parallel_map(names.clone(), cfg.workers(), |name| {
+        let seed = pair_seed(cfg.seed, name, "standalone");
+        let trace = workloads::profile_by_name(name)
+            .unwrap_or_else(|| panic!("unknown workload {name}"))
+            .spawn(seed);
+        let r = run_standalone(&cfg.core, trace, cfg.length);
+        (name.clone(), r.uipc)
+    });
+    outcomes.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_seed_is_stable_and_distinct() {
+        assert_eq!(pair_seed(1, "a", "b"), pair_seed(1, "a", "b"));
+        assert_ne!(pair_seed(1, "a", "b"), pair_seed(1, "a", "c"));
+        assert_ne!(pair_seed(1, "a", "b"), pair_seed(2, "a", "b"));
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(items.clone(), 8, |x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn name_lists_have_paper_cardinality() {
+        assert_eq!(ls_names().len(), 4);
+        assert_eq!(batch_names().len(), 29);
+    }
+
+    #[test]
+    fn single_pair_runs_and_reports_both_threads() {
+        let cfg = ExperimentConfig::quick();
+        let setup = CoreSetup::baseline(&cfg.core);
+        let out = run_single_pair(&cfg, setup, "web-search", "zeusmp");
+        assert_eq!(out.ls, "web-search");
+        assert_eq!(out.batch, "zeusmp");
+        assert!(out.ls_uipc > 0.0);
+        assert!(out.batch_uipc > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = parallel_map(vec![1, 2, 3], 0, |x| *x);
+    }
+}

@@ -1,0 +1,25 @@
+//! Experiment harness for the Stretch (HPCA'19) reproduction.
+//!
+//! The `figureNN` binaries in `src/bin/` regenerate every figure of the
+//! paper's evaluation; this library holds the shared machinery:
+//!
+//! * [`harness`] — colocation-matrix runners (4 latency-sensitive × 29 batch
+//!   workloads), stand-alone full-core reference runs, and speedup /
+//!   slowdown aggregation, all parallelised across OS threads;
+//! * [`report`] — plain-text table formatting shared by the binaries so each
+//!   prints rows directly comparable to the paper's figures.
+//!
+//! The same entry points back the criterion benches in `benches/`, scaled
+//! down via [`cpu_sim::SimLength::quick`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod report;
+
+pub use harness::{
+    batch_names, ls_names, run_matrix, run_matrix_with, standalone_reference, ExperimentConfig,
+    PairOutcome,
+};
+pub use report::{format_distribution_row, format_percent, TableWriter};

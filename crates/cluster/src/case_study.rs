@@ -1,0 +1,163 @@
+//! Cluster throughput case studies (§VI-D).
+//!
+//! Given a diurnal load pattern, an engagement threshold (the paper uses
+//! 85% of peak load for the B-mode 56-136 configuration) and the measured
+//! B-mode batch speedup, compute the average batch throughput gain over a
+//! 24-hour period — the "+5% for a Web Search cluster, +11% for a YouTube
+//! cluster" numbers.
+
+use crate::diurnal::DiurnalPattern;
+use serde::{Deserialize, Serialize};
+
+/// One cluster case study.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CaseStudy {
+    /// The diurnal load pattern of the latency-sensitive service.
+    pub pattern: DiurnalPattern,
+    /// Load threshold (fraction of peak) below which B-mode is engaged.
+    pub engage_below: f64,
+    /// Batch speedup delivered while B-mode is engaged (e.g. 1.11 for +11%).
+    pub b_mode_batch_speedup: f64,
+    /// Control interval in hours (how often the monitor reconsiders).
+    pub interval_hours: f64,
+}
+
+impl CaseStudy {
+    /// The Web Search cluster case study with the paper's parameters: B-mode
+    /// 56-136 engaged below 85% of peak, yielding an 11% batch speedup while
+    /// engaged.
+    pub fn web_search() -> CaseStudy {
+        CaseStudy {
+            pattern: DiurnalPattern::WebSearch,
+            engage_below: 0.85,
+            b_mode_batch_speedup: 1.11,
+            interval_hours: 0.25,
+        }
+    }
+
+    /// The YouTube cluster case study.
+    pub fn youtube() -> CaseStudy {
+        CaseStudy {
+            pattern: DiurnalPattern::YouTube,
+            engage_below: 0.85,
+            b_mode_batch_speedup: 1.155,
+            interval_hours: 0.25,
+        }
+    }
+
+    /// Runs the 24-hour accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are out of range (threshold or speedup not
+    /// positive, non-positive interval).
+    pub fn run(&self) -> CaseStudyReport {
+        assert!(self.engage_below > 0.0 && self.engage_below <= 1.0, "threshold out of range");
+        assert!(self.b_mode_batch_speedup > 0.0, "speedup must be positive");
+        assert!(self.interval_hours > 0.0, "interval must be positive");
+        let samples = self.pattern.sample(self.interval_hours);
+        let mut engaged = 0usize;
+        let mut throughput_sum = 0.0;
+        for s in &samples {
+            if s.load < self.engage_below {
+                engaged += 1;
+                throughput_sum += self.b_mode_batch_speedup;
+            } else {
+                throughput_sum += 1.0;
+            }
+        }
+        let total = samples.len().max(1);
+        CaseStudyReport {
+            hours_engaged: engaged as f64 * self.interval_hours,
+            fraction_engaged: engaged as f64 / total as f64,
+            average_batch_throughput: throughput_sum / total as f64,
+        }
+    }
+}
+
+/// Result of a case study.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CaseStudyReport {
+    /// Hours per day during which B-mode was engaged.
+    pub hours_engaged: f64,
+    /// Fraction of the day engaged.
+    pub fraction_engaged: f64,
+    /// Average batch throughput relative to the baseline over 24 hours.
+    pub average_batch_throughput: f64,
+}
+
+impl CaseStudyReport {
+    /// The 24-hour cluster throughput gain, e.g. 0.05 for +5%.
+    pub fn gain(&self) -> f64 {
+        self.average_batch_throughput - 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn web_search_cluster_gains_about_5_percent() {
+        let report = CaseStudy::web_search().run();
+        assert!(
+            (report.hours_engaged - 11.0).abs() < 1.5,
+            "engaged hours {:.1} should be ~11",
+            report.hours_engaged
+        );
+        assert!(
+            (report.gain() - 0.05).abs() < 0.015,
+            "Web Search cluster gain {:.3} should be ~0.05",
+            report.gain()
+        );
+    }
+
+    #[test]
+    fn youtube_cluster_gains_about_11_percent() {
+        let report = CaseStudy::youtube().run();
+        assert!(
+            (report.hours_engaged - 17.0).abs() < 1.5,
+            "engaged hours {:.1} should be ~17",
+            report.hours_engaged
+        );
+        assert!(
+            (report.gain() - 0.11).abs() < 0.02,
+            "YouTube cluster gain {:.3} should be ~0.11",
+            report.gain()
+        );
+    }
+
+    #[test]
+    fn a_flat_low_load_service_gains_the_full_b_mode_speedup() {
+        let study = CaseStudy {
+            pattern: DiurnalPattern::Custom { base: 0.2, amplitude: 0.1, peak_hour: 12.0, width: 6.0 },
+            engage_below: 0.85,
+            b_mode_batch_speedup: 1.13,
+            interval_hours: 1.0,
+        };
+        let report = study.run();
+        assert!((report.fraction_engaged - 1.0).abs() < 1e-9);
+        assert!((report.gain() - 0.13).abs() < 1e-9);
+    }
+
+    #[test]
+    fn a_service_pinned_at_peak_gains_nothing() {
+        let study = CaseStudy {
+            pattern: DiurnalPattern::Custom { base: 1.0, amplitude: 0.0, peak_hour: 12.0, width: 6.0 },
+            engage_below: 0.85,
+            b_mode_batch_speedup: 1.13,
+            interval_hours: 1.0,
+        };
+        let report = study.run();
+        assert_eq!(report.gain(), 0.0);
+        assert_eq!(report.hours_engaged, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "speedup must be positive")]
+    fn invalid_speedup_rejected() {
+        let mut s = CaseStudy::web_search();
+        s.b_mode_batch_speedup = 0.0;
+        let _ = s.run();
+    }
+}

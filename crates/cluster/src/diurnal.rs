@@ -1,0 +1,157 @@
+//! Diurnal load patterns (Figure 14).
+//!
+//! The two curves are parametric reconstructions of the figures the paper
+//! reproduces from Meisner et al. (Web Search query rate, [9]) and Gill et
+//! al. (YouTube edge traffic, [28]): smooth day/night cycles normalised to
+//! their peak, with the Web Search cluster spending ≈11 hours and the video
+//! cluster ≈17 hours of the day below 85% of peak load.
+
+use serde::{Deserialize, Serialize};
+use std::f64::consts::PI;
+
+/// One sampled point of a diurnal curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoadSample {
+    /// Hour of day, `0.0 ..= 24.0`.
+    pub hour: f64,
+    /// Load as a fraction of the daily peak, `0.0 ..= 1.0`.
+    pub load: f64,
+}
+
+/// A parametric diurnal load pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DiurnalPattern {
+    /// Web Search query rate: a broad daytime plateau peaking in the early
+    /// afternoon, with a deep overnight trough (Figure 14a).
+    WebSearch,
+    /// YouTube-style video traffic: a sharper evening peak around 14:00–20:00
+    /// local time with most of the day well below peak (Figure 14b).
+    YouTube,
+    /// A custom sinusoidal pattern: `base + amplitude * max(0, cos-shaped
+    /// bump centred on `peak_hour` with the given `width` in hours)`.
+    Custom {
+        /// Minimum (overnight) load fraction.
+        base: f64,
+        /// Peak minus base.
+        amplitude: f64,
+        /// Hour of day at which the load peaks.
+        peak_hour: f64,
+        /// Width of the daytime bump in hours.
+        width: f64,
+    },
+}
+
+impl DiurnalPattern {
+    /// Load (fraction of peak) at a given hour of day.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hour` is outside `0.0 ..= 24.0`.
+    pub fn load_at(&self, hour: f64) -> f64 {
+        assert!((0.0..=24.0).contains(&hour), "hour {hour} outside a day");
+        // A flat-topped daytime bump: full load within `plateau` hours of the
+        // peak, cosine falloff to the overnight base over the next `falloff`
+        // hours.
+        let bump = |base: f64, amplitude: f64, peak_hour: f64, plateau: f64, falloff: f64| -> f64 {
+            // Circular distance from the peak hour.
+            let mut d = (hour - peak_hour).abs();
+            if d > 12.0 {
+                d = 24.0 - d;
+            }
+            let shape = if d <= plateau {
+                1.0
+            } else if d <= plateau + falloff {
+                0.5 * (1.0 + (PI * (d - plateau) / falloff).cos())
+            } else {
+                0.0
+            };
+            (base + amplitude * shape).min(1.0)
+        };
+        match *self {
+            // Calibrated so ~11 of 24 hours are below 85% of peak.
+            DiurnalPattern::WebSearch => bump(0.42, 0.58, 14.0, 4.5, 6.0),
+            // Calibrated so ~17 of 24 hours are below 85% of peak.
+            DiurnalPattern::YouTube => bump(0.30, 0.70, 15.0, 2.0, 5.0),
+            DiurnalPattern::Custom { base, amplitude, peak_hour, width } => {
+                bump(base, amplitude, peak_hour, width / 3.0, 2.0 * width / 3.0)
+            }
+        }
+    }
+
+    /// Samples the curve once per `interval_hours` over 24 hours.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_hours` is not positive.
+    pub fn sample(&self, interval_hours: f64) -> Vec<LoadSample> {
+        assert!(interval_hours > 0.0, "interval must be positive");
+        let steps = (24.0 / interval_hours).round() as usize;
+        (0..steps)
+            .map(|i| {
+                let hour = i as f64 * interval_hours;
+                LoadSample { hour, load: self.load_at(hour) }
+            })
+            .collect()
+    }
+
+    /// Hours of the day (out of 24) during which the load is strictly below
+    /// `threshold`, estimated on a 5-minute grid.
+    pub fn hours_below(&self, threshold: f64) -> f64 {
+        let grid = 12 * 24; // 5-minute resolution
+        let below = (0..grid)
+            .filter(|i| self.load_at(*i as f64 * 24.0 / grid as f64) < threshold)
+            .count();
+        below as f64 * 24.0 / grid as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loads_are_normalised_fractions() {
+        for pattern in [DiurnalPattern::WebSearch, DiurnalPattern::YouTube] {
+            for s in pattern.sample(0.5) {
+                assert!((0.0..=1.0).contains(&s.load), "{pattern:?} at {} -> {}", s.hour, s.load);
+            }
+        }
+    }
+
+    #[test]
+    fn peaks_reach_full_load() {
+        assert!(DiurnalPattern::WebSearch.load_at(14.0) > 0.98);
+        assert!(DiurnalPattern::YouTube.load_at(15.0) > 0.98);
+    }
+
+    #[test]
+    fn web_search_spends_about_11_hours_below_85_percent() {
+        let hours = DiurnalPattern::WebSearch.hours_below(0.85);
+        assert!((hours - 11.0).abs() < 1.5, "Web Search hours below 85%: {hours:.1}");
+    }
+
+    #[test]
+    fn youtube_spends_about_17_hours_below_85_percent() {
+        let hours = DiurnalPattern::YouTube.hours_below(0.85);
+        assert!((hours - 17.0).abs() < 1.5, "YouTube hours below 85%: {hours:.1}");
+    }
+
+    #[test]
+    fn sampling_interval_controls_resolution() {
+        assert_eq!(DiurnalPattern::WebSearch.sample(1.0).len(), 24);
+        assert_eq!(DiurnalPattern::WebSearch.sample(0.5).len(), 48);
+    }
+
+    #[test]
+    fn custom_pattern_follows_its_parameters() {
+        let p = DiurnalPattern::Custom { base: 0.2, amplitude: 0.8, peak_hour: 12.0, width: 4.0 };
+        assert!(p.load_at(12.0) > 0.95);
+        assert!(p.load_at(0.0) < 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside a day")]
+    fn out_of_range_hour_panics() {
+        let _ = DiurnalPattern::WebSearch.load_at(25.0);
+    }
+}

@@ -1,0 +1,996 @@
+//! The dual-threaded SMT out-of-order core model.
+//!
+//! The pipeline implements the Table II core: a 6-wide front end with ICOUNT
+//! thread selection, a hybrid branch predictor, shared or private L1 caches,
+//! a 192-entry ROB and 64-entry LSQ with per-thread limit/usage registers
+//! (the structures Stretch reprograms), a Table II functional-unit mix, and
+//! 6-wide round-robin commit.
+//!
+//! The model is trace-driven and cycle-level: every cycle it completes
+//! finished instructions, commits from the ROB heads, issues ready
+//! instructions subject to functional-unit and MSHR constraints, dispatches
+//! from the per-thread fetch buffers subject to the ROB/LSQ partition limits,
+//! and fetches from the workload trace generators subject to I-cache misses,
+//! branch redirects and fetch-bandwidth limits.
+
+use crate::branch::{BranchPredictor, BranchStats, Prediction};
+use crate::fetch::{FetchPolicy, FetchScheduler};
+use crate::partition::PartitionPolicy;
+use mem_sim::{HierarchyConfig, HierarchyStats, LoadResult, MemoryHierarchy, Sharing};
+use sim_model::{
+    BoxedTrace, CoreConfig, Cycle, MicroOp, OpKind, ThreadId, TraceGenerator, NUM_LOGICAL_REGS,
+};
+use sim_stats::Histogram;
+use std::collections::{HashSet, VecDeque};
+
+pub use sim_model::trace::BoxedTrace as ThreadTrace;
+
+/// Status of an in-flight instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EntryStatus {
+    /// In the ROB, waiting for operands or a functional unit.
+    Dispatched,
+    /// Executing; result available at `completion`.
+    Issued,
+    /// Finished execution; eligible for commit when it reaches the ROB head.
+    Completed,
+}
+
+#[derive(Debug, Clone)]
+struct RobEntry {
+    id: u64,
+    uop: MicroOp,
+    status: EntryStatus,
+    completion: Cycle,
+    deps: [Option<u64>; 2],
+    mispredicted: bool,
+    in_lsq: bool,
+}
+
+#[derive(Debug, Clone)]
+struct FetchedOp {
+    id: u64,
+    uop: MicroOp,
+    mispredicted: bool,
+}
+
+/// Per-thread execution statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ThreadStats {
+    /// Instructions committed.
+    pub committed: u64,
+    /// Loads committed.
+    pub loads: u64,
+    /// Stores committed.
+    pub stores: u64,
+    /// Branches committed.
+    pub branches: u64,
+    /// Pipeline flushes caused by mispredicted branches of this thread.
+    pub branch_flushes: u64,
+    /// Pipeline flushes caused by Stretch mode changes.
+    pub mode_change_flushes: u64,
+}
+
+/// Per-thread state: its trace, ROB partition occupancy, fetch buffer and
+/// register scoreboard.
+struct ThreadState {
+    trace: Option<BoxedTrace>,
+    rob: VecDeque<RobEntry>,
+    lsq_occupancy: usize,
+    fetch_buffer: VecDeque<FetchedOp>,
+    /// Micro-ops squashed by a mode-change flush, awaiting re-fetch.
+    replay: VecDeque<MicroOp>,
+    /// One micro-op pulled from the trace but not yet accepted by fetch
+    /// (bandwidth or stall limits); retried first on the next fetch cycle.
+    pending_fetch: Option<MicroOp>,
+    last_writer: [Option<u64>; NUM_LOGICAL_REGS],
+    fetch_stall_until: Cycle,
+    /// Id of an unresolved mispredicted branch blocking fetch, if any.
+    waiting_branch: Option<u64>,
+    stats: ThreadStats,
+    mlp: Histogram,
+}
+
+impl ThreadState {
+    fn new() -> ThreadState {
+        ThreadState {
+            trace: None,
+            rob: VecDeque::new(),
+            lsq_occupancy: 0,
+            fetch_buffer: VecDeque::new(),
+            replay: VecDeque::new(),
+            pending_fetch: None,
+            last_writer: [None; NUM_LOGICAL_REGS],
+            fetch_stall_until: 0,
+            waiting_branch: None,
+            stats: ThreadStats::default(),
+            mlp: Histogram::new(10),
+        }
+    }
+
+    fn in_flight(&self) -> usize {
+        self.rob.len() + self.fetch_buffer.len()
+    }
+
+    fn active(&self) -> bool {
+        self.trace.is_some()
+    }
+}
+
+/// The simulated SMT core.
+pub struct SmtCore {
+    cfg: CoreConfig,
+    mem: MemoryHierarchy,
+    bp: BranchPredictor,
+    fetch_policy: FetchPolicy,
+    scheduler: FetchScheduler,
+    partition: PartitionPolicy,
+    now: Cycle,
+    next_id: u64,
+    threads: [ThreadState; 2],
+    /// Ids of instructions that have not yet completed execution.
+    incomplete: HashSet<u64>,
+    /// Round-robin commit preference (alternates each cycle).
+    commit_preference: usize,
+    total_cycles_run: u64,
+}
+
+/// Builder for [`SmtCore`].
+pub struct SmtCoreBuilder {
+    cfg: CoreConfig,
+    fetch_policy: FetchPolicy,
+    partition: PartitionPolicy,
+    l1i_sharing: Sharing,
+    l1d_sharing: Sharing,
+    bp_sharing: Sharing,
+    traces: [Option<BoxedTrace>; 2],
+}
+
+impl SmtCoreBuilder {
+    /// Starts a builder with the given core configuration, the baseline
+    /// ICOUNT fetch policy, equal ROB/LSQ partitioning and shared L1s and
+    /// branch predictor — the §V-A baseline core.
+    pub fn new(cfg: CoreConfig) -> SmtCoreBuilder {
+        let partition = PartitionPolicy::equal(&cfg);
+        SmtCoreBuilder {
+            cfg,
+            fetch_policy: FetchPolicy::ICount,
+            partition,
+            l1i_sharing: Sharing::Shared,
+            l1d_sharing: Sharing::Shared,
+            bp_sharing: Sharing::Shared,
+            traces: [None, None],
+        }
+    }
+
+    /// Sets the fetch (thread selection) policy.
+    pub fn fetch_policy(mut self, policy: FetchPolicy) -> SmtCoreBuilder {
+        self.fetch_policy = policy;
+        self
+    }
+
+    /// Sets the ROB/LSQ partitioning policy.
+    pub fn partition(mut self, partition: PartitionPolicy) -> SmtCoreBuilder {
+        self.partition = partition;
+        self
+    }
+
+    /// Sets the L1-I sharing mode.
+    pub fn l1i_sharing(mut self, sharing: Sharing) -> SmtCoreBuilder {
+        self.l1i_sharing = sharing;
+        self
+    }
+
+    /// Sets the L1-D sharing mode.
+    pub fn l1d_sharing(mut self, sharing: Sharing) -> SmtCoreBuilder {
+        self.l1d_sharing = sharing;
+        self
+    }
+
+    /// Sets the branch-predictor table sharing mode.
+    pub fn bp_sharing(mut self, sharing: Sharing) -> SmtCoreBuilder {
+        self.bp_sharing = sharing;
+        self
+    }
+
+    /// Attaches a workload trace to a hardware thread.
+    pub fn thread(mut self, thread: ThreadId, trace: BoxedTrace) -> SmtCoreBuilder {
+        self.traces[thread.index()] = Some(trace);
+        self
+    }
+
+    /// Builds the core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core configuration fails validation.
+    pub fn build(self) -> SmtCore {
+        self.cfg.validate().expect("invalid core configuration");
+        let mut hier_cfg = HierarchyConfig::from_core(&self.cfg);
+        hier_cfg.l1i_sharing = self.l1i_sharing;
+        hier_cfg.l1d_sharing = self.l1d_sharing;
+        let mem = MemoryHierarchy::new(hier_cfg);
+        let bp = BranchPredictor::new(self.cfg.branch, self.bp_sharing);
+        let mut threads = [ThreadState::new(), ThreadState::new()];
+        let [t0, t1] = self.traces;
+        threads[0].trace = t0;
+        threads[1].trace = t1;
+        SmtCore {
+            cfg: self.cfg,
+            mem,
+            bp,
+            fetch_policy: self.fetch_policy,
+            scheduler: FetchScheduler::new(),
+            partition: self.partition,
+            now: 0,
+            next_id: 0,
+            threads,
+            incomplete: HashSet::new(),
+            commit_preference: 0,
+            total_cycles_run: 0,
+        }
+    }
+}
+
+impl SmtCore {
+    /// Convenience constructor: baseline core with the given traces.
+    pub fn baseline(cfg: CoreConfig, t0: BoxedTrace, t1: BoxedTrace) -> SmtCore {
+        SmtCoreBuilder::new(cfg).thread(ThreadId::T0, t0).thread(ThreadId::T1, t1).build()
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Core configuration.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// Current partitioning policy.
+    pub fn partition(&self) -> PartitionPolicy {
+        self.partition
+    }
+
+    /// Per-thread statistics.
+    pub fn thread_stats(&self, thread: ThreadId) -> ThreadStats {
+        self.threads[thread.index()].stats
+    }
+
+    /// Branch prediction statistics for a thread.
+    pub fn branch_stats(&self, thread: ThreadId) -> BranchStats {
+        self.bp.stats(thread)
+    }
+
+    /// Memory hierarchy statistics.
+    pub fn memory_stats(&self) -> HierarchyStats {
+        self.mem.stats()
+    }
+
+    /// MLP census for a thread: a histogram of outstanding-demand-miss counts
+    /// sampled every cycle (Figure 7).
+    pub fn mlp_census(&self, thread: ThreadId) -> &Histogram {
+        &self.threads[thread.index()].mlp
+    }
+
+    /// Number of instructions committed by a thread so far.
+    pub fn committed(&self, thread: ThreadId) -> u64 {
+        self.threads[thread.index()].stats.committed
+    }
+
+    /// Total cycles simulated so far.
+    pub fn cycles(&self) -> u64 {
+        self.total_cycles_run
+    }
+
+    /// Whether a thread has a workload attached.
+    pub fn thread_active(&self, thread: ThreadId) -> bool {
+        self.threads[thread.index()].active()
+    }
+
+    /// Resets all statistics (commit counts, MLP census, cache/branch stats)
+    /// without disturbing microarchitectural state. Used at the end of the
+    /// warm-up window.
+    pub fn reset_stats(&mut self) {
+        for t in &mut self.threads {
+            t.stats = ThreadStats::default();
+            t.mlp = Histogram::new(10);
+        }
+        self.bp.reset_stats();
+        self.mem.reset_stats();
+        self.total_cycles_run = 0;
+    }
+
+    /// Reprograms the ROB/LSQ limit registers (a Stretch mode change or a
+    /// return to the baseline). Per §IV-C, the change is accompanied by a
+    /// pipeline flush of both threads; set `flush` to `false` only for
+    /// experiments that want to isolate the steady-state effect.
+    pub fn set_partition(&mut self, partition: PartitionPolicy, flush: bool) {
+        self.partition = partition;
+        if flush {
+            for thread in ThreadId::ALL {
+                self.flush_thread(thread, true);
+            }
+        }
+    }
+
+    /// Squashes all in-flight instructions of `thread`, queueing them for
+    /// re-fetch, and stalls its fetch for the redirect penalty.
+    fn flush_thread(&mut self, thread: ThreadId, mode_change: bool) {
+        let penalty = self.cfg.pipeline_flush_cycles;
+        let now = self.now;
+        let t = &mut self.threads[thread.index()];
+        let mut squashed: Vec<MicroOp> = Vec::with_capacity(t.rob.len() + t.fetch_buffer.len());
+        for e in t.rob.drain(..) {
+            self.incomplete.remove(&e.id);
+            squashed.push(e.uop);
+        }
+        for f in t.fetch_buffer.drain(..) {
+            self.incomplete.remove(&f.id);
+            squashed.push(f.uop);
+        }
+        // Re-fetch the squashed instructions before pulling new ones from the
+        // trace, so the committed instruction stream is unchanged.
+        for uop in squashed.into_iter().rev() {
+            t.replay.push_front(uop);
+        }
+        t.lsq_occupancy = 0;
+        t.last_writer = [None; NUM_LOGICAL_REGS];
+        t.waiting_branch = None;
+        t.fetch_stall_until = t.fetch_stall_until.max(now + penalty);
+        if mode_change {
+            t.stats.mode_change_flushes += 1;
+        }
+        self.mem.flush_thread(thread);
+    }
+
+    fn rob_limit(&self, thread: ThreadId) -> usize {
+        self.partition.rob_limit(&self.cfg, thread)
+    }
+
+    fn lsq_limit(&self, thread: ThreadId) -> usize {
+        self.partition.lsq_limit(&self.cfg, thread)
+    }
+
+    fn total_rob_occupancy(&self) -> usize {
+        self.threads[0].rob.len() + self.threads[1].rob.len()
+    }
+
+    fn total_lsq_occupancy(&self) -> usize {
+        self.threads[0].lsq_occupancy + self.threads[1].lsq_occupancy
+    }
+
+    /// Advances the core by one cycle.
+    pub fn step(&mut self) {
+        self.now += 1;
+        self.total_cycles_run += 1;
+        self.mem.tick(self.now);
+        self.complete();
+        self.commit();
+        self.issue();
+        self.dispatch();
+        self.fetch();
+        self.census();
+    }
+
+    /// Runs until `thread` has committed at least `instructions` more
+    /// instructions, or `max_cycles` elapse. Returns the cycles spent.
+    pub fn run_instructions(&mut self, thread: ThreadId, instructions: u64, max_cycles: u64) -> u64 {
+        let target = self.committed(thread) + instructions;
+        let start = self.now;
+        while self.committed(thread) < target && self.now - start < max_cycles {
+            self.step();
+        }
+        self.now - start
+    }
+
+    // ------------------------------------------------------------------
+    // Pipeline stages
+    // ------------------------------------------------------------------
+
+    fn complete(&mut self) {
+        let now = self.now;
+        let penalty = self.cfg.pipeline_flush_cycles;
+        for idx in 0..2 {
+            let mut resolved_branch: Option<u64> = None;
+            let mut flush = false;
+            {
+                let t = &mut self.threads[idx];
+                for e in t.rob.iter_mut() {
+                    if e.status == EntryStatus::Issued && e.completion <= now {
+                        e.status = EntryStatus::Completed;
+                        self.incomplete.remove(&e.id);
+                        if e.mispredicted {
+                            flush = true;
+                            resolved_branch = Some(e.id);
+                        }
+                    }
+                }
+                if flush {
+                    t.stats.branch_flushes += 1;
+                    t.fetch_stall_until = t.fetch_stall_until.max(now + penalty);
+                    if let (Some(bid), Some(wid)) = (resolved_branch, t.waiting_branch) {
+                        if bid == wid {
+                            t.waiting_branch = None;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn commit(&mut self) {
+        let width = self.cfg.commit_width;
+        let mut committed = 0usize;
+        let first = self.commit_preference;
+        self.commit_preference = (self.commit_preference + 1) % 2;
+        for offset in 0..2 {
+            let idx = (first + offset) % 2;
+            while committed < width {
+                let Some(head) = self.threads[idx].rob.front() else { break };
+                if head.status != EntryStatus::Completed {
+                    break;
+                }
+                let entry = self.threads[idx].rob.pop_front().expect("front checked");
+                let thread = ThreadId::from_index(idx);
+                if entry.in_lsq {
+                    self.threads[idx].lsq_occupancy =
+                        self.threads[idx].lsq_occupancy.saturating_sub(1);
+                }
+                match entry.uop.kind {
+                    OpKind::Store => {
+                        let mem = entry.uop.mem.expect("store carries an address");
+                        self.mem.store(thread, mem.addr, entry.uop.pc, self.now);
+                        self.threads[idx].stats.stores += 1;
+                    }
+                    OpKind::Load => self.threads[idx].stats.loads += 1,
+                    OpKind::Branch => self.threads[idx].stats.branches += 1,
+                    _ => {}
+                }
+                self.threads[idx].stats.committed += 1;
+                committed += 1;
+            }
+        }
+    }
+
+    fn issue(&mut self) {
+        let mut issue_budget = self.cfg.issue_width;
+        let mut fu_int = self.cfg.fus.int_alu;
+        let mut fu_mul = self.cfg.fus.int_mul;
+        let mut fu_fp = self.cfg.fus.fpu;
+        let mut fu_lsu = self.cfg.fus.lsu;
+        let first = (self.now % 2) as usize;
+        let now = self.now;
+
+        for offset in 0..2 {
+            let idx = (first + offset) % 2;
+            if issue_budget == 0 {
+                break;
+            }
+            let thread = ThreadId::from_index(idx);
+            let mut mshr_blocked = false;
+            // Collect the positions of ready entries first to keep the borrow
+            // checker happy, then issue them in age order.
+            let ready_positions: Vec<usize> = self.threads[idx]
+                .rob
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.status == EntryStatus::Dispatched)
+                .filter(|(_, e)| {
+                    e.deps
+                        .iter()
+                        .flatten()
+                        .all(|dep| !self.incomplete.contains(dep))
+                })
+                .map(|(i, _)| i)
+                .collect();
+
+            for pos in ready_positions {
+                if issue_budget == 0 {
+                    break;
+                }
+                let kind = self.threads[idx].rob[pos].uop.kind;
+                let fu = match kind {
+                    OpKind::IntAlu | OpKind::Branch => &mut fu_int,
+                    OpKind::IntMul => &mut fu_mul,
+                    OpKind::Fp => &mut fu_fp,
+                    OpKind::Load | OpKind::Store => &mut fu_lsu,
+                };
+                if *fu == 0 {
+                    continue;
+                }
+                if kind == OpKind::Load && mshr_blocked {
+                    continue;
+                }
+                let completion = match kind {
+                    OpKind::Load => {
+                        let (addr, pc) = {
+                            let e = &self.threads[idx].rob[pos];
+                            (e.uop.mem.expect("load carries an address").addr, e.uop.pc)
+                        };
+                        match self.mem.load(thread, addr, pc, now) {
+                            LoadResult::Hit { latency } => now + latency,
+                            LoadResult::Miss { completion } => completion,
+                            LoadResult::NoMshr => {
+                                // Retry next cycle; stop trying further loads
+                                // for this thread to preserve ordering.
+                                mshr_blocked = true;
+                                continue;
+                            }
+                        }
+                    }
+                    OpKind::Store => now + 1,
+                    other => now + other.exec_latency(),
+                };
+                let e = &mut self.threads[idx].rob[pos];
+                e.status = EntryStatus::Issued;
+                e.completion = completion;
+                *fu -= 1;
+                issue_budget -= 1;
+            }
+        }
+    }
+
+    fn dispatch(&mut self) {
+        let width = self.cfg.dispatch_width;
+        let mut budget = width;
+        // Prefer the thread with fewer in-flight instructions (ICOUNT spirit).
+        let first = if self.threads[0].in_flight() <= self.threads[1].in_flight() { 0 } else { 1 };
+        for offset in 0..2 {
+            let idx = (first + offset) % 2;
+            let thread = ThreadId::from_index(idx);
+            while budget > 0 {
+                let rob_limit = self.rob_limit(thread);
+                let lsq_limit = self.lsq_limit(thread);
+                let enforce_total = self.partition.enforce_total_capacity();
+                let total_rob = self.total_rob_occupancy();
+                let total_lsq = self.total_lsq_occupancy();
+                let t = &mut self.threads[idx];
+                let Some(front) = t.fetch_buffer.front() else { break };
+                if t.rob.len() >= rob_limit {
+                    break;
+                }
+                if enforce_total && total_rob >= self.cfg.rob_capacity {
+                    break;
+                }
+                let is_mem = front.uop.is_mem();
+                if is_mem {
+                    if t.lsq_occupancy >= lsq_limit {
+                        break;
+                    }
+                    if enforce_total && total_lsq >= self.cfg.lsq_capacity {
+                        break;
+                    }
+                }
+                let f = t.fetch_buffer.pop_front().expect("front checked");
+                let mut deps = [None, None];
+                for (slot, src) in f.uop.srcs.iter().enumerate() {
+                    if let Some(reg) = src {
+                        deps[slot] = t.last_writer[*reg as usize]
+                            .filter(|id| self.incomplete.contains(id));
+                    }
+                }
+                if let Some(dst) = f.uop.dst {
+                    t.last_writer[dst as usize] = Some(f.id);
+                }
+                if is_mem {
+                    t.lsq_occupancy += 1;
+                }
+                t.rob.push_back(RobEntry {
+                    id: f.id,
+                    uop: f.uop,
+                    status: EntryStatus::Dispatched,
+                    completion: 0,
+                    deps,
+                    mispredicted: f.mispredicted,
+                    in_lsq: is_mem,
+                });
+                budget -= 1;
+            }
+        }
+    }
+
+    fn fetch(&mut self) {
+        let in_flight = [self.threads[0].in_flight(), self.threads[1].in_flight()];
+        let active = [self.threads[0].active(), self.threads[1].active()];
+        let Some(preferred) = self.scheduler.select(self.fetch_policy, in_flight, active) else {
+            return;
+        };
+        // Try the preferred thread; if it cannot fetch a single instruction
+        // this cycle, switch to the other thread (ICOUNT switching rule).
+        let fetched = self.fetch_thread(preferred);
+        if fetched == 0 {
+            let other = preferred.other();
+            if self.threads[other.index()].active() {
+                self.fetch_thread(other);
+            }
+        }
+    }
+
+    /// Fetches up to the front-end limits for one thread. Returns the number
+    /// of micro-ops accepted into the fetch buffer.
+    fn fetch_thread(&mut self, thread: ThreadId) -> usize {
+        let idx = thread.index();
+        let now = self.now;
+        if !self.threads[idx].active() {
+            return 0;
+        }
+        if self.threads[idx].waiting_branch.is_some() || self.threads[idx].fetch_stall_until > now {
+            return 0;
+        }
+        let width = self.cfg.fetch_width;
+        let max_blocks = self.cfg.fetch_blocks_per_cycle;
+        let max_branches = self.cfg.fetch_branches_per_cycle;
+        let buffer_cap = self.cfg.fetch_buffer_entries;
+        let hit_latency = self.cfg.l1i.hit_latency;
+
+        let mut fetched = 0usize;
+        let mut branches = 0usize;
+        let mut blocks: Vec<u64> = Vec::with_capacity(max_blocks);
+
+        while fetched < width {
+            if self.threads[idx].fetch_buffer.len() >= buffer_cap {
+                break;
+            }
+            // Pull the next micro-op: pending slot, then replay queue, then trace.
+            let uop = {
+                let t = &mut self.threads[idx];
+                if let Some(p) = t.pending_fetch.take() {
+                    p
+                } else if let Some(r) = t.replay.pop_front() {
+                    r
+                } else {
+                    t.trace.as_mut().expect("active thread has a trace").next_op()
+                }
+            };
+
+            // Instruction-cache block constraint.
+            let block = uop.pc >> 6;
+            if !blocks.contains(&block) {
+                if blocks.len() >= max_blocks {
+                    self.threads[idx].pending_fetch = Some(uop);
+                    break;
+                }
+                let latency = self.mem.fetch(thread, uop.pc, now);
+                blocks.push(block);
+                if latency > hit_latency {
+                    // I-cache miss: this instruction (and the rest of the
+                    // block) arrives when the fill completes.
+                    self.threads[idx].pending_fetch = Some(uop);
+                    self.threads[idx].fetch_stall_until = now + latency;
+                    break;
+                }
+            }
+
+            // Branch constraints and prediction.
+            let mut mispredicted = false;
+            if uop.is_branch() {
+                if branches >= max_branches {
+                    self.threads[idx].pending_fetch = Some(uop);
+                    break;
+                }
+                branches += 1;
+                let info = uop.branch.expect("branch carries branch info");
+                let pred: Prediction = self.bp.predict(thread, uop.pc, info.is_call, info.is_return);
+                mispredicted = self.bp.update(
+                    thread,
+                    uop.pc,
+                    info.taken,
+                    info.target,
+                    info.is_call,
+                    info.is_return,
+                    pred,
+                );
+            }
+
+            let id = self.next_id;
+            self.next_id += 1;
+            self.incomplete.insert(id);
+            self.threads[idx].fetch_buffer.push_back(FetchedOp { id, uop, mispredicted });
+            fetched += 1;
+
+            if mispredicted {
+                // Fetch stalls until the branch resolves (plus the redirect
+                // penalty, applied at resolution time in `complete`).
+                self.threads[idx].waiting_branch = Some(id);
+                break;
+            }
+        }
+        fetched
+    }
+
+    fn census(&mut self) {
+        for thread in ThreadId::ALL {
+            if self.threads[thread.index()].active() {
+                let outstanding = self.mem.outstanding_misses(thread);
+                self.threads[thread.index()].mlp.record(outstanding);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_model::uop::BranchInfo;
+    use sim_model::WorkloadClass;
+
+    /// A trivial workload: a tight loop of independent ALU ops.
+    struct AluLoop {
+        pc: u64,
+        reg: u8,
+    }
+
+    impl AluLoop {
+        fn boxed() -> BoxedTrace {
+            Box::new(AluLoop { pc: 0x1000, reg: 0 })
+        }
+    }
+
+    impl TraceGenerator for AluLoop {
+        fn next_op(&mut self) -> MicroOp {
+            self.pc = 0x1000 + (self.pc + 4 - 0x1000) % 256;
+            self.reg = (self.reg + 1) % 32;
+            MicroOp::alu(self.pc, OpKind::IntAlu, [None, None], Some(self.reg))
+        }
+        fn name(&self) -> &str {
+            "alu-loop"
+        }
+        fn class(&self) -> WorkloadClass {
+            WorkloadClass::Batch
+        }
+        fn reset(&mut self) {
+            self.pc = 0x1000;
+        }
+    }
+
+    /// A pointer-chasing workload: every load depends on the previous one and
+    /// misses the caches (large random working set).
+    struct PointerChase {
+        pc: u64,
+        addr: u64,
+        rng: sim_model::SimRng,
+    }
+
+    impl PointerChase {
+        fn boxed(seed: u64) -> BoxedTrace {
+            Box::new(PointerChase { pc: 0x2000, addr: 0x10_0000, rng: sim_model::SimRng::new(seed) })
+        }
+    }
+
+    impl TraceGenerator for PointerChase {
+        fn next_op(&mut self) -> MicroOp {
+            self.pc = 0x2000 + (self.pc + 4 - 0x2000) % 128;
+            self.addr = 0x10_0000 + self.rng.below(1 << 26) * 64;
+            // dst reg 1, src reg 1: each load depends on the previous load.
+            MicroOp::load(self.pc, self.addr, [Some(1), None], Some(1))
+        }
+        fn name(&self) -> &str {
+            "pointer-chase"
+        }
+        fn class(&self) -> WorkloadClass {
+            WorkloadClass::LatencySensitive
+        }
+        fn reset(&mut self) {}
+    }
+
+    /// Independent random loads over a large working set: high MLP potential.
+    struct StreamingLoads {
+        pc: u64,
+        rng: sim_model::SimRng,
+        reg: u8,
+    }
+
+    impl StreamingLoads {
+        fn boxed(seed: u64) -> BoxedTrace {
+            Box::new(StreamingLoads { pc: 0x3000, rng: sim_model::SimRng::new(seed), reg: 0 })
+        }
+    }
+
+    impl TraceGenerator for StreamingLoads {
+        fn next_op(&mut self) -> MicroOp {
+            self.pc = 0x3000 + (self.pc + 4 - 0x3000) % 128;
+            self.reg = (self.reg + 1) % 32;
+            let addr = 0x200_0000 + self.rng.below(1 << 26) * 64;
+            MicroOp::load(self.pc, addr, [None, None], Some(self.reg))
+        }
+        fn name(&self) -> &str {
+            "streaming-loads"
+        }
+        fn class(&self) -> WorkloadClass {
+            WorkloadClass::Batch
+        }
+        fn reset(&mut self) {}
+    }
+
+    fn single_thread_core(trace: BoxedTrace) -> SmtCore {
+        SmtCoreBuilder::new(CoreConfig::default()).thread(ThreadId::T0, trace).build()
+    }
+
+    #[test]
+    fn alu_loop_reaches_high_ipc() {
+        let mut core = single_thread_core(AluLoop::boxed());
+        core.run_instructions(ThreadId::T0, 20_000, 200_000);
+        let ipc = core.committed(ThreadId::T0) as f64 / core.cycles() as f64;
+        assert!(ipc > 2.0, "independent ALU loop should exceed 2 IPC, got {ipc:.2}");
+    }
+
+    #[test]
+    fn pointer_chase_is_memory_latency_bound() {
+        let mut core = single_thread_core(PointerChase::boxed(1));
+        core.run_instructions(ThreadId::T0, 2_000, 2_000_000);
+        let ipc = core.committed(ThreadId::T0) as f64 / core.cycles() as f64;
+        assert!(ipc < 0.05, "dependent misses should serialize at memory latency, got {ipc:.3}");
+        // MLP census: almost never more than one outstanding miss.
+        let mlp = core.mlp_census(ThreadId::T0);
+        assert!(mlp.fraction_at_least(2) < 0.05);
+    }
+
+    #[test]
+    fn independent_loads_expose_mlp() {
+        let mut core = single_thread_core(StreamingLoads::boxed(2));
+        core.run_instructions(ThreadId::T0, 5_000, 2_000_000);
+        let mlp = core.mlp_census(ThreadId::T0);
+        assert!(
+            mlp.fraction_at_least(2) > 0.3,
+            "independent misses should overlap (fraction with >=2 in flight: {:.2})",
+            mlp.fraction_at_least(2)
+        );
+        let chasing_core = {
+            let mut c = single_thread_core(PointerChase::boxed(3));
+            c.run_instructions(ThreadId::T0, 2_000, 2_000_000);
+            c
+        };
+        let stream_ipc = core.committed(ThreadId::T0) as f64 / core.cycles() as f64;
+        let chase_ipc =
+            chasing_core.committed(ThreadId::T0) as f64 / chasing_core.cycles() as f64;
+        assert!(stream_ipc > 2.0 * chase_ipc, "MLP should buy substantial IPC");
+    }
+
+    #[test]
+    fn rob_capacity_bounds_mlp_workload_performance() {
+        // The same streaming workload with a 16-entry ROB partition must be
+        // substantially slower than with a 96-entry partition: this is the
+        // Figure 6 mechanism.
+        let cfg = CoreConfig::default();
+        let run = |rob: usize| -> f64 {
+            let mut core = SmtCoreBuilder::new(cfg)
+                .partition(PartitionPolicy::Static { rob: [rob, rob], lsq: [32, 32] })
+                .thread(ThreadId::T0, StreamingLoads::boxed(7))
+                .build();
+            core.run_instructions(ThreadId::T0, 5_000, 2_000_000);
+            core.committed(ThreadId::T0) as f64 / core.cycles() as f64
+        };
+        let small = run(12);
+        let large = run(96);
+        assert!(
+            large > small * 1.5,
+            "a larger ROB should substantially help an MLP-rich workload (small={small:.3}, large={large:.3})"
+        );
+    }
+
+    #[test]
+    fn colocation_slows_both_threads() {
+        let cfg = CoreConfig::default();
+        let solo_ipc = {
+            let mut core = single_thread_core(StreamingLoads::boxed(11));
+            core.run_instructions(ThreadId::T0, 5_000, 2_000_000);
+            core.committed(ThreadId::T0) as f64 / core.cycles() as f64
+        };
+        let mut core = SmtCore::baseline(cfg, StreamingLoads::boxed(11), AluLoop::boxed());
+        // Run until both threads commit a workload's worth.
+        for _ in 0..200_000 {
+            core.step();
+            if core.committed(ThreadId::T0) >= 5_000 && core.committed(ThreadId::T1) >= 5_000 {
+                break;
+            }
+        }
+        let t0_cycles = core.cycles() as f64;
+        let colocated_ipc = core.committed(ThreadId::T0) as f64 / t0_cycles;
+        assert!(core.committed(ThreadId::T1) > 0, "both threads must make progress");
+        assert!(
+            colocated_ipc <= solo_ipc * 1.02,
+            "colocation should not speed up a thread (solo={solo_ipc:.3}, colocated={colocated_ipc:.3})"
+        );
+    }
+
+    #[test]
+    fn partition_change_flushes_and_continues() {
+        let cfg = CoreConfig::default();
+        let mut core = SmtCore::baseline(cfg, AluLoop::boxed(), StreamingLoads::boxed(5));
+        for _ in 0..1_000 {
+            core.step();
+        }
+        let before = core.committed(ThreadId::T0);
+        core.set_partition(PartitionPolicy::rob_split(&cfg, 56, 136), true);
+        assert_eq!(core.thread_stats(ThreadId::T0).mode_change_flushes, 1);
+        for _ in 0..5_000 {
+            core.step();
+        }
+        assert!(core.committed(ThreadId::T0) > before, "thread must continue after a mode change");
+        assert_eq!(core.partition().rob_limit(&cfg, ThreadId::T1), 136);
+    }
+
+    #[test]
+    fn total_committed_instructions_are_exact_after_flush() {
+        // A mode-change flush must not lose or duplicate instructions: the
+        // committed count keeps increasing monotonically and the stream stays
+        // consistent (every committed op is counted exactly once).
+        let cfg = CoreConfig::default();
+        let mut core = SmtCore::baseline(cfg, AluLoop::boxed(), AluLoop::boxed());
+        let mut last = 0;
+        for i in 0..3_000 {
+            core.step();
+            if i % 500 == 0 {
+                let skew = if (i / 500) % 2 == 0 { (56, 136) } else { (96, 96) };
+                core.set_partition(PartitionPolicy::rob_split(&cfg, skew.0, skew.1), true);
+            }
+            let c = core.committed(ThreadId::T0);
+            assert!(c >= last);
+            last = c;
+        }
+        assert!(last > 0);
+    }
+
+    #[test]
+    fn branch_heavy_workload_pays_flush_penalties() {
+        /// Branches with random outcomes force mispredictions.
+        struct RandomBranches {
+            pc: u64,
+            rng: sim_model::SimRng,
+        }
+        impl TraceGenerator for RandomBranches {
+            fn next_op(&mut self) -> MicroOp {
+                self.pc += 4;
+                if self.pc % 16 == 0 {
+                    let taken = self.rng.chance(0.5);
+                    MicroOp::branch(
+                        self.pc,
+                        BranchInfo { taken, target: self.pc + 64, is_call: false, is_return: false },
+                        [None, None],
+                    )
+                } else {
+                    MicroOp::alu(self.pc, OpKind::IntAlu, [None, None], Some(1))
+                }
+            }
+            fn name(&self) -> &str {
+                "random-branches"
+            }
+            fn class(&self) -> WorkloadClass {
+                WorkloadClass::Batch
+            }
+            fn reset(&mut self) {}
+        }
+        let mut core = single_thread_core(Box::new(RandomBranches {
+            pc: 0x4000,
+            rng: sim_model::SimRng::new(9),
+        }));
+        core.run_instructions(ThreadId::T0, 10_000, 500_000);
+        assert!(core.thread_stats(ThreadId::T0).branch_flushes > 100);
+        let ipc = core.committed(ThreadId::T0) as f64 / core.cycles() as f64;
+        let mut alu_core = single_thread_core(AluLoop::boxed());
+        alu_core.run_instructions(ThreadId::T0, 10_000, 500_000);
+        let alu_ipc = alu_core.committed(ThreadId::T0) as f64 / alu_core.cycles() as f64;
+        assert!(ipc < alu_ipc, "mispredictions must cost performance");
+    }
+
+    #[test]
+    fn inactive_thread_is_never_scheduled() {
+        let mut core = single_thread_core(AluLoop::boxed());
+        core.run_instructions(ThreadId::T0, 1_000, 100_000);
+        assert_eq!(core.committed(ThreadId::T1), 0);
+        assert!(!core.thread_active(ThreadId::T1));
+    }
+
+    #[test]
+    fn reset_stats_preserves_progress() {
+        let mut core = single_thread_core(AluLoop::boxed());
+        core.run_instructions(ThreadId::T0, 1_000, 100_000);
+        core.reset_stats();
+        assert_eq!(core.committed(ThreadId::T0), 0);
+        assert_eq!(core.cycles(), 0);
+        core.run_instructions(ThreadId::T0, 1_000, 100_000);
+        assert!(core.committed(ThreadId::T0) >= 1_000);
+    }
+}

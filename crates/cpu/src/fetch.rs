@@ -1,0 +1,162 @@
+//! SMT fetch (thread selection) policies.
+//!
+//! The baseline core uses ICOUNT [Tullsen et al., ISCA'96]: each cycle the
+//! thread with the fewest in-flight instructions is selected for fetch,
+//! decode and dispatch; if that thread cannot make use of the full width the
+//! core switches to the other thread (§V-A). Fetch throttling (the Figure 12
+//! baseline) instead grants the co-runner `M` fetch cycles for every cycle
+//! granted to the latency-sensitive thread.
+
+use serde::{Deserialize, Serialize};
+use sim_model::ThreadId;
+
+/// Thread-selection policy for the shared front end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FetchPolicy {
+    /// Select the thread with the fewest in-flight instructions (ICOUNT).
+    ICount,
+    /// Alternate between threads every cycle regardless of occupancy.
+    RoundRobin,
+    /// Fetch throttling with ratio 1:M — the `throttled` thread receives one
+    /// fetch cycle for every `ratio` cycles granted to the other thread.
+    ///
+    /// Within its granted cycles each thread is still subject to ICOUNT-style
+    /// switching if it cannot fetch.
+    Throttled {
+        /// The thread whose fetch bandwidth is restricted (the
+        /// latency-sensitive thread in the Figure 12 study).
+        throttled: ThreadId,
+        /// `M` in the 1:M ratio (must be at least 1).
+        ratio: u32,
+    },
+}
+
+impl FetchPolicy {
+    /// Fetch-throttling policy restricting `throttled` to a 1:`ratio` share.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio == 0`.
+    pub fn throttled(throttled: ThreadId, ratio: u32) -> FetchPolicy {
+        assert!(ratio >= 1, "fetch throttling ratio must be at least 1");
+        FetchPolicy::Throttled { throttled, ratio }
+    }
+}
+
+/// Runtime state of the fetch policy (cycle counters for round-robin and
+/// throttling schedules).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FetchScheduler {
+    cycle: u64,
+}
+
+impl FetchScheduler {
+    /// Creates a fresh scheduler.
+    pub fn new() -> FetchScheduler {
+        FetchScheduler::default()
+    }
+
+    /// Selects the preferred thread for this cycle.
+    ///
+    /// `in_flight` is the number of in-flight instructions per thread (fetch
+    /// buffer plus ROB occupancy), used by ICOUNT. `active` marks threads that
+    /// actually have a workload attached (single-thread runs only activate
+    /// one). The core may still fall back to the other thread when the
+    /// preferred one cannot fetch this cycle.
+    pub fn select(
+        &mut self,
+        policy: FetchPolicy,
+        in_flight: [usize; 2],
+        active: [bool; 2],
+    ) -> Option<ThreadId> {
+        self.cycle += 1;
+        match (active[0], active[1]) {
+            (false, false) => return None,
+            (true, false) => return Some(ThreadId::T0),
+            (false, true) => return Some(ThreadId::T1),
+            (true, true) => {}
+        }
+        let preferred = match policy {
+            FetchPolicy::ICount => {
+                if in_flight[0] <= in_flight[1] {
+                    ThreadId::T0
+                } else {
+                    ThreadId::T1
+                }
+            }
+            FetchPolicy::RoundRobin => {
+                if self.cycle % 2 == 0 {
+                    ThreadId::T0
+                } else {
+                    ThreadId::T1
+                }
+            }
+            FetchPolicy::Throttled { throttled, ratio } => {
+                // Out of every (ratio + 1) cycles, exactly one goes to the
+                // throttled thread.
+                let slot = self.cycle % (u64::from(ratio) + 1);
+                if slot == 0 {
+                    throttled
+                } else {
+                    throttled.other()
+                }
+            }
+        };
+        Some(preferred)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn icount_prefers_emptier_thread() {
+        let mut s = FetchScheduler::new();
+        assert_eq!(s.select(FetchPolicy::ICount, [10, 3], [true, true]), Some(ThreadId::T1));
+        assert_eq!(s.select(FetchPolicy::ICount, [2, 30], [true, true]), Some(ThreadId::T0));
+        // Ties go to T0.
+        assert_eq!(s.select(FetchPolicy::ICount, [5, 5], [true, true]), Some(ThreadId::T0));
+    }
+
+    #[test]
+    fn single_active_thread_always_selected() {
+        let mut s = FetchScheduler::new();
+        assert_eq!(s.select(FetchPolicy::ICount, [100, 0], [true, false]), Some(ThreadId::T0));
+        assert_eq!(s.select(FetchPolicy::RoundRobin, [0, 0], [false, true]), Some(ThreadId::T1));
+        assert_eq!(s.select(FetchPolicy::ICount, [0, 0], [false, false]), None);
+    }
+
+    #[test]
+    fn round_robin_alternates() {
+        let mut s = FetchScheduler::new();
+        let picks: Vec<ThreadId> = (0..4)
+            .map(|_| s.select(FetchPolicy::RoundRobin, [0, 0], [true, true]).unwrap())
+            .collect();
+        assert_ne!(picks[0], picks[1]);
+        assert_eq!(picks[0], picks[2]);
+    }
+
+    #[test]
+    fn throttled_ratio_shares_cycles() {
+        let mut s = FetchScheduler::new();
+        let policy = FetchPolicy::throttled(ThreadId::T0, 4);
+        let mut t0 = 0;
+        let mut t1 = 0;
+        for _ in 0..500 {
+            match s.select(policy, [0, 0], [true, true]).unwrap() {
+                ThreadId::T0 => t0 += 1,
+                ThreadId::T1 => t1 += 1,
+            }
+        }
+        // Expect roughly a 1:4 split.
+        assert_eq!(t0, 100);
+        assert_eq!(t1, 400);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_ratio_rejected() {
+        let _ = FetchPolicy::throttled(ThreadId::T0, 0);
+    }
+}

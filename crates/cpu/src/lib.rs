@@ -1,0 +1,59 @@
+//! Cycle-level dual-thread SMT out-of-order core model for the Stretch
+//! (HPCA'19) reproduction.
+//!
+//! The crate provides:
+//!
+//! * [`core::SmtCore`] / [`core::SmtCoreBuilder`] — the Table II core:
+//!   6-wide out-of-order pipeline, hybrid branch prediction, shared or
+//!   private L1 caches, a 192-entry ROB and 64-entry LSQ with per-thread
+//!   limit/usage partition registers, and ICOUNT/round-robin/fetch-throttled
+//!   thread selection.
+//! * [`partition::PartitionPolicy`] — the limit-register programming model
+//!   that Stretch's control register drives.
+//! * [`fetch::FetchPolicy`] — ICOUNT, round-robin and 1:M fetch throttling.
+//! * [`runner`] — warm-up + measurement window execution and the UIPC figure
+//!   of merit, for stand-alone and colocated runs.
+//! * [`resource_study`] — the "share exactly one resource" configurations of
+//!   Figures 4 and 5.
+//!
+//! # Example
+//!
+//! ```
+//! use cpu_sim::{run_standalone, SimLength};
+//! use sim_model::{CoreConfig, MicroOp, OpKind, TraceGenerator, WorkloadClass};
+//!
+//! struct Spin(u64);
+//! impl TraceGenerator for Spin {
+//!     fn next_op(&mut self) -> MicroOp {
+//!         self.0 += 4;
+//!         MicroOp::alu(0x1000 + self.0 % 256, OpKind::IntAlu, [None, None], Some(1))
+//!     }
+//!     fn name(&self) -> &str { "spin" }
+//!     fn class(&self) -> WorkloadClass { WorkloadClass::Batch }
+//!     fn reset(&mut self) { self.0 = 0; }
+//! }
+//!
+//! let cfg = CoreConfig::default();
+//! let result = run_standalone(&cfg, Box::new(Spin(0)), SimLength::quick());
+//! assert!(result.uipc > 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod branch;
+pub mod core;
+pub mod fetch;
+pub mod partition;
+pub mod resource_study;
+pub mod runner;
+
+pub use crate::core::{SmtCore, SmtCoreBuilder, ThreadStats};
+pub use branch::{BranchPredictor, BranchStats, Prediction};
+pub use fetch::{FetchPolicy, FetchScheduler};
+pub use partition::PartitionPolicy;
+pub use resource_study::StudiedResource;
+pub use runner::{
+    run_core, run_pair, run_setup, run_standalone, run_standalone_with_rob, ColocationResult,
+    CoreSetup, SimLength, ThreadRunResult,
+};

@@ -1,0 +1,147 @@
+//! ROB / LSQ partitioning control.
+//!
+//! This module models the limit/usage-register mechanism of §IV-B: each of the
+//! ROB and LSQ carries, per thread, a *limit register* (maximum entries the
+//! thread may occupy) and a *usage register* (entries currently occupied).
+//! Dispatch for a thread is blocked when usage reaches the limit. The baseline
+//! core partitions both structures equally; Stretch reprograms the limit
+//! registers to asymmetric values; dynamic sharing sets both limits to the
+//! full capacity (bounded only by total occupancy).
+
+use serde::{Deserialize, Serialize};
+use sim_model::{CoreConfig, ThreadId};
+
+/// How the ROB and LSQ are divided between the two hardware threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PartitionPolicy {
+    /// Static partitioning with explicit per-thread limits.
+    ///
+    /// The equal split (96/96 ROB entries on the Table II core) is the
+    /// baseline; asymmetric splits are the Stretch B-/Q-modes.
+    Static {
+        /// ROB entries available to each thread, indexed by [`ThreadId::index`].
+        rob: [usize; 2],
+        /// LSQ entries available to each thread.
+        lsq: [usize; 2],
+    },
+    /// Fully dynamic sharing: either thread may occupy any entry; only the
+    /// total capacity constrains occupancy (the Figure 11 configuration).
+    Dynamic,
+}
+
+impl PartitionPolicy {
+    /// The baseline equal partitioning for a given core configuration.
+    pub fn equal(cfg: &CoreConfig) -> PartitionPolicy {
+        PartitionPolicy::Static {
+            rob: [cfg.rob_capacity / 2, cfg.rob_capacity / 2],
+            lsq: [cfg.lsq_capacity / 2, cfg.lsq_capacity / 2],
+        }
+    }
+
+    /// Static partitioning with an explicit ROB split; the LSQ is split in
+    /// proportion to the ROB, as the paper does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the requested ROB entries exceed the core's ROB capacity.
+    pub fn rob_split(cfg: &CoreConfig, t0_rob: usize, t1_rob: usize) -> PartitionPolicy {
+        assert!(
+            t0_rob + t1_rob <= cfg.rob_capacity,
+            "ROB split {t0_rob}+{t1_rob} exceeds capacity {}",
+            cfg.rob_capacity
+        );
+        PartitionPolicy::Static {
+            rob: [t0_rob, t1_rob],
+            lsq: [cfg.lsq_entries_for_rob(t0_rob), cfg.lsq_entries_for_rob(t1_rob)],
+        }
+    }
+
+    /// Per-thread full-size private structures, used by the per-resource
+    /// contention study when the ROB is *not* the resource under study
+    /// (each thread behaves as if it had the whole instruction window).
+    pub fn private_full(cfg: &CoreConfig) -> PartitionPolicy {
+        PartitionPolicy::Static {
+            rob: [cfg.rob_capacity, cfg.rob_capacity],
+            lsq: [cfg.lsq_capacity, cfg.lsq_capacity],
+        }
+    }
+
+    /// The ROB limit register value for `thread`.
+    pub fn rob_limit(&self, cfg: &CoreConfig, thread: ThreadId) -> usize {
+        match self {
+            PartitionPolicy::Static { rob, .. } => rob[thread.index()],
+            PartitionPolicy::Dynamic => cfg.rob_capacity,
+        }
+    }
+
+    /// The LSQ limit register value for `thread`.
+    pub fn lsq_limit(&self, cfg: &CoreConfig, thread: ThreadId) -> usize {
+        match self {
+            PartitionPolicy::Static { lsq, .. } => lsq[thread.index()],
+            PartitionPolicy::Dynamic => cfg.lsq_capacity,
+        }
+    }
+
+    /// Whether total occupancy must also be bounded by the physical capacity.
+    ///
+    /// For static partitions whose limits sum to at most the capacity this is
+    /// redundant; for [`PartitionPolicy::Dynamic`] and for the private-full
+    /// idealisation it is the only (respectively: a deliberately absent)
+    /// constraint.
+    pub fn enforce_total_capacity(&self) -> bool {
+        match self {
+            PartitionPolicy::Static { .. } => false,
+            PartitionPolicy::Dynamic => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_split_matches_table_ii() {
+        let cfg = CoreConfig::default();
+        let p = PartitionPolicy::equal(&cfg);
+        assert_eq!(p.rob_limit(&cfg, ThreadId::T0), 96);
+        assert_eq!(p.rob_limit(&cfg, ThreadId::T1), 96);
+        assert_eq!(p.lsq_limit(&cfg, ThreadId::T0), 32);
+    }
+
+    #[test]
+    fn rob_split_scales_lsq() {
+        let cfg = CoreConfig::default();
+        let p = PartitionPolicy::rob_split(&cfg, 56, 136);
+        assert_eq!(p.rob_limit(&cfg, ThreadId::T0), 56);
+        assert_eq!(p.rob_limit(&cfg, ThreadId::T1), 136);
+        // 56/192 * 64 = 18.67 -> 18; 136/192 * 64 = 45.33 -> 45.
+        assert_eq!(p.lsq_limit(&cfg, ThreadId::T0), 18);
+        assert_eq!(p.lsq_limit(&cfg, ThreadId::T1), 45);
+    }
+
+    #[test]
+    fn dynamic_limits_are_full_capacity() {
+        let cfg = CoreConfig::default();
+        let p = PartitionPolicy::Dynamic;
+        assert_eq!(p.rob_limit(&cfg, ThreadId::T0), 192);
+        assert_eq!(p.lsq_limit(&cfg, ThreadId::T1), 64);
+        assert!(p.enforce_total_capacity());
+    }
+
+    #[test]
+    fn private_full_gives_each_thread_everything() {
+        let cfg = CoreConfig::default();
+        let p = PartitionPolicy::private_full(&cfg);
+        assert_eq!(p.rob_limit(&cfg, ThreadId::T0), 192);
+        assert_eq!(p.rob_limit(&cfg, ThreadId::T1), 192);
+        assert!(!p.enforce_total_capacity());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds capacity")]
+    fn oversubscribed_split_rejected() {
+        let cfg = CoreConfig::default();
+        let _ = PartitionPolicy::rob_split(&cfg, 128, 128);
+    }
+}

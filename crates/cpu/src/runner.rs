@@ -1,0 +1,375 @@
+//! Simulation runners: warm-up + measurement windows, single-thread and
+//! colocated runs, and the per-thread UIPC figure of merit (§V-C).
+
+use crate::core::{SmtCore, SmtCoreBuilder};
+use crate::fetch::FetchPolicy;
+use crate::partition::PartitionPolicy;
+use mem_sim::Sharing;
+use serde::{Deserialize, Serialize};
+use sim_model::{BoxedTrace, CoreConfig, ThreadId};
+use sim_stats::{Histogram, SamplingPlan};
+
+/// How long to simulate: per-thread warm-up and measurement instruction
+/// counts plus a cycle safety cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimLength {
+    /// Instructions committed per thread before measurement starts.
+    pub warmup_instructions: u64,
+    /// Instructions measured per thread.
+    pub measured_instructions: u64,
+    /// Hard cap on simulated cycles (protects against pathological stalls).
+    pub max_cycles: u64,
+}
+
+impl SimLength {
+    /// Derives a run length from a [`SamplingPlan`], folding all samples into
+    /// one contiguous window (the generators are ergodic, so contiguous
+    /// measurement is equivalent in expectation to scattered samples).
+    pub fn from_plan(plan: &SamplingPlan) -> SimLength {
+        let warmup = plan.warmup_instructions;
+        let measured = plan.measured_instructions * plan.samples as u64;
+        SimLength {
+            warmup_instructions: warmup,
+            measured_instructions: measured,
+            // Generous cap: even at 0.02 IPC the measurement fits.
+            max_cycles: (warmup + measured).saturating_mul(60).max(1_000_000),
+        }
+    }
+
+    /// A small length for tests.
+    pub fn quick() -> SimLength {
+        SimLength::from_plan(&SamplingPlan::quick())
+    }
+
+    /// The standard length used by the figure-generation binaries.
+    pub fn standard() -> SimLength {
+        SimLength::from_plan(&SamplingPlan::standard())
+    }
+}
+
+impl Default for SimLength {
+    fn default() -> SimLength {
+        SimLength::standard()
+    }
+}
+
+/// Result for one hardware thread of a run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThreadRunResult {
+    /// Workload name.
+    pub name: String,
+    /// User instructions per cycle over the measurement window.
+    pub uipc: f64,
+    /// Instructions committed in the measurement window.
+    pub committed: u64,
+    /// Cycles spanned by the measurement window.
+    pub cycles: u64,
+    /// MLP census over the measurement window (outstanding demand misses per
+    /// cycle).
+    pub mlp: Histogram,
+}
+
+/// Result of a (possibly colocated) run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ColocationResult {
+    /// Per-thread results; `None` for an inactive thread.
+    pub threads: [Option<ThreadRunResult>; 2],
+}
+
+impl ColocationResult {
+    /// UIPC of a thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread was inactive.
+    pub fn uipc(&self, thread: ThreadId) -> f64 {
+        self.threads[thread.index()]
+            .as_ref()
+            .unwrap_or_else(|| panic!("thread {thread} was not active in this run"))
+            .uipc
+    }
+
+    /// Result of a thread, if it was active.
+    pub fn thread(&self, thread: ThreadId) -> Option<&ThreadRunResult> {
+        self.threads[thread.index()].as_ref()
+    }
+}
+
+/// Describes one complete core setup for a run: sharing modes, partitioning
+/// and fetch policy. Used by the experiment harnesses to express the paper's
+/// configurations declaratively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreSetup {
+    /// ROB/LSQ partitioning.
+    pub partition: PartitionPolicy,
+    /// Fetch (thread selection) policy.
+    pub fetch_policy: FetchPolicy,
+    /// L1-I sharing between threads.
+    pub l1i_sharing: Sharing,
+    /// L1-D sharing between threads.
+    pub l1d_sharing: Sharing,
+    /// Branch predictor table sharing between threads.
+    pub bp_sharing: Sharing,
+}
+
+impl CoreSetup {
+    /// The §V-A baseline: everything shared, equal ROB partitioning, ICOUNT.
+    pub fn baseline(cfg: &CoreConfig) -> CoreSetup {
+        CoreSetup {
+            partition: PartitionPolicy::equal(cfg),
+            fetch_policy: FetchPolicy::ICount,
+            l1i_sharing: Sharing::Shared,
+            l1d_sharing: Sharing::Shared,
+            bp_sharing: Sharing::Shared,
+        }
+    }
+
+    /// A fully private core (used for stand-alone "full core" reference runs):
+    /// each thread sees private caches, predictor and a full-size window.
+    pub fn private_full(cfg: &CoreConfig) -> CoreSetup {
+        CoreSetup {
+            partition: PartitionPolicy::private_full(cfg),
+            fetch_policy: FetchPolicy::ICount,
+            l1i_sharing: Sharing::PrivatePerThread,
+            l1d_sharing: Sharing::PrivatePerThread,
+            bp_sharing: Sharing::PrivatePerThread,
+        }
+    }
+
+    /// Applies the setup to a builder.
+    pub fn apply(self, builder: SmtCoreBuilder) -> SmtCoreBuilder {
+        builder
+            .partition(self.partition)
+            .fetch_policy(self.fetch_policy)
+            .l1i_sharing(self.l1i_sharing)
+            .l1d_sharing(self.l1d_sharing)
+            .bp_sharing(self.bp_sharing)
+    }
+}
+
+/// Runs a core with up to two workloads under the given setup and length.
+///
+/// Measurement is per thread: a thread's window starts once it has committed
+/// its warm-up instructions and ends once it has committed the measured
+/// amount; its UIPC is measured instructions divided by the window's cycles.
+/// Statistics of the whole core are reset when the *first* thread enters its
+/// measurement window, which keeps cache/branch statistics representative.
+pub fn run_setup(
+    cfg: &CoreConfig,
+    setup: CoreSetup,
+    traces: [Option<BoxedTrace>; 2],
+    length: SimLength,
+) -> ColocationResult {
+    let names: [Option<String>; 2] = [
+        traces[0].as_ref().map(|t| t.name().to_string()),
+        traces[1].as_ref().map(|t| t.name().to_string()),
+    ];
+    let mut builder = setup.apply(SmtCoreBuilder::new(*cfg));
+    let [t0, t1] = traces;
+    if let Some(t) = t0 {
+        builder = builder.thread(ThreadId::T0, t);
+    }
+    if let Some(t) = t1 {
+        builder = builder.thread(ThreadId::T1, t);
+    }
+    let mut core = builder.build();
+    run_core(&mut core, names, length)
+}
+
+/// Runs an already-built core to completion of the measurement windows.
+///
+/// This is also used by the closed-loop Stretch orchestrator, which changes
+/// the partitioning mid-run.
+pub fn run_core(
+    core: &mut SmtCore,
+    names: [Option<String>; 2],
+    length: SimLength,
+) -> ColocationResult {
+    let active: Vec<ThreadId> =
+        ThreadId::ALL.into_iter().filter(|t| core.thread_active(*t)).collect();
+    assert!(!active.is_empty(), "at least one thread must have a workload");
+
+    let warm_target = length.warmup_instructions;
+    let meas_target = length.warmup_instructions + length.measured_instructions;
+
+    let mut start_cycle: [Option<u64>; 2] = [None, None];
+    let mut start_committed: [u64; 2] = [0, 0];
+    let mut start_mlp_total: [u64; 2] = [0, 0];
+    let mut end_cycle: [Option<u64>; 2] = [None, None];
+    let mut end_committed: [u64; 2] = [0, 0];
+    let mut end_mlp: [Option<Histogram>; 2] = [None, None];
+
+    let mut cycles = 0u64;
+    loop {
+        core.step();
+        cycles += 1;
+        let mut all_done = true;
+        for &t in &active {
+            let idx = t.index();
+            let committed = core.committed(t);
+            if start_cycle[idx].is_none() && committed >= warm_target {
+                start_cycle[idx] = Some(cycles);
+                start_committed[idx] = committed;
+                start_mlp_total[idx] = core.mlp_census(t).total();
+            }
+            if end_cycle[idx].is_none() && committed >= meas_target {
+                end_cycle[idx] = Some(cycles);
+                end_committed[idx] = committed;
+                end_mlp[idx] = Some(core.mlp_census(t).clone());
+            }
+            if end_cycle[idx].is_none() {
+                all_done = false;
+            }
+        }
+        if all_done || cycles >= length.max_cycles {
+            break;
+        }
+    }
+
+    let mut out: [Option<ThreadRunResult>; 2] = [None, None];
+    for &t in &active {
+        let idx = t.index();
+        let start = start_cycle[idx].unwrap_or(cycles);
+        let end = end_cycle[idx].unwrap_or(cycles);
+        let committed_in_window = if end_cycle[idx].is_some() {
+            end_committed[idx] - start_committed[idx]
+        } else {
+            core.committed(t).saturating_sub(start_committed[idx])
+        };
+        let window_cycles = end.saturating_sub(start).max(1);
+        let mlp = end_mlp[idx].clone().unwrap_or_else(|| core.mlp_census(t).clone());
+        out[idx] = Some(ThreadRunResult {
+            name: names[idx].clone().unwrap_or_else(|| format!("thread-{idx}")),
+            uipc: committed_in_window as f64 / window_cycles as f64,
+            committed: committed_in_window,
+            cycles: window_cycles,
+            mlp,
+        });
+    }
+    ColocationResult { threads: out }
+}
+
+/// Runs a single workload alone on the core with the full (unpartitioned)
+/// instruction window and private structures — the paper's "stand-alone
+/// execution on a full core" reference point.
+pub fn run_standalone(cfg: &CoreConfig, trace: BoxedTrace, length: SimLength) -> ThreadRunResult {
+    let setup = CoreSetup::private_full(cfg);
+    let result = run_setup(cfg, setup, [Some(trace), None], length);
+    result.threads[0].clone().expect("thread 0 was active")
+}
+
+/// Runs a single workload alone but with a specific ROB partition size
+/// (the Figure 6 ROB-sensitivity sweep).
+pub fn run_standalone_with_rob(
+    cfg: &CoreConfig,
+    trace: BoxedTrace,
+    rob_entries: usize,
+    length: SimLength,
+) -> ThreadRunResult {
+    let mut setup = CoreSetup::private_full(cfg);
+    let lsq = cfg.lsq_entries_for_rob(rob_entries);
+    setup.partition = PartitionPolicy::Static { rob: [rob_entries, rob_entries], lsq: [lsq, lsq] };
+    let result = run_setup(cfg, setup, [Some(trace), None], length);
+    result.threads[0].clone().expect("thread 0 was active")
+}
+
+/// Runs a latency-sensitive / batch pair under a given setup. Thread 0 runs
+/// the first workload, thread 1 the second.
+pub fn run_pair(
+    cfg: &CoreConfig,
+    setup: CoreSetup,
+    t0: BoxedTrace,
+    t1: BoxedTrace,
+    length: SimLength,
+) -> ColocationResult {
+    run_setup(cfg, setup, [Some(t0), Some(t1)], length)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_model::uop::OpKind;
+    use sim_model::{MicroOp, TraceGenerator, WorkloadClass};
+
+    struct AluLoop {
+        pc: u64,
+    }
+
+    impl TraceGenerator for AluLoop {
+        fn next_op(&mut self) -> MicroOp {
+            self.pc = 0x1000 + (self.pc + 4 - 0x1000) % 512;
+            MicroOp::alu(self.pc, OpKind::IntAlu, [None, None], Some(1))
+        }
+        fn name(&self) -> &str {
+            "alu-loop"
+        }
+        fn class(&self) -> WorkloadClass {
+            WorkloadClass::Batch
+        }
+        fn reset(&mut self) {
+            self.pc = 0x1000;
+        }
+    }
+
+    fn alu() -> BoxedTrace {
+        Box::new(AluLoop { pc: 0x1000 })
+    }
+
+    #[test]
+    fn sim_length_from_plan() {
+        let plan = SamplingPlan { samples: 2, warmup_instructions: 100, measured_instructions: 50 };
+        let l = SimLength::from_plan(&plan);
+        assert_eq!(l.warmup_instructions, 100);
+        assert_eq!(l.measured_instructions, 100);
+        assert!(l.max_cycles >= 1_000_000);
+    }
+
+    #[test]
+    fn standalone_run_produces_sane_uipc() {
+        let cfg = CoreConfig::default();
+        let r = run_standalone(&cfg, alu(), SimLength::quick());
+        assert!(r.uipc > 1.0 && r.uipc <= cfg.commit_width as f64, "uipc {:.2}", r.uipc);
+        assert_eq!(r.committed, SimLength::quick().measured_instructions);
+        assert_eq!(r.name, "alu-loop");
+    }
+
+    #[test]
+    fn pair_run_reports_both_threads() {
+        let cfg = CoreConfig::default();
+        let setup = CoreSetup::baseline(&cfg);
+        let r = run_pair(&cfg, setup, alu(), alu(), SimLength::quick());
+        assert!(r.thread(ThreadId::T0).is_some());
+        assert!(r.thread(ThreadId::T1).is_some());
+        assert!(r.uipc(ThreadId::T0) > 0.5);
+        assert!(r.uipc(ThreadId::T1) > 0.5);
+    }
+
+    #[test]
+    fn identical_workloads_get_similar_throughput() {
+        let cfg = CoreConfig::default();
+        let setup = CoreSetup::baseline(&cfg);
+        let r = run_pair(&cfg, setup, alu(), alu(), SimLength::quick());
+        let a = r.uipc(ThreadId::T0);
+        let b = r.uipc(ThreadId::T1);
+        let ratio = a.max(b) / a.min(b);
+        assert!(ratio < 1.3, "symmetric colocation should be roughly fair (ratio {ratio:.2})");
+    }
+
+    #[test]
+    fn rob_sweep_helper_respects_partition() {
+        let cfg = CoreConfig::default();
+        let small = run_standalone_with_rob(&cfg, alu(), 16, SimLength::quick());
+        let large = run_standalone_with_rob(&cfg, alu(), 192, SimLength::quick());
+        // An ALU loop is not ROB sensitive; both should be close.
+        let ratio = large.uipc / small.uipc;
+        assert!(ratio < 1.5, "ALU loop should be ROB-insensitive (ratio {ratio:.2})");
+    }
+
+    #[test]
+    #[should_panic(expected = "not active")]
+    fn uipc_of_inactive_thread_panics() {
+        let cfg = CoreConfig::default();
+        let r = run_setup(&cfg, CoreSetup::baseline(&cfg), [Some(alu()), None], SimLength::quick());
+        let _ = r.uipc(ThreadId::T1);
+    }
+}

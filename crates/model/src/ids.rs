@@ -1,0 +1,139 @@
+//! Strongly-typed identifiers used across the simulator crates.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a hardware thread (SMT context) on the simulated core.
+///
+/// The modelled core is dual-threaded (like the Intel-style core of Table II),
+/// so only two values exist. Using an enum rather than a bare `usize` prevents
+/// indexing mistakes between "per-thread" arrays and other arrays.
+///
+/// ```
+/// use sim_model::ThreadId;
+/// assert_eq!(ThreadId::T0.other(), ThreadId::T1);
+/// assert_eq!(ThreadId::T1.index(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ThreadId {
+    /// Hardware thread 0. By convention the latency-sensitive thread in
+    /// colocation experiments, though nothing in the simulator requires it
+    /// (the paper explicitly allows either mapping, §IV-D).
+    T0,
+    /// Hardware thread 1. By convention the batch thread.
+    T1,
+}
+
+impl ThreadId {
+    /// Both hardware threads, in index order.
+    pub const ALL: [ThreadId; 2] = [ThreadId::T0, ThreadId::T1];
+
+    /// Returns the array index (0 or 1) for per-thread state vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            ThreadId::T0 => 0,
+            ThreadId::T1 => 1,
+        }
+    }
+
+    /// Returns the other hardware thread of the pair.
+    #[inline]
+    pub fn other(self) -> ThreadId {
+        match self {
+            ThreadId::T0 => ThreadId::T1,
+            ThreadId::T1 => ThreadId::T0,
+        }
+    }
+
+    /// Builds a `ThreadId` from an array index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 1`.
+    #[inline]
+    pub fn from_index(index: usize) -> ThreadId {
+        match index {
+            0 => ThreadId::T0,
+            1 => ThreadId::T1,
+            _ => panic!("ThreadId::from_index: index {index} out of range (must be 0 or 1)"),
+        }
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.index())
+    }
+}
+
+/// Broad class of a workload, mirroring the paper's terminology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkloadClass {
+    /// Interactive services with a tail-latency QoS target
+    /// (Data Serving, Web Serving, Web Search, Media Streaming).
+    LatencySensitive,
+    /// Throughput-oriented batch jobs (the SPEC CPU2006-like suite).
+    Batch,
+}
+
+impl WorkloadClass {
+    /// `true` for latency-sensitive workloads.
+    pub fn is_latency_sensitive(self) -> bool {
+        matches!(self, WorkloadClass::LatencySensitive)
+    }
+
+    /// `true` for batch workloads.
+    pub fn is_batch(self) -> bool {
+        matches!(self, WorkloadClass::Batch)
+    }
+}
+
+impl fmt::Display for WorkloadClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadClass::LatencySensitive => write!(f, "latency-sensitive"),
+            WorkloadClass::Batch => write!(f, "batch"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_id_round_trips_through_index() {
+        for t in ThreadId::ALL {
+            assert_eq!(ThreadId::from_index(t.index()), t);
+        }
+    }
+
+    #[test]
+    fn other_is_an_involution() {
+        for t in ThreadId::ALL {
+            assert_eq!(t.other().other(), t);
+            assert_ne!(t.other(), t);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_index_rejects_large_indices() {
+        let _ = ThreadId::from_index(2);
+    }
+
+    #[test]
+    fn workload_class_predicates() {
+        assert!(WorkloadClass::LatencySensitive.is_latency_sensitive());
+        assert!(!WorkloadClass::LatencySensitive.is_batch());
+        assert!(WorkloadClass::Batch.is_batch());
+        assert!(!WorkloadClass::Batch.is_latency_sensitive());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(ThreadId::T0.to_string(), "T0");
+        assert_eq!(WorkloadClass::Batch.to_string(), "batch");
+    }
+}

@@ -1,0 +1,49 @@
+//! Shared simulation types for the Stretch (HPCA'19) reproduction.
+//!
+//! This crate holds everything that more than one simulator crate needs:
+//!
+//! * [`uop`] — the micro-op representation emitted by workload generators and
+//!   consumed by the core model ([`MicroOp`], [`OpKind`], [`MemAccess`]).
+//! * [`config`] — processor configuration structures whose defaults reproduce
+//!   Table II of the paper ([`CoreConfig`], [`CacheConfig`], [`UncoreConfig`]).
+//! * [`rng`] — a small deterministic PRNG ([`SimRng`]) plus samplers
+//!   (exponential, Zipf, log-normal) used for reproducible workload generation.
+//! * [`ids`] — strongly-typed identifiers ([`ThreadId`], [`WorkloadClass`]).
+//! * [`trace`] — the [`TraceGenerator`] trait implemented by workload models.
+//!
+//! # Example
+//!
+//! ```
+//! use sim_model::{CoreConfig, ThreadId};
+//!
+//! let cfg = CoreConfig::default();
+//! assert_eq!(cfg.rob_capacity, 192);
+//! assert_eq!(cfg.rob_capacity / 2, cfg.default_rob_partition(ThreadId::T0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod ids;
+pub mod rng;
+pub mod trace;
+pub mod uop;
+
+pub use config::{BranchPredictorConfig, CacheConfig, CoreConfig, FuConfig, UncoreConfig};
+pub use ids::{ThreadId, WorkloadClass};
+pub use rng::SimRng;
+pub use trace::{BoxedTrace, TraceGenerator};
+pub use uop::{MemAccess, MemKind, MicroOp, OpKind};
+
+/// A cycle count. All simulator timestamps use this type.
+pub type Cycle = u64;
+
+/// A logical (architectural) register index inside a thread.
+///
+/// Workload generators emit dependencies over a small logical register file;
+/// the core model maps them to producing ROB entries at dispatch time.
+pub type Reg = u8;
+
+/// Number of logical registers visible to workload generators.
+pub const NUM_LOGICAL_REGS: usize = 64;

@@ -1,0 +1,91 @@
+//! The interface between workload models and the core simulator.
+
+use crate::uop::MicroOp;
+use crate::WorkloadClass;
+
+/// A source of dynamic micro-ops for one hardware thread.
+///
+/// Workload generators (the `workloads` crate) implement this trait; the SMT
+/// core model pulls micro-ops from it as the front-end fetches instructions.
+/// Implementations must be deterministic given their construction seed so
+/// that paired experiments observe identical instruction streams.
+///
+/// The stream is conceptually infinite: generators wrap around their synthetic
+/// program rather than terminating, mirroring steady-state server execution.
+pub trait TraceGenerator {
+    /// Produces the next micro-op in program order.
+    fn next_op(&mut self) -> MicroOp;
+
+    /// Short human-readable workload name (e.g. `"web-search"`, `"zeusmp"`).
+    fn name(&self) -> &str;
+
+    /// Workload class (latency-sensitive or batch).
+    fn class(&self) -> WorkloadClass;
+
+    /// Restarts the stream from the beginning (same seed, same sequence).
+    fn reset(&mut self);
+}
+
+/// A boxed trace generator, convenient for heterogeneous collections.
+pub type BoxedTrace = Box<dyn TraceGenerator + Send>;
+
+impl TraceGenerator for BoxedTrace {
+    fn next_op(&mut self) -> MicroOp {
+        (**self).next_op()
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn class(&self) -> WorkloadClass {
+        (**self).class()
+    }
+
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uop::OpKind;
+
+    /// A minimal generator used to check the trait is object-safe and usable
+    /// through `BoxedTrace`.
+    struct Counter {
+        pc: u64,
+    }
+
+    impl TraceGenerator for Counter {
+        fn next_op(&mut self) -> MicroOp {
+            self.pc += 4;
+            MicroOp::alu(self.pc, OpKind::IntAlu, [None, None], Some(1))
+        }
+
+        fn name(&self) -> &str {
+            "counter"
+        }
+
+        fn class(&self) -> WorkloadClass {
+            WorkloadClass::Batch
+        }
+
+        fn reset(&mut self) {
+            self.pc = 0;
+        }
+    }
+
+    #[test]
+    fn boxed_trace_delegates() {
+        let mut t: BoxedTrace = Box::new(Counter { pc: 0 });
+        let a = t.next_op();
+        let b = t.next_op();
+        assert!(b.pc > a.pc);
+        assert_eq!(t.name(), "counter");
+        assert_eq!(t.class(), WorkloadClass::Batch);
+        t.reset();
+        assert_eq!(t.next_op().pc, 4);
+    }
+}

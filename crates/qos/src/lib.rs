@@ -1,0 +1,37 @@
+//! Request-level queueing simulation and QoS slack analysis.
+//!
+//! Section II of the paper establishes two facts on real hardware:
+//!
+//! 1. tail latency stays far below the QoS target until the load approaches
+//!    the sustainable peak (Figure 1), because queueing — not processing
+//!    time — dominates latency near saturation;
+//! 2. consequently there is *slack*: at low to moderate load, a large
+//!    fraction of single-thread performance can be sacrificed without
+//!    violating the QoS target (Figure 2).
+//!
+//! This crate reproduces both studies with a discrete-event queueing
+//! simulator whose per-request service times scale inversely with the
+//! "performance fraction" delivered by the core — the quantity Stretch's
+//! B-mode trades away.
+//!
+//! * [`service::ServiceSpec`] — the four latency-sensitive services of
+//!   Table I (QoS target, tail metric, service-time distribution).
+//! * [`arrival`] — Poisson and bursty (two-state MMPP) open-loop arrivals.
+//! * [`server::ServerSim`] — FCFS multi-worker queue, percentile collection.
+//! * [`sweep`] — latency-versus-load curves (Figure 1).
+//! * [`slack`] — minimum performance meeting QoS per load level (Figure 2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrival;
+pub mod server;
+pub mod service;
+pub mod slack;
+pub mod sweep;
+
+pub use arrival::ArrivalProcess;
+pub use server::{LatencySummary, ServerSim, SimParams};
+pub use service::{ServiceSpec, TailMetric};
+pub use slack::{slack_curve, SlackPoint};
+pub use sweep::{latency_vs_load, LoadPoint};

@@ -1,0 +1,204 @@
+//! Latency-sensitive service specifications (Table I).
+
+use serde::{Deserialize, Serialize};
+
+/// Which statistic of the latency distribution the QoS target constrains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TailMetric {
+    /// 95th percentile latency.
+    P95,
+    /// 99th percentile latency.
+    P99,
+    /// A hard timeout: modelled as the 99.5th percentile staying below the
+    /// target (Media Streaming's "2 s timeout" criterion).
+    Timeout,
+}
+
+impl TailMetric {
+    /// The percentile (0–100) evaluated for this metric.
+    pub fn percentile(self) -> f64 {
+        match self {
+            TailMetric::P95 => 95.0,
+            TailMetric::P99 => 99.0,
+            TailMetric::Timeout => 99.5,
+        }
+    }
+}
+
+/// A latency-sensitive service: its QoS target and service-time distribution.
+///
+/// Service times are log-normal (heavy-tailed, as observed for interactive
+/// services); the median scales inversely with the performance fraction the
+/// core delivers to the service's thread.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceSpec {
+    /// Service name (matches the `workloads` crate naming).
+    pub name: String,
+    /// QoS latency target in milliseconds.
+    pub qos_target_ms: f64,
+    /// Which tail statistic the target constrains.
+    pub tail_metric: TailMetric,
+    /// Median per-request service time in milliseconds at full single-thread
+    /// performance.
+    pub service_median_ms: f64,
+    /// Sigma of the underlying normal (controls the service-time tail).
+    pub service_sigma: f64,
+    /// Fraction of the service time that is CPU-bound and therefore scales
+    /// with the inverse of the delivered single-thread performance; the rest
+    /// (I/O, network, lock waits) is unaffected by core slowdown. This is why
+    /// Elfen-style duty-cycling can take away most of the core without
+    /// inflating request latency proportionally.
+    pub cpu_fraction: f64,
+    /// Number of worker threads processing requests in parallel on one server.
+    pub workers: usize,
+}
+
+impl ServiceSpec {
+    /// Data Serving (Cassandra): 20 ms 99th-percentile target.
+    pub fn data_serving() -> ServiceSpec {
+        ServiceSpec {
+            name: "data-serving".to_string(),
+            qos_target_ms: 20.0,
+            tail_metric: TailMetric::P99,
+            service_median_ms: 1.6,
+            service_sigma: 0.55,
+            cpu_fraction: 0.55,
+            workers: 8,
+        }
+    }
+
+    /// Web Serving (Elgg/Nginx + MySQL): 1 s 95th-percentile target.
+    pub fn web_serving() -> ServiceSpec {
+        ServiceSpec {
+            name: "web-serving".to_string(),
+            qos_target_ms: 1000.0,
+            tail_metric: TailMetric::P95,
+            service_median_ms: 110.0,
+            service_sigma: 0.5,
+            cpu_fraction: 0.5,
+            workers: 8,
+        }
+    }
+
+    /// Web Search (Nutch/Lucene): 100 ms 99th-percentile target.
+    pub fn web_search() -> ServiceSpec {
+        ServiceSpec {
+            name: "web-search".to_string(),
+            qos_target_ms: 100.0,
+            tail_metric: TailMetric::P99,
+            service_median_ms: 9.0,
+            service_sigma: 0.45,
+            cpu_fraction: 0.5,
+            workers: 8,
+        }
+    }
+
+    /// Media Streaming (Darwin): 2 s timeout criterion.
+    pub fn media_streaming() -> ServiceSpec {
+        ServiceSpec {
+            name: "media-streaming".to_string(),
+            qos_target_ms: 2000.0,
+            tail_metric: TailMetric::Timeout,
+            service_median_ms: 230.0,
+            service_sigma: 0.45,
+            cpu_fraction: 0.35,
+            workers: 8,
+        }
+    }
+
+    /// All four services, in Table I order.
+    pub fn all() -> Vec<ServiceSpec> {
+        vec![
+            ServiceSpec::data_serving(),
+            ServiceSpec::web_serving(),
+            ServiceSpec::web_search(),
+            ServiceSpec::media_streaming(),
+        ]
+    }
+
+    /// Looks a service up by name.
+    pub fn by_name(name: &str) -> Option<ServiceSpec> {
+        ServiceSpec::all().into_iter().find(|s| s.name == name)
+    }
+
+    /// Validates the specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency (non-positive times,
+    /// zero workers, or a target below the bare service median).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.qos_target_ms <= 0.0 || self.service_median_ms <= 0.0 {
+            return Err(format!("{}: latencies must be positive", self.name));
+        }
+        if self.workers == 0 {
+            return Err(format!("{}: need at least one worker", self.name));
+        }
+        if self.service_sigma < 0.0 {
+            return Err(format!("{}: sigma must be non-negative", self.name));
+        }
+        if !(self.cpu_fraction > 0.0 && self.cpu_fraction <= 1.0) {
+            return Err(format!(
+                "{}: cpu_fraction {} must be in (0, 1]",
+                self.name, self.cpu_fraction
+            ));
+        }
+        if self.qos_target_ms <= self.service_median_ms {
+            return Err(format!(
+                "{}: QoS target {} ms is not achievable with median service time {} ms",
+                self.name, self.qos_target_ms, self.service_median_ms
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_services_match_table_i() {
+        let all = ServiceSpec::all();
+        assert_eq!(all.len(), 4);
+        let ws = ServiceSpec::web_search();
+        assert_eq!(ws.qos_target_ms, 100.0);
+        assert_eq!(ws.tail_metric, TailMetric::P99);
+        let ds = ServiceSpec::data_serving();
+        assert_eq!(ds.qos_target_ms, 20.0);
+        let wsv = ServiceSpec::web_serving();
+        assert_eq!(wsv.tail_metric, TailMetric::P95);
+        let ms = ServiceSpec::media_streaming();
+        assert_eq!(ms.qos_target_ms, 2000.0);
+    }
+
+    #[test]
+    fn all_specs_validate() {
+        for s in ServiceSpec::all() {
+            s.validate().unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(ServiceSpec::by_name("web-search").is_some());
+        assert!(ServiceSpec::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn broken_specs_rejected() {
+        let mut s = ServiceSpec::web_search();
+        s.workers = 0;
+        assert!(s.validate().is_err());
+        let mut s = ServiceSpec::web_search();
+        s.service_median_ms = 200.0;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn tail_metric_percentiles() {
+        assert_eq!(TailMetric::P95.percentile(), 95.0);
+        assert_eq!(TailMetric::P99.percentile(), 99.0);
+        assert!(TailMetric::Timeout.percentile() > 99.0);
+    }
+}

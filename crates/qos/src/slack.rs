@@ -1,0 +1,135 @@
+//! Performance-slack analysis (Figure 2).
+//!
+//! At a given load, the *slack* is the amount of single-thread performance
+//! that can be sacrificed while still meeting the QoS target. Figure 2
+//! reports the complementary quantity — the minimum fraction of full-core
+//! performance required — as a function of load. This module computes it by
+//! searching over the performance fraction at each load level, exactly as the
+//! paper does with its Elfen-style duty-cycle modulation.
+
+use crate::arrival::ArrivalProcess;
+use crate::server::{ServerSim, SimParams};
+use crate::service::ServiceSpec;
+use serde::{Deserialize, Serialize};
+
+/// One point of the slack curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlackPoint {
+    /// Load as a fraction of the peak sustainable load.
+    pub load: f64,
+    /// Minimum fraction of full single-thread performance that still meets
+    /// the QoS target at this load (1.0 when even full performance barely
+    /// suffices, smaller when there is slack).
+    pub required_performance: f64,
+}
+
+impl SlackPoint {
+    /// Slack: the fraction of performance that can be given away.
+    pub fn slack(&self) -> f64 {
+        1.0 - self.required_performance
+    }
+}
+
+/// Computes the required-performance curve of Figure 2 for one service.
+///
+/// `loads` lists the load fractions to evaluate (the paper uses 10%–100% in
+/// 10% steps). The search over performance fractions uses the same
+/// granularity as the figure (5% steps).
+///
+/// # Panics
+///
+/// Panics if `loads` is empty or contains values outside `(0, 1]`.
+pub fn slack_curve(spec: &ServiceSpec, params: SimParams, loads: &[f64]) -> Vec<SlackPoint> {
+    assert!(!loads.is_empty(), "need at least one load point");
+    let sim = ServerSim::new(spec.clone(), ArrivalProcess::bursty(100.0));
+    let peak = sim.find_peak_load_rps(params);
+    loads
+        .iter()
+        .map(|&load| {
+            assert!(load > 0.0 && load <= 1.0, "load {load} outside (0, 1]");
+            SlackPoint {
+                load,
+                required_performance: required_performance(&sim, peak, load, params),
+            }
+        })
+        .collect()
+}
+
+/// Minimum performance fraction (searched in 5% steps) meeting QoS at `load`.
+fn required_performance(sim: &ServerSim, peak_rps: f64, load: f64, params: SimParams) -> f64 {
+    let target = sim.spec().qos_target_ms;
+    let metric = sim.spec().tail_metric;
+    let mut required = 1.0;
+    // Search from full performance downwards; stop at the first violation.
+    let steps: Vec<f64> = (1..=20).map(|i| i as f64 * 0.05).collect();
+    for &fraction in steps.iter().rev() {
+        let summary = sim.run_at_load(load, peak_rps, params.with_performance(fraction));
+        if summary.tail(metric) <= target {
+            required = fraction;
+        } else {
+            break;
+        }
+    }
+    required
+}
+
+/// The standard load grid of Figure 2: 10% to 100% in 10% steps.
+pub fn standard_loads() -> Vec<f64> {
+    (1..=10).map(|i| i as f64 * 0.1).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slack_shrinks_as_load_grows() {
+        let points =
+            slack_curve(&ServiceSpec::web_search(), SimParams::quick(23), &[0.2, 0.5, 0.9]);
+        assert_eq!(points.len(), 3);
+        assert!(
+            points[0].required_performance <= points[1].required_performance,
+            "20% load should need no more performance than 50% load"
+        );
+        assert!(
+            points[1].required_performance <= points[2].required_performance,
+            "50% load should need no more performance than 90% load"
+        );
+    }
+
+    #[test]
+    fn low_load_has_large_slack_high_load_has_little() {
+        let points =
+            slack_curve(&ServiceSpec::web_search(), SimParams::quick(29), &[0.2, 0.9]);
+        assert!(
+            points[0].slack() >= 0.5,
+            "at 20% load at least half of the performance should be slack (got {:.2})",
+            points[0].slack()
+        );
+        assert!(
+            points[1].slack() <= 0.4,
+            "at 90% load little slack should remain (got {:.2})",
+            points[1].slack()
+        );
+    }
+
+    #[test]
+    fn standard_grid_is_ten_points() {
+        let loads = standard_loads();
+        assert_eq!(loads.len(), 10);
+        assert!((loads[0] - 0.1).abs() < 1e-12);
+        assert!((loads[9] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slack_is_complement_of_required_performance() {
+        let p = SlackPoint { load: 0.3, required_performance: 0.4 };
+        assert!((p.slack() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one load point")]
+    fn empty_loads_rejected() {
+        let _ = slack_curve(&ServiceSpec::web_search(), SimParams::quick(1), &[]);
+    }
+}

@@ -1,0 +1,33 @@
+//! Statistics utilities for the Stretch (HPCA'19) reproduction.
+//!
+//! * [`percentile`] — exact percentiles over sample sets (tail latency).
+//! * [`histogram`] — fixed-bin histograms (MLP census, latency histograms).
+//! * [`distribution`] — five-number / violin-style summaries used to report
+//!   the slowdown and speedup distributions of Figures 3, 9, 10, 11.
+//! * [`ratio`] — speedup/slowdown helpers and geometric means.
+//! * [`sampling`] — the warm-up + measurement window methodology of §V-C.
+//!
+//! # Example
+//!
+//! ```
+//! use sim_stats::distribution::DistributionSummary;
+//!
+//! let s = DistributionSummary::from_samples(&[1.0, 2.0, 3.0, 4.0, 100.0]);
+//! assert_eq!(s.median, 3.0);
+//! assert!(s.max > s.p75);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distribution;
+pub mod histogram;
+pub mod percentile;
+pub mod ratio;
+pub mod sampling;
+
+pub use distribution::DistributionSummary;
+pub use histogram::Histogram;
+pub use percentile::{percentile, Percentiles};
+pub use ratio::{geometric_mean, slowdown, speedup};
+pub use sampling::SamplingPlan;

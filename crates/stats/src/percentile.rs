@@ -1,0 +1,199 @@
+//! Exact percentile computation over sample sets.
+//!
+//! Tail latency targets in the paper are expressed as percentiles (99th for
+//! Data Serving and Web Search, 95th for Web Serving, a timeout for Media
+//! Streaming). The queueing simulator collects every request's sojourn time
+//! and evaluates percentiles exactly; sample counts are small enough (tens of
+//! thousands) that an O(n log n) sort is the simplest correct choice.
+
+use serde::{Deserialize, Serialize};
+
+/// Computes the `p`-th percentile (0–100) of `samples` using linear
+/// interpolation between closest ranks.
+///
+/// Returns `None` when `samples` is empty or `p` is outside `[0, 100]`.
+///
+/// ```
+/// use sim_stats::percentile::percentile;
+/// let xs = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(percentile(&xs, 50.0), Some(2.5));
+/// assert_eq!(percentile(&xs, 100.0), Some(4.0));
+/// assert_eq!(percentile(&[], 50.0), None);
+/// ```
+pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
+    if samples.is_empty() || !(0.0..=100.0).contains(&p) || p.is_nan() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = samples.iter().copied().filter(|x| !x.is_nan()).collect();
+    if sorted.is_empty() {
+        return None;
+    }
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaNs were filtered"));
+    Some(percentile_of_sorted(&sorted, p))
+}
+
+/// Percentile of an already-sorted, NaN-free slice.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if the slice is empty.
+pub fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// A reusable percentile tracker that accumulates samples and answers common
+/// tail-latency queries (average, p95, p99, max).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Percentiles {
+    samples: Vec<f64>,
+}
+
+impl Percentiles {
+    /// Creates an empty tracker.
+    pub fn new() -> Percentiles {
+        Percentiles::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: f64) {
+        if !value.is_nan() {
+            self.samples.push(value);
+        }
+    }
+
+    /// Records many samples.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        for v in values {
+            self.record(v);
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+        }
+    }
+
+    /// The `p`-th percentile, or `None` if empty.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        percentile(&self.samples, p)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> Option<f64> {
+        self.percentile(95.0)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> Option<f64> {
+        self.percentile(99.0)
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> Option<f64> {
+        self.samples.iter().copied().fold(None, |acc, x| Some(acc.map_or(x, |m: f64| m.max(x))))
+    }
+
+    /// Clears all samples.
+    pub fn clear(&mut self) {
+        self.samples.clear();
+    }
+
+    /// Read-only view of the raw samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_returns_none() {
+        assert_eq!(percentile(&[], 50.0), None);
+        assert!(Percentiles::new().mean().is_none());
+    }
+
+    #[test]
+    fn out_of_range_p_returns_none() {
+        assert_eq!(percentile(&[1.0], -1.0), None);
+        assert_eq!(percentile(&[1.0], 101.0), None);
+        assert_eq!(percentile(&[1.0], f64::NAN), None);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        for p in [0.0, 25.0, 50.0, 99.0, 100.0] {
+            assert_eq!(percentile(&[7.5], p), Some(7.5));
+        }
+    }
+
+    #[test]
+    fn interpolates_between_ranks() {
+        let xs = [10.0, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(percentile(&xs, 0.0), Some(10.0));
+        assert_eq!(percentile(&xs, 25.0), Some(20.0));
+        assert_eq!(percentile(&xs, 50.0), Some(30.0));
+        assert_eq!(percentile(&xs, 100.0), Some(50.0));
+        assert_eq!(percentile(&xs, 10.0), Some(14.0));
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let xs = [50.0, 10.0, 40.0, 20.0, 30.0];
+        assert_eq!(percentile(&xs, 50.0), Some(30.0));
+    }
+
+    #[test]
+    fn nan_samples_are_ignored() {
+        let xs = [1.0, f64::NAN, 3.0];
+        assert_eq!(percentile(&xs, 100.0), Some(3.0));
+    }
+
+    #[test]
+    fn tracker_basics() {
+        let mut t = Percentiles::new();
+        t.extend([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.mean(), Some(2.5));
+        assert_eq!(t.max(), Some(4.0));
+        assert_eq!(t.percentile(50.0), Some(2.5));
+        t.clear();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn p99_dominates_p95_dominates_mean_for_heavy_tail() {
+        let mut t = Percentiles::new();
+        // 980 fast requests, 20 very slow ones.
+        t.extend(std::iter::repeat(1.0).take(980));
+        t.extend(std::iter::repeat(100.0).take(20));
+        let mean = t.mean().unwrap();
+        let p95 = t.p95().unwrap();
+        let p99 = t.p99().unwrap();
+        assert!(mean < p99, "mean {mean} should be below p99 {p99}");
+        assert!(p95 <= p99);
+    }
+}

@@ -1,0 +1,106 @@
+//! Speedup / slowdown accounting.
+//!
+//! The paper reports performance changes in two directions and it is easy to
+//! confuse them; these helpers fix the conventions once:
+//!
+//! * **slowdown** = `1 − perf/baseline` — "loses 24% of performance".
+//! * **speedup**  = `perf/baseline − 1` — "gains 13% of performance".
+//!
+//! Both are positive when the named effect occurs and negative otherwise.
+
+/// Slowdown of `perf` relative to `baseline` (positive when slower).
+///
+/// Returns 0 when `baseline` is not a positive finite number.
+///
+/// ```
+/// use sim_stats::ratio::slowdown;
+/// assert!((slowdown(0.76, 1.0) - 0.24).abs() < 1e-12);
+/// ```
+pub fn slowdown(perf: f64, baseline: f64) -> f64 {
+    if !(baseline.is_finite() && baseline > 0.0) {
+        return 0.0;
+    }
+    1.0 - perf / baseline
+}
+
+/// Speedup of `perf` relative to `baseline` (positive when faster).
+///
+/// Returns 0 when `baseline` is not a positive finite number.
+///
+/// ```
+/// use sim_stats::ratio::speedup;
+/// assert!((speedup(1.13, 1.0) - 0.13).abs() < 1e-12);
+/// ```
+pub fn speedup(perf: f64, baseline: f64) -> f64 {
+    if !(baseline.is_finite() && baseline > 0.0) {
+        return 0.0;
+    }
+    perf / baseline - 1.0
+}
+
+/// Geometric mean of positive samples; non-positive or non-finite samples are
+/// skipped. Returns `None` when no usable sample exists.
+pub fn geometric_mean(samples: &[f64]) -> Option<f64> {
+    let mut sum_ln = 0.0;
+    let mut n = 0usize;
+    for &x in samples {
+        if x.is_finite() && x > 0.0 {
+            sum_ln += x.ln();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        None
+    } else {
+        Some((sum_ln / n as f64).exp())
+    }
+}
+
+/// Arithmetic mean; returns `None` for an empty slice.
+pub fn mean(samples: &[f64]) -> Option<f64> {
+    if samples.is_empty() {
+        None
+    } else {
+        Some(samples.iter().sum::<f64>() / samples.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slowdown_and_speedup_are_inverse_views() {
+        let base = 2.0;
+        let perf = 1.5;
+        assert!((slowdown(perf, base) - 0.25).abs() < 1e-12);
+        assert!((speedup(perf, base) + 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_change_is_zero() {
+        assert_eq!(slowdown(3.0, 3.0), 0.0);
+        assert_eq!(speedup(3.0, 3.0), 0.0);
+    }
+
+    #[test]
+    fn degenerate_baseline_is_zero() {
+        assert_eq!(slowdown(1.0, 0.0), 0.0);
+        assert_eq!(speedup(1.0, f64::NAN), 0.0);
+        assert_eq!(speedup(1.0, -2.0), 0.0);
+    }
+
+    #[test]
+    fn geometric_mean_of_known_values() {
+        let g = geometric_mean(&[1.0, 4.0]).unwrap();
+        assert!((g - 2.0).abs() < 1e-12);
+        assert!(geometric_mean(&[]).is_none());
+        assert!(geometric_mean(&[0.0, -1.0]).is_none());
+    }
+
+    #[test]
+    fn mean_of_known_values() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
+        assert_eq!(mean(&[]), None);
+    }
+}

@@ -1,0 +1,58 @@
+//! **Stretch** — software-controlled asymmetric ROB/LSQ partitioning for SMT
+//! cores (Margaritov et al., HPCA 2019).
+//!
+//! Stretch exploits the performance slack of latency-sensitive services
+//! running below peak load: system software can shift reorder-buffer (and,
+//! proportionally, load/store-queue) capacity from the latency-sensitive
+//! hardware thread to a co-running batch thread, boosting batch throughput
+//! without violating QoS targets. The mechanism is a handful of ROB
+//! partitioning configurations provisioned at design time plus an
+//! architecturally exposed control register; the policy is a CPI²-style
+//! software monitor driven by a QoS metric (tail latency or queue length).
+//!
+//! This crate implements all of it:
+//!
+//! * [`config`] — ROB skews ([`RobSkew`]), the provisioned configuration set
+//!   ([`StretchConfig`]) and the runtime mode ([`StretchMode`]:
+//!   Baseline / B-mode / Q-mode), plus the mapping onto the core's
+//!   partition limit registers.
+//! * [`control`] — the architecturally exposed control register
+//!   ([`ControlRegister`], the S/B/Q bits of §IV-C) and its application to a
+//!   simulated core (mode change + pipeline flush).
+//! * [`monitor`] — the software monitor ([`SoftwareMonitor`]): sliding-window
+//!   QoS tracking, hysteresis, B-/Q-mode engagement and the co-runner
+//!   throttling fallback.
+//! * [`orchestrator`] — a closed-loop driver that replays a load trace
+//!   against the queueing model, lets the monitor pick modes and accounts
+//!   for batch throughput — the machinery behind the §VI-D case studies.
+//!
+//! # Example
+//!
+//! ```
+//! use stretch::{ControlRegister, RobSkew, StretchConfig, StretchMode};
+//! use sim_model::{CoreConfig, ThreadId};
+//!
+//! let cfg = CoreConfig::default();
+//! let stretch = StretchConfig::recommended();
+//! let mut reg = ControlRegister::new();
+//! reg.engage_b_mode();
+//! let mode = reg.mode(&stretch);
+//! assert_eq!(mode, StretchMode::BatchBoost(RobSkew::new(56, 136)));
+//! let policy = mode.partition_policy(&cfg, ThreadId::T0);
+//! assert_eq!(policy.rob_limit(&cfg, ThreadId::T1), 136);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod control;
+pub mod monitor;
+pub mod orchestrator;
+pub mod selection;
+
+pub use config::{RobSkew, StretchConfig, StretchMode};
+pub use control::ControlRegister;
+pub use monitor::{MonitorAction, MonitorConfig, QosPolicy, SoftwareMonitor};
+pub use orchestrator::{DayReport, IntervalReport, ModePerformance, Orchestrator};
+pub use selection::{LoadBand, LoadIndexedSelector};

@@ -1,0 +1,63 @@
+//! Datacenter view: how much QoS slack does a latency-sensitive service have
+//! across its diurnal load cycle, and what does Stretch's B-mode buy at the
+//! cluster level? (Figures 1, 2 and 14.)
+//!
+//! Run with: `cargo run --release --example datacenter_cluster`
+
+use stretch_repro::cluster::{CaseStudy, DiurnalPattern};
+use stretch_repro::qos::{latency_vs_load, slack_curve, ServiceSpec, SimParams};
+
+fn main() {
+    let spec = ServiceSpec::web_search();
+    let params = SimParams::standard(21);
+
+    println!("Web Search latency vs load (QoS target: {} ms p99)", spec.qos_target_ms);
+    println!("  load    mean      p95       p99");
+    for point in latency_vs_load(&spec, params, 0.1, 10) {
+        println!(
+            "  {:>4.0}%  {:>6.1} ms {:>6.1} ms {:>6.1} ms{}",
+            point.load * 100.0,
+            point.latency.mean_ms,
+            point.latency.p95_ms,
+            point.latency.p99_ms,
+            if point.latency.p99_ms > spec.qos_target_ms { "  <-- violates QoS" } else { "" }
+        );
+    }
+
+    println!();
+    println!("Minimum single-thread performance required to keep meeting QoS:");
+    println!("  load    required perf   slack");
+    let loads: Vec<f64> = (1..=10).map(|i| i as f64 * 0.1).collect();
+    for point in slack_curve(&spec, params, &loads) {
+        println!(
+            "  {:>4.0}%        {:>5.0}%        {:>5.0}%",
+            point.load * 100.0,
+            point.required_performance * 100.0,
+            point.slack() * 100.0
+        );
+    }
+
+    println!();
+    println!("Cluster-level impact of engaging B-mode below 85% of peak load:");
+    for (name, study) in
+        [("Web Search cluster", CaseStudy::web_search()), ("YouTube cluster", CaseStudy::youtube())]
+    {
+        let report = study.run();
+        println!(
+            "  {name:<20} B-mode engaged {:>4.1} h/day -> +{:.1}% 24-hour batch throughput",
+            report.hours_engaged,
+            report.gain() * 100.0
+        );
+    }
+
+    println!();
+    println!("Diurnal load shapes used (fraction of peak):");
+    println!("  hour   web-search   youtube");
+    for hour in (0..24).step_by(3) {
+        println!(
+            "  {hour:>4}      {:>6.2}      {:>6.2}",
+            DiurnalPattern::WebSearch.load_at(hour as f64),
+            DiurnalPattern::YouTube.load_at(hour as f64)
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Closed-loop mode control: replay a diurnal day against the queueing model
+//! and let the Stretch software monitor decide, interval by interval, whether
+//! to engage B-mode, fall back to the baseline, or boost QoS.
+//!
+//! Run with: `cargo run --release --example mode_controller`
+
+use stretch_repro::cluster::DiurnalPattern;
+use stretch_repro::qos::{ServiceSpec, SimParams};
+use stretch_repro::stretch::orchestrator::PerformanceTable;
+use stretch_repro::stretch::{MonitorConfig, Orchestrator, StretchConfig};
+
+fn main() {
+    let service = ServiceSpec::web_search();
+    let pattern = DiurnalPattern::WebSearch;
+
+    // Hourly control intervals over one day.
+    let loads: Vec<f64> = pattern.sample(1.0).into_iter().map(|s| s.load).collect();
+
+    let mut orchestrator = Orchestrator::new(
+        service.clone(),
+        StretchConfig::recommended(),
+        MonitorConfig::default(),
+        PerformanceTable::paper_defaults(),
+        SimParams::standard(31),
+    );
+    let report = orchestrator.run_trace(&loads);
+
+    println!("Closed-loop Stretch control over one diurnal day ({})", service.name);
+    println!("  hour  load   mode            p99 (ms)  QoS      batch throughput");
+    for (hour, interval) in report.intervals.iter().enumerate() {
+        println!(
+            "  {hour:>4}  {:>4.0}%  {:<14}  {:>7.1}  {:<7}  {:>6.2}x",
+            interval.load * 100.0,
+            interval.mode.to_string(),
+            interval.tail_latency_ms,
+            if interval.qos_violated { "VIOLATED" } else { "ok" },
+            interval.batch_throughput
+        );
+    }
+    println!();
+    println!(
+        "  B-mode engaged for {} of {} intervals; average batch throughput {:+.1}% vs baseline; \
+         {} QoS violation(s).",
+        report.b_mode_intervals,
+        report.intervals.len(),
+        report.batch_gain() * 100.0,
+        report.violations
+    );
+}

@@ -1,0 +1,42 @@
+//! Umbrella crate for the Stretch (HPCA'19) reproduction.
+//!
+//! This crate re-exports every sub-crate of the workspace so that examples,
+//! integration tests and downstream users can depend on a single package:
+//!
+//! ```
+//! use stretch_repro::prelude::*;
+//!
+//! let cfg = CoreConfig::default();
+//! assert_eq!(cfg.rob_capacity, 192);
+//! ```
+//!
+//! The individual crates are:
+//!
+//! * [`model`] — shared simulation types (micro-ops, configuration, RNG).
+//! * [`stats`] — percentile / distribution / sampling statistics.
+//! * [`mem`] — cache hierarchy, MSHRs, prefetcher, LLC and DRAM models.
+//! * [`cpu`] — the dual-threaded SMT out-of-order core simulator.
+//! * [`workloads`] — synthetic latency-sensitive and batch workload generators.
+//! * [`stretch`] — the paper's contribution: asymmetric ROB/LSQ partitioning,
+//!   the architectural control register and the software QoS monitor.
+//! * [`qos`] — request-level queueing simulation, latency percentiles, slack analysis.
+//! * [`baselines`] — fetch throttling, dynamic sharing, ideal software scheduling, Elfen.
+//! * [`cluster`] — diurnal load models and cluster-level case studies.
+
+pub use baselines;
+pub use cluster;
+pub use cpu_sim as cpu;
+pub use mem_sim as mem;
+pub use qos;
+pub use sim_model as model;
+pub use sim_stats as stats;
+pub use stretch;
+pub use workloads;
+
+/// Commonly used items, suitable for glob import in examples.
+pub mod prelude {
+    pub use cpu_sim::{ColocationResult, SimLength, SmtCore, SmtCoreBuilder};
+    pub use sim_model::{CoreConfig, ThreadId, WorkloadClass};
+    pub use stretch::{RobSkew, SoftwareMonitor, StretchConfig, StretchMode};
+    pub use workloads::{batch, latency_sensitive, WorkloadProfile};
+}

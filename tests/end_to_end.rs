@@ -1,0 +1,203 @@
+//! Cross-crate integration tests: the full Stretch stack working together —
+//! workloads on the SMT core, mode changes through the control register,
+//! the software monitor reacting to the queueing model, and the cluster
+//! accounting on top.
+
+use stretch_repro::cpu::{run_pair, run_standalone, CoreSetup, SimLength, SmtCoreBuilder};
+use stretch_repro::model::{CoreConfig, ThreadId};
+use stretch_repro::qos::{ServiceSpec, SimParams};
+use stretch_repro::stretch::orchestrator::PerformanceTable;
+use stretch_repro::stretch::{
+    ControlRegister, MonitorConfig, Orchestrator, RobSkew, StretchConfig, StretchMode,
+};
+use stretch_repro::workloads::{batch, latency_sensitive};
+
+fn quick() -> SimLength {
+    SimLength::quick()
+}
+
+/// A window long enough for steady-state window-capacity effects to show up,
+/// still small enough for a debug-build test.
+fn medium() -> SimLength {
+    SimLength {
+        warmup_instructions: 5_000,
+        measured_instructions: 25_000,
+        max_cycles: 3_000_000,
+    }
+}
+
+#[test]
+fn b_mode_boosts_a_rob_hungry_batch_corunner() {
+    // The headline mechanism end to end: colocate Web Search with zeusmp,
+    // switch from the baseline partitioning to B-mode 56-136 and observe a
+    // batch speedup at a modest latency-sensitive cost.
+    let cfg = CoreConfig::default();
+    let baseline = run_pair(
+        &cfg,
+        CoreSetup::baseline(&cfg),
+        latency_sensitive::web_search(101),
+        batch::zeusmp(101),
+        medium(),
+    );
+    let mut setup = CoreSetup::baseline(&cfg);
+    setup.partition = StretchMode::BatchBoost(RobSkew::recommended_b_mode())
+        .partition_policy(&cfg, ThreadId::T0);
+    let stretched = run_pair(
+        &cfg,
+        setup,
+        latency_sensitive::web_search(101),
+        batch::zeusmp(101),
+        medium(),
+    );
+    let batch_speedup = stretched.uipc(ThreadId::T1) / baseline.uipc(ThreadId::T1) - 1.0;
+    let ls_slowdown = 1.0 - stretched.uipc(ThreadId::T0) / baseline.uipc(ThreadId::T0);
+    assert!(
+        batch_speedup > 0.03,
+        "B-mode should visibly speed up zeusmp (got {:.1}%)",
+        batch_speedup * 100.0
+    );
+    assert!(
+        ls_slowdown < 0.25,
+        "B-mode must not devastate the latency-sensitive thread (got {:.1}%)",
+        ls_slowdown * 100.0
+    );
+    assert!(
+        batch_speedup > ls_slowdown,
+        "the trade should favour the batch thread (batch {:+.1}%, LS {:+.1}%)",
+        batch_speedup * 100.0,
+        -ls_slowdown * 100.0
+    );
+}
+
+#[test]
+fn q_mode_shifts_performance_back_to_the_latency_sensitive_thread() {
+    let cfg = CoreConfig::default();
+    let b_mode_policy = StretchMode::BatchBoost(RobSkew::recommended_b_mode())
+        .partition_policy(&cfg, ThreadId::T0);
+    let q_mode_policy = StretchMode::QosBoost(RobSkew::recommended_q_mode())
+        .partition_policy(&cfg, ThreadId::T0);
+
+    let mut b_setup = CoreSetup::baseline(&cfg);
+    b_setup.partition = b_mode_policy;
+    let mut q_setup = CoreSetup::baseline(&cfg);
+    q_setup.partition = q_mode_policy;
+
+    let b = run_pair(
+        &cfg,
+        b_setup,
+        latency_sensitive::data_serving(55),
+        batch::zeusmp(55),
+        quick(),
+    );
+    let q = run_pair(
+        &cfg,
+        q_setup,
+        latency_sensitive::data_serving(55),
+        batch::zeusmp(55),
+        quick(),
+    );
+    assert!(
+        q.uipc(ThreadId::T0) >= b.uipc(ThreadId::T0),
+        "Q-mode should not be worse than B-mode for the latency-sensitive thread"
+    );
+    assert!(
+        q.uipc(ThreadId::T1) < b.uipc(ThreadId::T1),
+        "Q-mode should cost the batch thread relative to B-mode"
+    );
+}
+
+#[test]
+fn control_register_drives_mode_changes_on_a_live_core() {
+    let cfg = CoreConfig::default();
+    let stretch = StretchConfig::recommended();
+    let mut core = SmtCoreBuilder::new(cfg)
+        .thread(ThreadId::T0, latency_sensitive::web_search(7))
+        .thread(ThreadId::T1, batch::zeusmp(7))
+        .build();
+    let mut reg = ControlRegister::new();
+
+    // Warm up in baseline mode.
+    for _ in 0..2_000 {
+        core.step();
+    }
+    let committed_before = core.committed(ThreadId::T1);
+
+    // Engage B-mode, run, then switch to Q-mode, run again.
+    reg.engage_b_mode();
+    let mode = reg.apply(&mut core, &stretch, ThreadId::T0);
+    assert!(mode.is_batch_boost());
+    for _ in 0..5_000 {
+        core.step();
+    }
+    reg.engage_q_mode();
+    let mode = reg.apply(&mut core, &stretch, ThreadId::T0);
+    assert!(mode.is_qos_boost());
+    for _ in 0..5_000 {
+        core.step();
+    }
+    assert_eq!(core.thread_stats(ThreadId::T0).mode_change_flushes, 2);
+    assert!(
+        core.committed(ThreadId::T1) > committed_before,
+        "the batch thread keeps making progress across mode changes"
+    );
+    assert_eq!(core.partition().rob_limit(core.config(), ThreadId::T0), 136);
+}
+
+#[test]
+fn monitor_keeps_qos_while_harvesting_throughput_over_a_day() {
+    // Diurnal closed loop: the monitor should engage B-mode during the night
+    // hours, back off during the peak, and never violate QoS during the
+    // low-load part of the day.
+    // Provision only a B-mode: at high load the monitor falls back to the
+    // baseline, so any engaged interval is a pure throughput gain.
+    let mut orch = Orchestrator::new(
+        ServiceSpec::web_search(),
+        StretchConfig::b_mode_only(RobSkew::recommended_b_mode()),
+        MonitorConfig { engage_after: 2, ..MonitorConfig::default() },
+        PerformanceTable::paper_defaults(),
+        SimParams::quick(19),
+    );
+    let loads: Vec<f64> = stretch_repro::cluster::DiurnalPattern::WebSearch
+        .sample(1.0)
+        .into_iter()
+        .map(|s| s.load)
+        .collect();
+    let report = orch.run_trace(&loads);
+    assert_eq!(report.intervals.len(), 24);
+    assert!(report.b_mode_intervals >= 6, "expected B-mode at night, got {}", report.b_mode_intervals);
+    assert!(report.average_batch_throughput > 1.0);
+    for iv in &report.intervals {
+        if iv.load < 0.4 && !iv.mode.is_batch_boost() {
+            // Low-load intervals in baseline mode must certainly meet QoS.
+            assert!(!iv.qos_violated, "baseline at low load must meet QoS: {iv:?}");
+        }
+    }
+}
+
+#[test]
+fn standalone_beats_any_colocation_for_the_same_workload() {
+    let cfg = CoreConfig::default();
+    let alone = run_standalone(&cfg, batch::zeusmp(77), quick()).uipc;
+    let colocated = run_pair(
+        &cfg,
+        CoreSetup::baseline(&cfg),
+        latency_sensitive::data_serving(77),
+        batch::zeusmp(77),
+        quick(),
+    )
+    .uipc(ThreadId::T1);
+    assert!(
+        alone >= colocated,
+        "a full private core must be at least as fast as a colocated half \
+         (alone={alone:.3}, colocated={colocated:.3})"
+    );
+}
+
+#[test]
+fn cluster_case_studies_match_the_paper_band() {
+    let ws = stretch_repro::cluster::CaseStudy::web_search().run();
+    let yt = stretch_repro::cluster::CaseStudy::youtube().run();
+    assert!(ws.gain() > 0.03 && ws.gain() < 0.08, "Web Search gain {:.3}", ws.gain());
+    assert!(yt.gain() > 0.08 && yt.gain() < 0.14, "YouTube gain {:.3}", yt.gain());
+    assert!(yt.hours_engaged > ws.hours_engaged);
+}

@@ -1,0 +1,169 @@
+//! Property-based tests over the core data structures and invariants of the
+//! reproduction, using proptest.
+
+use proptest::prelude::*;
+use stretch_repro::model::{CoreConfig, SimRng, ThreadId, TraceGenerator, WorkloadClass};
+use stretch_repro::stats::percentile::percentile;
+use stretch_repro::stats::{DistributionSummary, Histogram};
+use stretch_repro::stretch::{RobSkew, StretchMode};
+use stretch_repro::workloads::WorkloadProfile;
+
+fn arb_profile() -> impl Strategy<Value = WorkloadProfile> {
+    (
+        0.0f64..0.45,
+        0.0f64..0.25,
+        0.0f64..0.25,
+        0.0f64..1.0,
+        0.5f64..1.0,
+        1u64..64,
+        1u64..256,
+        (0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0),
+        2u8..32,
+    )
+        .prop_map(
+            |(load, store, branch, fp, pred, code_kb, data_mb, (hot, stride, dep), dist)| {
+                WorkloadProfile {
+                    name: "prop".to_string(),
+                    class: WorkloadClass::Batch,
+                    load_frac: load,
+                    store_frac: store,
+                    branch_frac: branch,
+                    fp_frac: fp,
+                    mul_frac: 0.05,
+                    code_footprint_bytes: code_kb * 1024,
+                    branch_predictability: pred,
+                    data_footprint_bytes: data_mb * 1024 * 1024,
+                    hot_region_bytes: 16 * 1024,
+                    hot_access_frac: hot,
+                    stride_frac: stride,
+                    dependent_load_frac: dep,
+                    dependency_distance: dist,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---------------- RNG ----------------
+
+    #[test]
+    fn rng_below_always_respects_bound(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..32 {
+            prop_assert!(rng.below(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_seed(seed in any::<u64>()) {
+        let mut a = SimRng::new(seed);
+        let mut b = SimRng::new(seed);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    // ---------------- statistics ----------------
+
+    #[test]
+    fn percentile_is_within_sample_range(mut xs in prop::collection::vec(-1e6f64..1e6, 1..200), p in 0.0f64..100.0) {
+        let result = percentile(&xs, p).expect("non-empty samples");
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert!(result >= xs[0] - 1e-9 && result <= xs[xs.len() - 1] + 1e-9);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_in_p(xs in prop::collection::vec(-1e6f64..1e6, 2..100)) {
+        let p25 = percentile(&xs, 25.0).unwrap();
+        let p50 = percentile(&xs, 50.0).unwrap();
+        let p99 = percentile(&xs, 99.0).unwrap();
+        prop_assert!(p25 <= p50 + 1e-9);
+        prop_assert!(p50 <= p99 + 1e-9);
+    }
+
+    #[test]
+    fn distribution_summary_orders_its_quantiles(xs in prop::collection::vec(-1e4f64..1e4, 1..100)) {
+        let s = DistributionSummary::from_samples(&xs);
+        prop_assert!(s.min <= s.p25 + 1e-9);
+        prop_assert!(s.p25 <= s.median + 1e-9);
+        prop_assert!(s.median <= s.p75 + 1e-9);
+        prop_assert!(s.p75 <= s.max + 1e-9);
+        prop_assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
+        prop_assert_eq!(s.count, xs.len());
+    }
+
+    #[test]
+    fn histogram_fractions_are_consistent(values in prop::collection::vec(0usize..20, 1..200)) {
+        let mut h = Histogram::new(10);
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.total(), values.len() as u64);
+        prop_assert!((h.fraction_at_least(0) - 1.0).abs() < 1e-12);
+        // Cumulative fractions are non-increasing in N.
+        for n in 0..10 {
+            prop_assert!(h.fraction_at_least(n) + 1e-12 >= h.fraction_at_least(n + 1));
+        }
+    }
+
+    // ---------------- Stretch configuration ----------------
+
+    #[test]
+    fn any_valid_skew_maps_to_consistent_partition_limits(ls in 1usize..191) {
+        let cfg = CoreConfig::default();
+        let batch = cfg.rob_capacity - ls;
+        let skew = RobSkew::new(ls, batch);
+        prop_assert!(skew.validate(&cfg).is_ok());
+        for mode in [StretchMode::BatchBoost(skew), StretchMode::QosBoost(skew)] {
+            for ls_thread in ThreadId::ALL {
+                let policy = mode.partition_policy(&cfg, ls_thread);
+                let t0 = policy.rob_limit(&cfg, ThreadId::T0);
+                let t1 = policy.rob_limit(&cfg, ThreadId::T1);
+                prop_assert_eq!(t0 + t1, cfg.rob_capacity);
+                prop_assert_eq!(policy.rob_limit(&cfg, ls_thread), ls);
+                // The LSQ split never exceeds the LSQ capacity.
+                prop_assert!(
+                    policy.lsq_limit(&cfg, ThreadId::T0) + policy.lsq_limit(&cfg, ThreadId::T1)
+                        <= cfg.lsq_capacity + 8
+                );
+            }
+        }
+    }
+
+    // ---------------- workload generator ----------------
+
+    #[test]
+    fn every_valid_profile_generates_well_formed_deterministic_streams(
+        profile in arb_profile(),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(profile.validate().is_ok());
+        let mut a = profile.spawn(seed);
+        let mut b = profile.spawn(seed);
+        for _ in 0..200 {
+            let op_a = a.next_op();
+            let op_b = b.next_op();
+            prop_assert!(op_a.is_well_formed(), "{op_a:?}");
+            prop_assert_eq!(op_a, op_b);
+        }
+        prop_assert_eq!(a.class(), WorkloadClass::Batch);
+    }
+
+    #[test]
+    fn generated_addresses_respect_the_profile_footprints(profile in arb_profile(), seed in any::<u64>()) {
+        prop_assume!(profile.validate().is_ok());
+        let mut gen = profile.spawn(seed);
+        let mut last_pc_block: Option<u64> = None;
+        for _ in 0..300 {
+            let op = gen.next_op();
+            if let Some(mem) = op.mem {
+                // Data addresses never collide with the code region.
+                prop_assert!(mem.addr > 0x100_0000_0000);
+            }
+            last_pc_block = Some(op.pc >> 6);
+        }
+        prop_assert!(last_pc_block.is_some());
+    }
+}
