@@ -21,10 +21,7 @@ impl DutyCycle {
     ///
     /// Panics unless `fraction` is in `(0, 1]`.
     pub fn new(fraction: f64) -> DutyCycle {
-        assert!(
-            fraction > 0.0 && fraction <= 1.0,
-            "duty cycle must be in (0, 1], got {fraction}"
-        );
+        assert!(fraction > 0.0 && fraction <= 1.0, "duty cycle must be in (0, 1], got {fraction}");
         DutyCycle(fraction)
     }
 

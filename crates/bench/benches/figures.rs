@@ -186,9 +186,7 @@ fn bench_fig13_sw_scheduling(c: &mut Criterion) {
 
 fn bench_fig14_cluster(c: &mut Criterion) {
     c.bench_function("fig14_cluster_case_studies", |b| {
-        b.iter(|| {
-            black_box((CaseStudy::web_search().run(), CaseStudy::youtube().run()))
-        })
+        b.iter(|| black_box((CaseStudy::web_search().run(), CaseStudy::youtube().run())))
     });
 }
 

@@ -13,7 +13,10 @@ fn main() {
 
     let points = latency_vs_load(&spec, params, 0.05, 20);
     let mut table = TableWriter::new(
-        &format!("Figure 1: {} latency vs load (QoS target {} ms p99)", spec.name, spec.qos_target_ms),
+        &format!(
+            "Figure 1: {} latency vs load (QoS target {} ms p99)",
+            spec.name, spec.qos_target_ms
+        ),
         &["load (% of max)", "average (ms)", "95th percentile (ms)", "99th percentile (ms)", "QoS"],
     );
     for p in &points {
@@ -22,7 +25,11 @@ fn main() {
             format!("{:.1}", p.latency.mean_ms),
             format!("{:.1}", p.latency.p95_ms),
             format!("{:.1}", p.latency.p99_ms),
-            if p.latency.p99_ms <= spec.qos_target_ms { "ok".to_string() } else { "VIOLATED".to_string() },
+            if p.latency.p99_ms <= spec.qos_target_ms {
+                "ok".to_string()
+            } else {
+                "VIOLATED".to_string()
+            },
         ]);
     }
     table.print();

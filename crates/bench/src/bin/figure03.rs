@@ -57,7 +57,5 @@ fn main() {
     println!("{}", format_distribution_row("ALL latency-sensitive", &ls_summary));
     println!("{}", format_distribution_row("ALL batch", &batch_summary));
     println!();
-    println!(
-        "Paper: latency-sensitive 14% average / 28% max; batch 24% average / 46% max."
-    );
+    println!("Paper: latency-sensitive 14% average / 28% max; batch 24% average / 46% max.");
 }

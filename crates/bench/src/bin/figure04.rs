@@ -19,7 +19,17 @@ fn main() {
 
     let mut table = TableWriter::new(
         "Figure 4: per-resource sharing slowdown for Web Search colocations",
-        &["batch co-runner", "WS|ROB", "WS|L1-I", "WS|L1-D", "WS|BTB+BP", "batch|ROB", "batch|L1-I", "batch|L1-D", "batch|BTB+BP"],
+        &[
+            "batch co-runner",
+            "WS|ROB",
+            "WS|L1-I",
+            "WS|L1-D",
+            "WS|BTB+BP",
+            "batch|ROB",
+            "batch|L1-I",
+            "batch|L1-D",
+            "batch|BTB+BP",
+        ],
     );
 
     let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);

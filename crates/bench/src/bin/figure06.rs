@@ -38,7 +38,9 @@ fn main() {
         let seed = pair_seed(cfg.seed, name, "rob-sweep");
         let uipcs: Vec<f64> = rob_sizes
             .iter()
-            .map(|&rob| run_standalone_with_rob(&cfg.core, profile.spawn(seed), rob, cfg.length).uipc)
+            .map(|&rob| {
+                run_standalone_with_rob(&cfg.core, profile.spawn(seed), rob, cfg.length).uipc
+            })
             .collect();
         (name.clone(), uipcs)
     });
@@ -55,21 +57,27 @@ fn main() {
 
     let mut table = TableWriter::new(
         "Figure 6: slowdown vs ROB size (normalised to 192 entries; higher = worse)",
-        &["ROB entries", "data-serving", "web-serving", "web-search", "media-streaming", "batch (avg)", "zeusmp"],
+        &[
+            "ROB entries",
+            "data-serving",
+            "web-serving",
+            "web-search",
+            "media-streaming",
+            "batch (avg)",
+            "zeusmp",
+        ],
     );
     let lookup = |name: &str| -> &Vec<f64> {
         &curves.iter().find(|(n, _)| n == name).expect("series present").1
     };
     for (i, rob) in rob_sizes.iter().enumerate() {
         let row: Vec<String> = std::iter::once(rob.to_string())
-            .chain(
-                ["data-serving", "web-serving", "web-search", "media-streaming"]
-                    .iter()
-                    .map(|n| {
-                        let c = lookup(n);
-                        format!("{:.1}%", (1.0 - c[i] / c[rob_sizes.len() - 1]) * 100.0)
-                    }),
-            )
+            .chain(["data-serving", "web-serving", "web-search", "media-streaming"].iter().map(
+                |n| {
+                    let c = lookup(n);
+                    format!("{:.1}%", (1.0 - c[i] / c[rob_sizes.len() - 1]) * 100.0)
+                },
+            ))
             .chain(std::iter::once(format!(
                 "{:.1}%",
                 (1.0 - batch_avg[i] / batch_avg[rob_sizes.len() - 1]) * 100.0
@@ -88,10 +96,8 @@ fn main() {
     let idx_48 = rob_sizes.iter().position(|&r| r == 48).expect("48 in sweep");
     let last = rob_sizes.len() - 1;
     let batch_loss_96 = 1.0 - batch_avg[idx_96] / batch_avg[last];
-    let batch_worst_96 = batch_set
-        .iter()
-        .map(|(_, c)| 1.0 - c[idx_96] / c[last])
-        .fold(f64::MIN, f64::max);
+    let batch_worst_96 =
+        batch_set.iter().map(|(_, c)| 1.0 - c[idx_96] / c[last]).fold(f64::MIN, f64::max);
     let ls_loss_48: Vec<f64> = ["data-serving", "web-serving", "web-search", "media-streaming"]
         .iter()
         .map(|n| {

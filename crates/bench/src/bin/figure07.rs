@@ -18,11 +18,8 @@ fn main() {
         latency_sensitive::web_search(pair_seed(cfg.seed, "web-search", "mlp")),
         cfg.length,
     );
-    let zeusmp = run_standalone(
-        &cfg.core,
-        batch::zeusmp(pair_seed(cfg.seed, "zeusmp", "mlp")),
-        cfg.length,
-    );
+    let zeusmp =
+        run_standalone(&cfg.core, batch::zeusmp(pair_seed(cfg.seed, "zeusmp", "mlp")), cfg.length);
 
     let mut table = TableWriter::new(
         "Figure 7: fraction of time with >= N memory requests in flight",

@@ -49,9 +49,15 @@ fn report_skew(cfg: &ExperimentConfig, baseline: &[PairOutcome], mode: StretchMo
     setup.partition = mode.partition_policy(&cfg.core, ThreadId::T0);
     let result = run_matrix(cfg, setup);
     let (ls, batch) = speedups(baseline, &result);
-    println!("{}", format_distribution_row(&format!("{mode} (LS)"), &DistributionSummary::from_samples(&ls)));
     println!(
         "{}",
-        format_distribution_row(&format!("{mode} (batch)"), &DistributionSummary::from_samples(&batch))
+        format_distribution_row(&format!("{mode} (LS)"), &DistributionSummary::from_samples(&ls))
+    );
+    println!(
+        "{}",
+        format_distribution_row(
+            &format!("{mode} (batch)"),
+            &DistributionSummary::from_samples(&batch)
+        )
     );
 }

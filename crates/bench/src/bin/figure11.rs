@@ -48,7 +48,10 @@ fn main() {
     println!();
     println!(
         "{}",
-        format_distribution_row("ALL batch slowdown", &DistributionSummary::from_samples(&all_batch))
+        format_distribution_row(
+            "ALL batch slowdown",
+            &DistributionSummary::from_samples(&all_batch)
+        )
     );
     println!(
         "{}",
@@ -59,5 +62,7 @@ fn main() {
     );
     println!();
     println!("Paper: batch loses 8% on average (49% max) under dynamic sharing, while");
-    println!("latency-sensitive workloads gain ~4% (11% max); Data Serving co-runners suffer most.");
+    println!(
+        "latency-sensitive workloads gain ~4% (11% max); Data Serving co-runners suffer most."
+    );
 }

@@ -10,11 +10,7 @@ use stretch::{RobSkew, StretchMode};
 use stretch_bench::harness::{ls_names, run_matrix, ExperimentConfig, PairOutcome};
 use stretch_bench::report::TableWriter;
 
-fn per_ls_average(
-    baseline: &[PairOutcome],
-    other: &[PairOutcome],
-    ls: &str,
-) -> (f64, f64) {
+fn per_ls_average(baseline: &[PairOutcome], other: &[PairOutcome], ls: &str) -> (f64, f64) {
     let pairs: Vec<(&PairOutcome, &PairOutcome)> =
         baseline.iter().zip(other).filter(|(b, _)| b.ls == ls).collect();
     let n = pairs.len() as f64;

@@ -30,12 +30,22 @@ fn main() {
     let stretch_only = run_matrix(&cfg, stretch_setup);
     let combined = run_matrix(
         &cfg,
-        ideal_scheduling_with_stretch_setup(&cfg.core, ThreadId::T0, skew.ls_entries, skew.batch_entries),
+        ideal_scheduling_with_stretch_setup(
+            &cfg.core,
+            ThreadId::T0,
+            skew.ls_entries,
+            skew.batch_entries,
+        ),
     );
 
     let mut table = TableWriter::new(
         "Figure 13: average batch speedup over the baseline core",
-        &["latency-sensitive", "ideal software scheduling", "Stretch", "Stretch + ideal scheduling"],
+        &[
+            "latency-sensitive",
+            "ideal software scheduling",
+            "Stretch",
+            "Stretch + ideal scheduling",
+        ],
     );
     let mut sums = [0.0f64; 3];
     for ls in ls_names() {

@@ -138,10 +138,23 @@ pub fn run_matrix_with(
     cfg: &ExperimentConfig,
     setup_for: impl Fn(&str, &str) -> CoreSetup + Sync,
 ) -> Vec<PairOutcome> {
-    let pairs: Vec<(String, String)> = ls_names()
-        .into_iter()
-        .flat_map(|ls| batch_names().into_iter().map(move |b| (ls.clone(), b)))
-        .collect();
+    run_matrix_on(cfg, &ls_names(), &batch_names(), setup_for)
+}
+
+/// Runs a colocation sub-matrix over explicit workload name lists.
+///
+/// [`run_matrix_with`] delegates here with the full 4 × 29 study; tests and
+/// quick experiments pass smaller slices so the same code path can be
+/// exercised in seconds. Outcomes are ordered row-major: every batch
+/// workload for the first latency-sensitive name, then the next.
+pub fn run_matrix_on(
+    cfg: &ExperimentConfig,
+    ls: &[String],
+    batch: &[String],
+    setup_for: impl Fn(&str, &str) -> CoreSetup + Sync,
+) -> Vec<PairOutcome> {
+    let pairs: Vec<(String, String)> =
+        ls.iter().flat_map(|ls| batch.iter().map(move |b| (ls.clone(), b.clone()))).collect();
     parallel_map(pairs, cfg.workers(), |(ls, batch_name)| {
         let setup = setup_for(ls, batch_name);
         run_single_pair(cfg, setup, ls, batch_name)
@@ -158,8 +171,7 @@ pub fn run_single_pair(
     let seed = pair_seed(cfg.seed, ls, batch_name);
     let ls_trace = latency_sensitive::by_name(ls, seed).expect("known latency-sensitive name");
     let batch_trace = batch::by_name(batch_name, seed ^ 1).expect("known batch name");
-    let result: ColocationResult =
-        run_pair(&cfg.core, setup, ls_trace, batch_trace, cfg.length);
+    let result: ColocationResult = run_pair(&cfg.core, setup, ls_trace, batch_trace, cfg.length);
     PairOutcome {
         ls: ls.to_string(),
         batch: batch_name.to_string(),

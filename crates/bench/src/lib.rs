@@ -19,7 +19,7 @@ pub mod harness;
 pub mod report;
 
 pub use harness::{
-    batch_names, ls_names, run_matrix, run_matrix_with, standalone_reference, ExperimentConfig,
-    PairOutcome,
+    batch_names, ls_names, run_matrix, run_matrix_on, run_matrix_with, standalone_reference,
+    ExperimentConfig, PairOutcome,
 };
 pub use report::{format_distribution_row, format_percent, TableWriter};

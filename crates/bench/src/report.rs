@@ -97,6 +97,30 @@ impl TableWriter {
     pub fn print(&self) {
         print!("{}", self.render());
     }
+
+    /// Renders the table as a JSON document (`title`, `header`, `rows`),
+    /// so figure output can be consumed by plotting scripts as well as read
+    /// from the terminal.
+    pub fn to_json(&self) -> serde_json::Value {
+        let mut doc = serde_json::Map::new();
+        doc.insert("title".to_string(), serde_json::Value::from(self.title.as_str()));
+        doc.insert("header".to_string(), serde_json::Value::from(self.header.clone()));
+        doc.insert(
+            "rows".to_string(),
+            serde_json::Value::Array(
+                self.rows.iter().map(|r| serde_json::Value::from(r.clone())).collect(),
+            ),
+        );
+        serde_json::Value::Object(doc)
+    }
+}
+
+/// JSON rendering helpers for figure output.
+pub mod json {
+    /// Pretty-prints a [`TableWriter`](super::TableWriter) as JSON.
+    pub fn render(table: &super::TableWriter) -> String {
+        serde_json::to_string_pretty(&table.to_json()).expect("Value rendering is infallible")
+    }
 }
 
 #[cfg(test)]
@@ -137,5 +161,14 @@ mod tests {
     fn mismatched_row_width_panics() {
         let mut t = TableWriter::new("x", &["a", "b"]);
         t.row(&["only one".to_string()]);
+    }
+
+    #[test]
+    fn json_rendering_round_trips_title_and_cells() {
+        let mut t = TableWriter::new("Figure 0", &["name", "value"]);
+        t.row_display(&["web-search", "1.25"]);
+        let text = json::render(&t);
+        assert!(text.contains("\"title\": \"Figure 0\""));
+        assert!(text.contains("\"web-search\""));
     }
 }

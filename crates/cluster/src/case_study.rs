@@ -130,7 +130,12 @@ mod tests {
     #[test]
     fn a_flat_low_load_service_gains_the_full_b_mode_speedup() {
         let study = CaseStudy {
-            pattern: DiurnalPattern::Custom { base: 0.2, amplitude: 0.1, peak_hour: 12.0, width: 6.0 },
+            pattern: DiurnalPattern::Custom {
+                base: 0.2,
+                amplitude: 0.1,
+                peak_hour: 12.0,
+                width: 6.0,
+            },
             engage_below: 0.85,
             b_mode_batch_speedup: 1.13,
             interval_hours: 1.0,
@@ -143,7 +148,12 @@ mod tests {
     #[test]
     fn a_service_pinned_at_peak_gains_nothing() {
         let study = CaseStudy {
-            pattern: DiurnalPattern::Custom { base: 1.0, amplitude: 0.0, peak_hour: 12.0, width: 6.0 },
+            pattern: DiurnalPattern::Custom {
+                base: 1.0,
+                amplitude: 0.0,
+                peak_hour: 12.0,
+                width: 6.0,
+            },
             engage_below: 0.85,
             b_mode_batch_speedup: 1.13,
             interval_hours: 1.0,

@@ -1,8 +1,8 @@
 //! Diurnal load patterns (Figure 14).
 //!
 //! The two curves are parametric reconstructions of the figures the paper
-//! reproduces from Meisner et al. (Web Search query rate, [9]) and Gill et
-//! al. (YouTube edge traffic, [28]): smooth day/night cycles normalised to
+//! reproduces from Meisner et al. (Web Search query rate, \[9\]) and Gill et
+//! al. (YouTube edge traffic, \[28\]): smooth day/night cycles normalised to
 //! their peak, with the Web Search cluster spending ≈11 hours and the video
 //! cluster ≈17 hours of the day below 85% of peak load.
 
@@ -98,9 +98,8 @@ impl DiurnalPattern {
     /// `threshold`, estimated on a 5-minute grid.
     pub fn hours_below(&self, threshold: f64) -> f64 {
         let grid = 12 * 24; // 5-minute resolution
-        let below = (0..grid)
-            .filter(|i| self.load_at(*i as f64 * 24.0 / grid as f64) < threshold)
-            .count();
+        let below =
+            (0..grid).filter(|i| self.load_at(*i as f64 * 24.0 / grid as f64) < threshold).count();
         below as f64 * 24.0 / grid as f64
     }
 }

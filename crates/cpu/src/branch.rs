@@ -93,9 +93,18 @@ impl BranchPredictor {
     pub fn new(cfg: BranchPredictorConfig, sharing: Sharing) -> BranchPredictor {
         let tables = match sharing {
             Sharing::Shared => vec![PredictorTables::new(&cfg)],
-            Sharing::PrivatePerThread => vec![PredictorTables::new(&cfg), PredictorTables::new(&cfg)],
+            Sharing::PrivatePerThread => {
+                vec![PredictorTables::new(&cfg), PredictorTables::new(&cfg)]
+            }
         };
-        BranchPredictor { cfg, sharing, tables, history: [0; 2], ras: [Vec::new(), Vec::new()], stats: [BranchStats::default(); 2] }
+        BranchPredictor {
+            cfg,
+            sharing,
+            tables,
+            history: [0; 2],
+            ras: [Vec::new(), Vec::new()],
+            stats: [BranchStats::default(); 2],
+        }
     }
 
     #[inline]
@@ -114,7 +123,13 @@ impl BranchPredictor {
     ///
     /// `is_return` consults the RAS; `is_call` has no effect on prediction but
     /// is accepted for symmetry with [`BranchPredictor::update`].
-    pub fn predict(&mut self, thread: ThreadId, pc: u64, _is_call: bool, is_return: bool) -> Prediction {
+    pub fn predict(
+        &mut self,
+        thread: ThreadId,
+        pc: u64,
+        _is_call: bool,
+        is_return: bool,
+    ) -> Prediction {
         let history = self.history[thread.index()] & self.history_mask();
         let t = self.tables_mut(thread);
         let gshare_idx = ((pc >> 2) ^ history) as usize % t.gshare.len();
@@ -221,7 +236,13 @@ mod tests {
 
     /// Runs `n` occurrences of a branch at `pc` that is always taken to
     /// `target`, returning the number of mispredictions.
-    fn run_always_taken(p: &mut BranchPredictor, thread: ThreadId, pc: u64, target: u64, n: usize) -> u64 {
+    fn run_always_taken(
+        p: &mut BranchPredictor,
+        thread: ThreadId,
+        pc: u64,
+        target: u64,
+        n: usize,
+    ) -> u64 {
         let mut mispredicts = 0;
         for _ in 0..n {
             let pred = p.predict(thread, pc, false, false);

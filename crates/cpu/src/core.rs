@@ -376,7 +376,12 @@ impl SmtCore {
 
     /// Runs until `thread` has committed at least `instructions` more
     /// instructions, or `max_cycles` elapse. Returns the cycles spent.
-    pub fn run_instructions(&mut self, thread: ThreadId, instructions: u64, max_cycles: u64) -> u64 {
+    pub fn run_instructions(
+        &mut self,
+        thread: ThreadId,
+        instructions: u64,
+        max_cycles: u64,
+    ) -> u64 {
         let target = self.committed(thread) + instructions;
         let start = self.now;
         while self.committed(thread) < target && self.now - start < max_cycles {
@@ -477,12 +482,7 @@ impl SmtCore {
                 .iter()
                 .enumerate()
                 .filter(|(_, e)| e.status == EntryStatus::Dispatched)
-                .filter(|(_, e)| {
-                    e.deps
-                        .iter()
-                        .flatten()
-                        .all(|dep| !self.incomplete.contains(dep))
-                })
+                .filter(|(_, e)| e.deps.iter().flatten().all(|dep| !self.incomplete.contains(dep)))
                 .map(|(i, _)| i)
                 .collect();
 
@@ -567,8 +567,8 @@ impl SmtCore {
                 let mut deps = [None, None];
                 for (slot, src) in f.uop.srcs.iter().enumerate() {
                     if let Some(reg) = src {
-                        deps[slot] = t.last_writer[*reg as usize]
-                            .filter(|id| self.incomplete.contains(id));
+                        deps[slot] =
+                            t.last_writer[*reg as usize].filter(|id| self.incomplete.contains(id));
                     }
                 }
                 if let Some(dst) = f.uop.dst {
@@ -672,7 +672,8 @@ impl SmtCore {
                 }
                 branches += 1;
                 let info = uop.branch.expect("branch carries branch info");
-                let pred: Prediction = self.bp.predict(thread, uop.pc, info.is_call, info.is_return);
+                let pred: Prediction =
+                    self.bp.predict(thread, uop.pc, info.is_call, info.is_return);
                 mispredicted = self.bp.update(
                     thread,
                     uop.pc,
@@ -755,7 +756,11 @@ mod tests {
 
     impl PointerChase {
         fn boxed(seed: u64) -> BoxedTrace {
-            Box::new(PointerChase { pc: 0x2000, addr: 0x10_0000, rng: sim_model::SimRng::new(seed) })
+            Box::new(PointerChase {
+                pc: 0x2000,
+                addr: 0x10_0000,
+                rng: sim_model::SimRng::new(seed),
+            })
         }
     }
 
@@ -843,8 +848,7 @@ mod tests {
             c
         };
         let stream_ipc = core.committed(ThreadId::T0) as f64 / core.cycles() as f64;
-        let chase_ipc =
-            chasing_core.committed(ThreadId::T0) as f64 / chasing_core.cycles() as f64;
+        let chase_ipc = chasing_core.committed(ThreadId::T0) as f64 / chasing_core.cycles() as f64;
         assert!(stream_ipc > 2.0 * chase_ipc, "MLP should buy substantial IPC");
     }
 
@@ -943,11 +947,16 @@ mod tests {
         impl TraceGenerator for RandomBranches {
             fn next_op(&mut self) -> MicroOp {
                 self.pc += 4;
-                if self.pc % 16 == 0 {
+                if self.pc.is_multiple_of(16) {
                     let taken = self.rng.chance(0.5);
                     MicroOp::branch(
                         self.pc,
-                        BranchInfo { taken, target: self.pc + 64, is_call: false, is_return: false },
+                        BranchInfo {
+                            taken,
+                            target: self.pc + 64,
+                            is_call: false,
+                            is_return: false,
+                        },
                         [None, None],
                     )
                 } else {

@@ -85,7 +85,7 @@ impl FetchScheduler {
                 }
             }
             FetchPolicy::RoundRobin => {
-                if self.cycle % 2 == 0 {
+                if self.cycle.is_multiple_of(2) {
                     ThreadId::T0
                 } else {
                     ThreadId::T1

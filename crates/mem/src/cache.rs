@@ -355,7 +355,8 @@ mod tests {
 
     #[test]
     fn shared_mode_causes_cross_thread_interference() {
-        let cfg = CacheConfig { capacity_bytes: 128, line_bytes: 64, ways: 1, banks: 1, hit_latency: 1 };
+        let cfg =
+            CacheConfig { capacity_bytes: 128, line_bytes: 64, ways: 1, banks: 1, hit_latency: 1 };
         let mut shared = ThreadedCache::new(&cfg, Sharing::Shared);
         // T0 loads block 0 (set 0); T1 loads block 2 (also set 0, 2 sets x 1 way),
         // evicting T0's line.

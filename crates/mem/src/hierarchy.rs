@@ -213,7 +213,9 @@ impl MemoryHierarchy {
         }
         let latency = self.cfg.l1_hit_latency + self.beyond_l1_latency(thread, block);
         match self.mshrs.request(thread, block, now + latency) {
-            MshrOutcome::Allocated(c) | MshrOutcome::Coalesced(c) => LoadResult::Miss { completion: c },
+            MshrOutcome::Allocated(c) | MshrOutcome::Coalesced(c) => {
+                LoadResult::Miss { completion: c }
+            }
             MshrOutcome::Full => {
                 self.stats.mshr_rejections += 1;
                 LoadResult::NoMshr
@@ -317,7 +319,8 @@ mod tests {
         let mut cfg = HierarchyConfig::from_core(&core);
         cfg.l1d_sharing = l1d_sharing;
         // Shrink the caches so tests exercise misses quickly.
-        cfg.l1d = CacheConfig { capacity_bytes: 1024, line_bytes: 64, ways: 2, banks: 1, hit_latency: 2 };
+        cfg.l1d =
+            CacheConfig { capacity_bytes: 1024, line_bytes: 64, ways: 2, banks: 1, hit_latency: 2 };
         cfg.l1i = cfg.l1d;
         cfg.llc_capacity_bytes = 16 * 1024;
         MemoryHierarchy::new(cfg)
@@ -354,10 +357,7 @@ mod tests {
         assert_eq!(rejections, 3);
         assert_eq!(mem.outstanding_misses(ThreadId::T0), per_thread);
         // The other thread still has its own MSHRs.
-        assert!(matches!(
-            mem.load(ThreadId::T1, 0x20_0000, 0x500, 0),
-            LoadResult::Miss { .. }
-        ));
+        assert!(matches!(mem.load(ThreadId::T1, 0x20_0000, 0x500, 0), LoadResult::Miss { .. }));
     }
 
     #[test]
@@ -454,7 +454,10 @@ mod tests {
             now += 1;
             mem.tick(now);
         }
-        assert!(late_hits > 5, "stride prefetcher should convert later accesses to hits (got {late_hits})");
+        assert!(
+            late_hits > 5,
+            "stride prefetcher should convert later accesses to hits (got {late_hits})"
+        );
         assert!(mem.stats().prefetch_fills > 0);
     }
 

@@ -79,13 +79,17 @@ impl StridePrefetcher {
 
         // Allocate a new entry, evicting LRU if the table is full.
         if table.len() >= slots {
-            if let Some(pos) =
-                table.iter().enumerate().min_by_key(|(_, e)| e.lru).map(|(i, _)| i)
-            {
+            if let Some(pos) = table.iter().enumerate().min_by_key(|(_, e)| e.lru).map(|(i, _)| i) {
                 table.swap_remove(pos);
             }
         }
-        table.push(Entry { pc, last_addr: addr, stride: 0, state: EntryState::Initial, lru: clock });
+        table.push(Entry {
+            pc,
+            last_addr: addr,
+            stride: 0,
+            state: EntryState::Initial,
+            lru: clock,
+        });
         None
     }
 

@@ -37,7 +37,10 @@ impl CacheConfig {
     /// `ways * line_bytes`).
     pub fn sets(&self) -> usize {
         let denom = self.ways * self.line_bytes;
-        assert!(denom > 0 && self.capacity_bytes % denom == 0, "inconsistent cache geometry {self:?}");
+        assert!(
+            denom > 0 && self.capacity_bytes.is_multiple_of(denom),
+            "inconsistent cache geometry {self:?}"
+        );
         self.capacity_bytes / denom
     }
 }
@@ -296,8 +299,7 @@ mod tests {
 
     #[test]
     fn validation_rejects_broken_configs() {
-        let mut c = CoreConfig::default();
-        c.rob_capacity = 1;
+        let c = CoreConfig { rob_capacity: 1, ..CoreConfig::default() };
         assert!(c.validate().is_err());
 
         let mut c = CoreConfig::default();

@@ -44,12 +44,8 @@ impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn new(seed: u64) -> SimRng {
         let mut s = seed;
-        let state = [
-            splitmix64(&mut s),
-            splitmix64(&mut s),
-            splitmix64(&mut s),
-            splitmix64(&mut s),
-        ];
+        let state =
+            [splitmix64(&mut s), splitmix64(&mut s), splitmix64(&mut s), splitmix64(&mut s)];
         SimRng { state }
     }
 
@@ -66,10 +62,7 @@ impl SimRng {
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.state;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -216,10 +209,7 @@ impl ZipfSampler {
     /// Draws a rank in `[0, n)`; rank 0 is the most popular item.
     pub fn sample(&self, rng: &mut SimRng) -> usize {
         let u = rng.uniform_f64();
-        match self
-            .cdf
-            .binary_search_by(|probe| probe.partial_cmp(&u).expect("cdf contains NaN"))
-        {
+        match self.cdf.binary_search_by(|probe| probe.partial_cmp(&u).expect("cdf contains NaN")) {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
         }
@@ -296,10 +286,7 @@ mod tests {
         let mean = 4.0;
         let sum: f64 = (0..n).map(|_| rng.exponential(mean)).sum();
         let sample_mean = sum / n as f64;
-        assert!(
-            (sample_mean - mean).abs() < 0.15,
-            "sample mean {sample_mean} too far from {mean}"
-        );
+        assert!((sample_mean - mean).abs() < 0.15, "sample mean {sample_mean} too far from {mean}");
     }
 
     #[test]

@@ -118,7 +118,8 @@ mod tests {
 
     #[test]
     fn poisson_mean_rate_is_respected() {
-        let mut g = ArrivalGenerator::new(ArrivalProcess::Poisson { rate_rps: 200.0 }, SimRng::new(1));
+        let mut g =
+            ArrivalGenerator::new(ArrivalProcess::Poisson { rate_rps: 200.0 }, SimRng::new(1));
         let n = 20_000;
         let mut last = 0.0;
         for _ in 0..n {

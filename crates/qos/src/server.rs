@@ -121,8 +121,8 @@ impl ServerSim {
     /// how the paper establishes each service's peak load empirically.
     pub fn find_peak_load_rps(&self, params: SimParams) -> f64 {
         // Upper bound: the no-queueing throughput of all workers.
-        let slowdown = self.spec.cpu_fraction / params.performance_fraction
-            + (1.0 - self.spec.cpu_fraction);
+        let slowdown =
+            self.spec.cpu_fraction / params.performance_fraction + (1.0 - self.spec.cpu_fraction);
         let mean_service_ms = self.spec.service_median_ms
             * (self.spec.service_sigma * self.spec.service_sigma / 2.0).exp()
             * slowdown;
@@ -157,12 +157,11 @@ impl ServerSim {
         let mut rng = SimRng::new(params.seed);
         let arrival_rng = rng.fork(1);
         let service_rng = rng.fork(2);
-        let mut arrivals =
-            ArrivalGenerator::new(self.arrivals.with_rate(rate_rps), arrival_rng);
+        let mut arrivals = ArrivalGenerator::new(self.arrivals.with_rate(rate_rps), arrival_rng);
         // Only the CPU-bound portion of the service time stretches when the
         // core delivers less single-thread performance.
-        let slowdown = self.spec.cpu_fraction / params.performance_fraction
-            + (1.0 - self.spec.cpu_fraction);
+        let slowdown =
+            self.spec.cpu_fraction / params.performance_fraction + (1.0 - self.spec.cpu_fraction);
         let mut service = ServiceTimes {
             rng: service_rng,
             median_ms: self.spec.service_median_ms * slowdown,
@@ -242,7 +241,12 @@ mod tests {
         assert!(peak > 0.0);
         let low = sim.run_at_load(0.2, peak, params);
         let high = sim.run_at_load(0.95, peak, params);
-        assert!(high.p99_ms > low.p99_ms * 1.5, "p99 must grow sharply near saturation (low={:.1}, high={:.1})", low.p99_ms, high.p99_ms);
+        assert!(
+            high.p99_ms > low.p99_ms * 1.5,
+            "p99 must grow sharply near saturation (low={:.1}, high={:.1})",
+            low.p99_ms,
+            high.p99_ms
+        );
         assert!(high.mean_ms > low.mean_ms);
     }
 
@@ -305,7 +309,14 @@ mod tests {
 
     #[test]
     fn summary_tail_selector() {
-        let s = LatencySummary { mean_ms: 1.0, p95_ms: 2.0, p99_ms: 3.0, p995_ms: 4.0, max_ms: 5.0, requests: 10 };
+        let s = LatencySummary {
+            mean_ms: 1.0,
+            p95_ms: 2.0,
+            p99_ms: 3.0,
+            p995_ms: 4.0,
+            max_ms: 5.0,
+            requests: 10,
+        };
         assert_eq!(s.tail(TailMetric::P95), 2.0);
         assert_eq!(s.tail(TailMetric::P99), 3.0);
         assert_eq!(s.tail(TailMetric::Timeout), 4.0);

@@ -99,8 +99,7 @@ mod tests {
 
     #[test]
     fn low_load_has_large_slack_high_load_has_little() {
-        let points =
-            slack_curve(&ServiceSpec::web_search(), SimParams::quick(29), &[0.2, 0.9]);
+        let points = slack_curve(&ServiceSpec::web_search(), SimParams::quick(29), &[0.2, 0.9]);
         assert!(
             points[0].slack() >= 0.5,
             "at 20% load at least half of the performance should be slack (got {:.2})",

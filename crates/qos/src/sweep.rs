@@ -52,8 +52,7 @@ mod tests {
 
     #[test]
     fn sweep_produces_monotone_loads_and_growing_tail() {
-        let points =
-            latency_vs_load(&ServiceSpec::web_search(), SimParams::quick(13), 0.1, 6);
+        let points = latency_vs_load(&ServiceSpec::web_search(), SimParams::quick(13), 0.1, 6);
         assert_eq!(points.len(), 6);
         for pair in points.windows(2) {
             assert!(pair[1].load > pair[0].load);

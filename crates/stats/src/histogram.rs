@@ -92,8 +92,7 @@ impl Histogram {
         if self.total == 0 {
             return None;
         }
-        let weighted: f64 =
-            self.counts.iter().enumerate().map(|(v, &c)| v as f64 * c as f64).sum();
+        let weighted: f64 = self.counts.iter().enumerate().map(|(v, &c)| v as f64 * c as f64).sum();
         Some(weighted / self.total as f64)
     }
 }

@@ -1,6 +1,6 @@
 //! Statistics utilities for the Stretch (HPCA'19) reproduction.
 //!
-//! * [`percentile`] — exact percentiles over sample sets (tail latency).
+//! * [`percentile`](mod@percentile) — exact percentiles over sample sets (tail latency).
 //! * [`histogram`] — fixed-bin histograms (MLP census, latency histograms).
 //! * [`distribution`] — five-number / violin-style summaries used to report
 //!   the slowdown and speedup distributions of Figures 3, 9, 10, 11.

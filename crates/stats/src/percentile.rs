@@ -188,8 +188,8 @@ mod tests {
     fn p99_dominates_p95_dominates_mean_for_heavy_tail() {
         let mut t = Percentiles::new();
         // 980 fast requests, 20 very slow ones.
-        t.extend(std::iter::repeat(1.0).take(980));
-        t.extend(std::iter::repeat(100.0).take(20));
+        t.extend(std::iter::repeat_n(1.0, 980));
+        t.extend(std::iter::repeat_n(100.0, 20));
         let mean = t.mean().unwrap();
         let p95 = t.p95().unwrap();
         let p99 = t.p99().unwrap();

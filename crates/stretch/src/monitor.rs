@@ -64,7 +64,9 @@ impl QosPolicy {
     pub fn validate(&self) -> Result<(), String> {
         match self {
             QosPolicy::TailLatency { engage_below, disengage_above } => {
-                if !(*engage_below > 0.0 && engage_below < disengage_above && *disengage_above <= 1.5)
+                if !(*engage_below > 0.0
+                    && engage_below < disengage_above
+                    && *disengage_above <= 1.5)
                 {
                     return Err(format!(
                         "tail-latency thresholds must satisfy 0 < engage ({engage_below}) < disengage ({disengage_above}) <= 1.5"
@@ -367,7 +369,11 @@ mod tests {
             let tail = if i % 2 == 0 { 55.0 } else { 65.0 };
             m.observe_tail_latency(tail, 100.0);
         }
-        assert!(m.mode_changes() <= 2, "hysteresis should prevent flapping ({} changes)", m.mode_changes());
+        assert!(
+            m.mode_changes() <= 2,
+            "hysteresis should prevent flapping ({} changes)",
+            m.mode_changes()
+        );
     }
 
     #[test]

@@ -172,11 +172,8 @@ impl Orchestrator {
             let mode = self.monitor.mode();
             let perf = self.table.for_mode(mode);
             let load = load.clamp(0.02, 1.0);
-            let params = SimParams {
-                seed: self.params.seed.wrapping_add(i as u64),
-                ..self.params
-            }
-            .with_performance(perf.ls_performance.clamp(0.05, 1.0));
+            let params = SimParams { seed: self.params.seed.wrapping_add(i as u64), ..self.params }
+                .with_performance(perf.ls_performance.clamp(0.05, 1.0));
             let summary = sim.run_at_load(load, self.peak_rps, params);
             let tail = summary.tail(self.service.tail_metric);
             let violated = tail > self.service.qos_target_ms;

@@ -15,6 +15,7 @@ use sim_model::{BoxedTrace, WorkloadClass};
 /// lists them.
 pub const NAMES: [&str; 4] = ["data-serving", "web-serving", "web-search", "media-streaming"];
 
+#[allow(clippy::too_many_arguments)] // mirrors the column order of the profile table
 fn ls_profile(
     name: &str,
     load_frac: f64,

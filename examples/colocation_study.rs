@@ -48,8 +48,7 @@ fn main() {
     println!("ROB sensitivity (stand-alone, normalised to a 192-entry ROB):");
     println!("  ROB entries     {ls_name:<16} zeusmp");
     let ls_full = run_standalone_with_rob(&cfg, ls_profile.spawn(seed), 192, length).uipc;
-    let zeusmp_full =
-        run_standalone_with_rob(&cfg, batch::zeusmp(seed ^ 2), 192, length).uipc;
+    let zeusmp_full = run_standalone_with_rob(&cfg, batch::zeusmp(seed ^ 2), 192, length).uipc;
     for rob in [32usize, 48, 96, 144, 192] {
         let ls = run_standalone_with_rob(&cfg, ls_profile.spawn(seed), rob, length).uipc;
         let z = run_standalone_with_rob(&cfg, batch::zeusmp(seed ^ 2), rob, length).uipc;

@@ -26,13 +26,8 @@ fn main() {
     let b_mode = StretchMode::BatchBoost(RobSkew::recommended_b_mode());
     let mut setup = CoreSetup::baseline(&cfg);
     setup.partition = b_mode.partition_policy(&cfg, ThreadId::T0);
-    let stretched = run_pair(
-        &cfg,
-        setup,
-        latency_sensitive::web_search(seed),
-        batch::zeusmp(seed),
-        length,
-    );
+    let stretched =
+        run_pair(&cfg, setup, latency_sensitive::web_search(seed), batch::zeusmp(seed), length);
 
     let ls_base = baseline.uipc(ThreadId::T0);
     let batch_base = baseline.uipc(ThreadId::T1);
@@ -40,20 +35,17 @@ fn main() {
     let batch_stretch = stretched.uipc(ThreadId::T1);
 
     println!("Stretch quickstart: web-search (latency-sensitive) + zeusmp (batch)");
-    println!("  core: {}-entry ROB, {}-entry LSQ, dual-thread SMT", cfg.rob_capacity, cfg.lsq_capacity);
+    println!(
+        "  core: {}-entry ROB, {}-entry LSQ, dual-thread SMT",
+        cfg.rob_capacity, cfg.lsq_capacity
+    );
     println!();
     println!("  configuration        LS UIPC   batch UIPC");
     println!("  baseline (96-96)      {ls_base:6.3}      {batch_base:6.3}");
     println!("  B-mode   (56-136)     {ls_stretch:6.3}      {batch_stretch:6.3}");
     println!();
-    println!(
-        "  batch speedup from B-mode: {:+.1}%",
-        (batch_stretch / batch_base - 1.0) * 100.0
-    );
-    println!(
-        "  latency-sensitive slowdown: {:+.1}%",
-        (1.0 - ls_stretch / ls_base) * 100.0
-    );
+    println!("  batch speedup from B-mode: {:+.1}%", (batch_stretch / batch_base - 1.0) * 100.0);
+    println!("  latency-sensitive slowdown: {:+.1}%", (1.0 - ls_stretch / ls_base) * 100.0);
     println!();
     println!("At low to moderate service load the latency-sensitive slowdown is absorbed");
     println!("by QoS slack (see the datacenter_cluster example), so the batch speedup is free.");

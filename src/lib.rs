@@ -35,7 +35,9 @@ pub use workloads;
 
 /// Commonly used items, suitable for glob import in examples.
 pub mod prelude {
-    pub use cpu_sim::{ColocationResult, SimLength, SmtCore, SmtCoreBuilder};
+    pub use cpu_sim::{
+        run_pair, run_standalone, ColocationResult, CoreSetup, SimLength, SmtCore, SmtCoreBuilder,
+    };
     pub use sim_model::{CoreConfig, ThreadId, WorkloadClass};
     pub use stretch::{RobSkew, SoftwareMonitor, StretchConfig, StretchMode};
     pub use workloads::{batch, latency_sensitive, WorkloadProfile};

@@ -19,11 +19,7 @@ fn quick() -> SimLength {
 /// A window long enough for steady-state window-capacity effects to show up,
 /// still small enough for a debug-build test.
 fn medium() -> SimLength {
-    SimLength {
-        warmup_instructions: 5_000,
-        measured_instructions: 25_000,
-        max_cycles: 3_000_000,
-    }
+    SimLength { warmup_instructions: 5_000, measured_instructions: 25_000, max_cycles: 3_000_000 }
 }
 
 #[test]
@@ -40,15 +36,10 @@ fn b_mode_boosts_a_rob_hungry_batch_corunner() {
         medium(),
     );
     let mut setup = CoreSetup::baseline(&cfg);
-    setup.partition = StretchMode::BatchBoost(RobSkew::recommended_b_mode())
-        .partition_policy(&cfg, ThreadId::T0);
-    let stretched = run_pair(
-        &cfg,
-        setup,
-        latency_sensitive::web_search(101),
-        batch::zeusmp(101),
-        medium(),
-    );
+    setup.partition =
+        StretchMode::BatchBoost(RobSkew::recommended_b_mode()).partition_policy(&cfg, ThreadId::T0);
+    let stretched =
+        run_pair(&cfg, setup, latency_sensitive::web_search(101), batch::zeusmp(101), medium());
     let batch_speedup = stretched.uipc(ThreadId::T1) / baseline.uipc(ThreadId::T1) - 1.0;
     let ls_slowdown = 1.0 - stretched.uipc(ThreadId::T0) / baseline.uipc(ThreadId::T0);
     assert!(
@@ -72,30 +63,20 @@ fn b_mode_boosts_a_rob_hungry_batch_corunner() {
 #[test]
 fn q_mode_shifts_performance_back_to_the_latency_sensitive_thread() {
     let cfg = CoreConfig::default();
-    let b_mode_policy = StretchMode::BatchBoost(RobSkew::recommended_b_mode())
-        .partition_policy(&cfg, ThreadId::T0);
-    let q_mode_policy = StretchMode::QosBoost(RobSkew::recommended_q_mode())
-        .partition_policy(&cfg, ThreadId::T0);
+    let b_mode_policy =
+        StretchMode::BatchBoost(RobSkew::recommended_b_mode()).partition_policy(&cfg, ThreadId::T0);
+    let q_mode_policy =
+        StretchMode::QosBoost(RobSkew::recommended_q_mode()).partition_policy(&cfg, ThreadId::T0);
 
     let mut b_setup = CoreSetup::baseline(&cfg);
     b_setup.partition = b_mode_policy;
     let mut q_setup = CoreSetup::baseline(&cfg);
     q_setup.partition = q_mode_policy;
 
-    let b = run_pair(
-        &cfg,
-        b_setup,
-        latency_sensitive::data_serving(55),
-        batch::zeusmp(55),
-        quick(),
-    );
-    let q = run_pair(
-        &cfg,
-        q_setup,
-        latency_sensitive::data_serving(55),
-        batch::zeusmp(55),
-        quick(),
-    );
+    let b =
+        run_pair(&cfg, b_setup, latency_sensitive::data_serving(55), batch::zeusmp(55), quick());
+    let q =
+        run_pair(&cfg, q_setup, latency_sensitive::data_serving(55), batch::zeusmp(55), quick());
     assert!(
         q.uipc(ThreadId::T0) >= b.uipc(ThreadId::T0),
         "Q-mode should not be worse than B-mode for the latency-sensitive thread"
@@ -164,7 +145,11 @@ fn monitor_keeps_qos_while_harvesting_throughput_over_a_day() {
         .collect();
     let report = orch.run_trace(&loads);
     assert_eq!(report.intervals.len(), 24);
-    assert!(report.b_mode_intervals >= 6, "expected B-mode at night, got {}", report.b_mode_intervals);
+    assert!(
+        report.b_mode_intervals >= 6,
+        "expected B-mode at night, got {}",
+        report.b_mode_intervals
+    );
     assert!(report.average_batch_throughput > 1.0);
     for iv in &report.intervals {
         if iv.load < 0.4 && !iv.mode.is_batch_boost() {

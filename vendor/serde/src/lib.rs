@@ -1,0 +1,37 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment for this repository cannot reach crates.io, so the
+//! workspace vendors a minimal API-compatible subset of `serde` (see
+//! `vendor/README.md`). The simulator crates import
+//! `serde::{Serialize, Deserialize}` and derive both traits on their result
+//! and configuration types, but no code path in the workspace currently
+//! serialises a value, so marker traits are sufficient. Swapping this shim
+//! for the real crate is a one-line change in the workspace manifest.
+#![forbid(unsafe_code)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+///
+/// The real trait's methods are omitted: nothing in the workspace calls
+/// them, and the vendored [`serde_derive`] macros expand to nothing.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+/// Mirror of the `serde::ser` module namespace.
+pub mod ser {
+    pub use super::Serialize;
+}
+
+/// Mirror of the `serde::de` module namespace.
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}

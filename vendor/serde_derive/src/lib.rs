@@ -1,0 +1,25 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace vendors a minimal API-compatible subset of the external
+//! dependencies it names (see `vendor/README.md`). Nothing in the workspace
+//! ever *serialises* a value — `#[derive(Serialize, Deserialize)]` is used
+//! purely as a forward-looking annotation — so these derives are free to
+//! expand to nothing. The `serde` helper attribute is still registered so
+//! that `#[serde(...)]` field attributes would not be rejected if a future
+//! change introduces them.
+#![forbid(unsafe_code)]
+
+use proc_macro::TokenStream;
+
+/// Derive macro for `serde::Serialize`. Expands to nothing (marker only).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derive macro for `serde::Deserialize`. Expands to nothing (marker only).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,215 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! The build environment cannot reach crates.io (see `vendor/README.md`), so
+//! this shim provides the small JSON surface the workspace actually uses: an
+//! owned [`Value`] tree plus [`to_string`] / [`to_string_pretty`] over it.
+//! It does not implement generic `Serialize`-driven encoding — callers build
+//! a [`Value`] explicitly (see `stretch_bench::report::json`).
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// Map type backing [`Value::Object`], mirroring `serde_json::Map<String,
+/// Value>` (`new` / `insert` / iteration). Keys are deterministically
+/// ordered, matching the real crate's `preserve_order = off` behaviour of
+/// a sorted map.
+pub type Map<K, V> = std::collections::BTreeMap<K, V>;
+
+/// An owned JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number (stored as `f64`; non-finite values render as `null`).
+    Number(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object with deterministically ordered keys.
+    Object(Map<String, Value>),
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Number(v)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::Number(v as f64)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::Number(v as f64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl Value {
+    fn write(&self, f: &mut fmt::Formatter<'_>, pretty: bool, indent: usize) -> fmt::Result {
+        const PAD: &str = "  ";
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(n) if n.is_finite() => {
+                if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                    write!(f, "{}", *n as i64)
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+            Value::Number(_) => f.write_str("null"),
+            Value::String(s) => write_escaped(f, s),
+            Value::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    if pretty {
+                        f.write_str("\n")?;
+                        for _ in 0..=indent {
+                            f.write_str(PAD)?;
+                        }
+                    }
+                    item.write(f, pretty, indent + 1)?;
+                }
+                if pretty && !items.is_empty() {
+                    f.write_str("\n")?;
+                    for _ in 0..indent {
+                        f.write_str(PAD)?;
+                    }
+                }
+                f.write_str("]")
+            }
+            Value::Object(map) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    if pretty {
+                        f.write_str("\n")?;
+                        for _ in 0..=indent {
+                            f.write_str(PAD)?;
+                        }
+                    }
+                    write_escaped(f, k)?;
+                    f.write_str(if pretty { ": " } else { ":" })?;
+                    v.write(f, pretty, indent + 1)?;
+                }
+                if pretty && !map.is_empty() {
+                    f.write_str("\n")?;
+                    for _ in 0..indent {
+                        f.write_str(PAD)?;
+                    }
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.write(f, f.alternate(), 0)
+    }
+}
+
+/// Serialise a [`Value`] to a compact JSON string. Infallible for `Value`.
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    Ok(format!("{value}"))
+}
+
+/// Serialise a [`Value`] to a pretty-printed JSON string.
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    Ok(format!("{value:#}"))
+}
+
+/// Error type mirroring `serde_json::Error` (never produced by this shim).
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("serde_json shim error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_compact_json() {
+        let mut m = Map::new();
+        m.insert("name".to_string(), Value::from("web-search"));
+        m.insert("p99_ms".to_string(), Value::from(12.5));
+        m.insert("ok".to_string(), Value::from(true));
+        m.insert("tags".to_string(), Value::from(vec!["qos", "smt"]));
+        assert_eq!(
+            to_string(&Value::Object(m)).unwrap(),
+            r#"{"name":"web-search","ok":true,"p99_ms":12.5,"tags":["qos","smt"]}"#
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let v = Value::from("a\"b\\c\nd");
+        assert_eq!(to_string(&v).unwrap(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn pretty_print_indents() {
+        let mut m = Map::new();
+        m.insert("k".to_string(), Value::from(1u64));
+        assert_eq!(to_string_pretty(&Value::Object(m)).unwrap(), "{\n  \"k\": 1\n}");
+    }
+}
