@@ -17,6 +17,7 @@ use cpu_sim::{
 use qos::{latency_vs_load, slack_curve, ServiceSpec, SimParams};
 use sim_model::{CoreConfig, ThreadId};
 use stretch::{RobSkew, StretchMode};
+use stretch_bench::{figures, Engine, ExperimentConfig};
 use workloads::{batch, latency_sensitive};
 
 fn cfg() -> CoreConfig {
@@ -196,6 +197,27 @@ fn bench_tables_config(c: &mut Criterion) {
     });
 }
 
+fn bench_engine_memo_hit(c: &mut Criterion) {
+    // The hot path of a warm `figures` run: every cell answered from the
+    // in-process memo (decode + counters, no simulation).
+    let engine = Engine::new(ExperimentConfig::quick());
+    let setup = CoreSetup::baseline(&engine.cfg().core);
+    let _ = engine.pair(setup, "web-search", "zeusmp"); // populate the cell
+    c.bench_function("engine_memo_hit_pair", |b| {
+        b.iter(|| black_box(engine.pair(setup, "web-search", "zeusmp")))
+    });
+}
+
+fn bench_engine_figure_render_warm(c: &mut Criterion) {
+    // Rendering a whole figure from a fully warm engine measures the
+    // formatting + memo overhead the driver adds on top of the simulations.
+    let engine = Engine::new(ExperimentConfig::quick()).with_sub_matrix(1, 1);
+    let _ = figures::figure03(&engine); // populate every cell
+    c.bench_function("engine_figure03_render_warm", |b| {
+        b.iter(|| black_box(figures::figure03(&engine)))
+    });
+}
+
 criterion_group! {
     name = figures;
     config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
@@ -214,5 +236,7 @@ criterion_group! {
         bench_fig13_sw_scheduling,
         bench_fig14_cluster,
         bench_tables_config,
+        bench_engine_memo_hit,
+        bench_engine_figure_render_warm,
 }
 criterion_main!(figures);

@@ -1,48 +1,9 @@
-//! Figure 1: Web Search average, 95th- and 99th-percentile latency as a
-//! function of load, against the 100 ms QoS target.
+//! Thin wrapper: renders the paper's Figure 1 via the shared figure
+//! registry (`stretch_bench::figures`), so its output is identical to the
+//! `figures` driver's.
 //!
 //! Run with: `cargo run --release -p stretch-bench --bin figure01 [--quick]`
 
-use qos::{latency_vs_load, ServiceSpec, SimParams};
-use stretch_bench::report::TableWriter;
-
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let spec = ServiceSpec::web_search();
-    let params = if quick { SimParams::quick(42) } else { SimParams::standard(42) };
-
-    let points = latency_vs_load(&spec, params, 0.05, 20);
-    let mut table = TableWriter::new(
-        &format!(
-            "Figure 1: {} latency vs load (QoS target {} ms p99)",
-            spec.name, spec.qos_target_ms
-        ),
-        &["load (% of max)", "average (ms)", "95th percentile (ms)", "99th percentile (ms)", "QoS"],
-    );
-    for p in &points {
-        table.row(&[
-            format!("{:.0}%", p.load * 100.0),
-            format!("{:.1}", p.latency.mean_ms),
-            format!("{:.1}", p.latency.p95_ms),
-            format!("{:.1}", p.latency.p99_ms),
-            if p.latency.p99_ms <= spec.qos_target_ms {
-                "ok".to_string()
-            } else {
-                "VIOLATED".to_string()
-            },
-        ]);
-    }
-    table.print();
-
-    let first = points.first().expect("non-empty sweep");
-    let last = points.last().expect("non-empty sweep");
-    println!();
-    println!(
-        "Average latency grows {:.0}% from the lowest to the highest load point (paper: 43%);",
-        (last.latency.mean_ms / first.latency.mean_ms - 1.0) * 100.0
-    );
-    println!(
-        "the 99th percentile grows {:.1}x (paper: over 2.5x).",
-        last.latency.p99_ms / first.latency.p99_ms
-    );
+    stretch_bench::figures::run_standalone_binary("figure01");
 }

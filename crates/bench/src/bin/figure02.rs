@@ -1,49 +1,9 @@
-//! Figure 2: slack in per-request processing time — the minimum fraction of
-//! full single-thread performance each latency-sensitive service needs to
-//! keep meeting its QoS target, as a function of load.
+//! Thin wrapper: renders the paper's Figure 2 via the shared figure
+//! registry (`stretch_bench::figures`), so its output is identical to the
+//! `figures` driver's.
 //!
 //! Run with: `cargo run --release -p stretch-bench --bin figure02 [--quick]`
 
-use qos::{slack_curve, ServiceSpec, SimParams};
-use stretch_bench::report::TableWriter;
-
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let params = if quick { SimParams::quick(7) } else { SimParams::standard(7) };
-    let loads: Vec<f64> = (1..=10).map(|i| i as f64 * 0.1).collect();
-
-    let mut table = TableWriter::new(
-        "Figure 2: performance required to meet the QoS target (% of full core)",
-        &["load (% of max)", "data-serving", "web-serving", "web-search", "media-streaming"],
-    );
-    let mut columns = Vec::new();
-    for spec in ServiceSpec::all() {
-        columns.push(slack_curve(&spec, params, &loads));
-    }
-    for (i, &load) in loads.iter().enumerate() {
-        let mut row = vec![format!("{:.0}%", load * 100.0)];
-        for col in &columns {
-            row.push(format!("{:.0}%", col[i].required_performance * 100.0));
-        }
-        table.row(&row);
-    }
-    table.print();
-
-    println!();
-    let at = |target_load: f64| -> Vec<f64> {
-        let idx = loads.iter().position(|&l| (l - target_load).abs() < 1e-9).expect("load on grid");
-        columns.iter().map(|c| c[idx].slack()).collect()
-    };
-    let s20 = at(0.2);
-    let s50 = at(0.5);
-    println!(
-        "At 20% load, {:.0}-{:.0}% of single-thread performance can be sacrificed (paper: 55-90%).",
-        s20.iter().cloned().fold(f64::MAX, f64::min) * 100.0,
-        s20.iter().cloned().fold(f64::MIN, f64::max) * 100.0
-    );
-    println!(
-        "At 50% load, {:.0}-{:.0}% can be sacrificed (paper: 30-70%).",
-        s50.iter().cloned().fold(f64::MAX, f64::min) * 100.0,
-        s50.iter().cloned().fold(f64::MIN, f64::max) * 100.0
-    );
+    stretch_bench::figures::run_standalone_binary("figure02");
 }

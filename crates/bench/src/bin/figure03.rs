@@ -1,61 +1,9 @@
-//! Figure 3: slowdown incurred by colocating latency-sensitive and batch
-//! applications on the baseline SMT core (equal ROB partitioning), relative
-//! to stand-alone execution on a full core.
+//! Thin wrapper: renders the paper's Figure 3 via the shared figure
+//! registry (`stretch_bench::figures`), so its output is identical to the
+//! `figures` driver's.
 //!
 //! Run with: `cargo run --release -p stretch-bench --bin figure03 [--quick]`
 
-use cpu_sim::CoreSetup;
-use sim_stats::DistributionSummary;
-use stretch_bench::harness::{ls_names, run_matrix, standalone_reference, ExperimentConfig};
-use stretch_bench::report::format_distribution_row;
-
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let cfg = if quick { ExperimentConfig::quick() } else { ExperimentConfig::standard() };
-
-    println!("Figure 3: colocation slowdown on the baseline SMT core");
-    println!("(positive = slower than stand-alone on a full core)");
-    println!();
-
-    let reference = standalone_reference(&cfg);
-    let matrix = run_matrix(&cfg, CoreSetup::baseline(&cfg.core));
-
-    let mut all_ls = Vec::new();
-    let mut all_batch = Vec::new();
-    for ls in ls_names() {
-        let ls_slow: Vec<f64> = matrix
-            .iter()
-            .filter(|p| p.ls == ls)
-            .map(|p| 1.0 - p.ls_uipc / reference[&p.ls])
-            .collect();
-        let batch_slow: Vec<f64> = matrix
-            .iter()
-            .filter(|p| p.ls == ls)
-            .map(|p| 1.0 - p.batch_uipc / reference[&p.batch])
-            .collect();
-        println!(
-            "{}",
-            format_distribution_row(
-                &format!("{ls} (LS thread)"),
-                &DistributionSummary::from_samples(&ls_slow)
-            )
-        );
-        println!(
-            "{}",
-            format_distribution_row(
-                &format!("{ls} (batch co-runners)"),
-                &DistributionSummary::from_samples(&batch_slow)
-            )
-        );
-        all_ls.extend(ls_slow);
-        all_batch.extend(batch_slow);
-    }
-
-    println!();
-    let ls_summary = DistributionSummary::from_samples(&all_ls);
-    let batch_summary = DistributionSummary::from_samples(&all_batch);
-    println!("{}", format_distribution_row("ALL latency-sensitive", &ls_summary));
-    println!("{}", format_distribution_row("ALL batch", &batch_summary));
-    println!();
-    println!("Paper: latency-sensitive 14% average / 28% max; batch 24% average / 46% max.");
+    stretch_bench::figures::run_standalone_binary("figure03");
 }

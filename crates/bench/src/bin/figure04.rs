@@ -1,67 +1,9 @@
-//! Figure 4: slowdown of Web Search (left) and of each batch co-runner
-//! (right) when exactly one core resource is shared between the SMT threads
-//! (ROB, L1-I, L1-D, BTB+BP), everything else being private.
+//! Thin wrapper: renders the paper's Figure 4 via the shared figure
+//! registry (`stretch_bench::figures`), so its output is identical to the
+//! `figures` driver's.
 //!
 //! Run with: `cargo run --release -p stretch-bench --bin figure04 [--quick]`
 
-use cpu_sim::StudiedResource;
-use stretch_bench::harness::{
-    batch_names, parallel_map, run_single_pair, standalone_reference, ExperimentConfig,
-};
-use stretch_bench::report::TableWriter;
-
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let cfg = if quick { ExperimentConfig::quick() } else { ExperimentConfig::standard() };
-    let ls = "web-search";
-
-    let reference = standalone_reference(&cfg);
-
-    let mut table = TableWriter::new(
-        "Figure 4: per-resource sharing slowdown for Web Search colocations",
-        &[
-            "batch co-runner",
-            "WS|ROB",
-            "WS|L1-I",
-            "WS|L1-D",
-            "WS|BTB+BP",
-            "batch|ROB",
-            "batch|L1-I",
-            "batch|L1-D",
-            "batch|BTB+BP",
-        ],
-    );
-
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    let rows = parallel_map(batch_names(), workers, |batch| {
-        let mut ls_cells = Vec::new();
-        let mut batch_cells = Vec::new();
-        for resource in StudiedResource::ALL {
-            let setup = resource.setup(&cfg.core);
-            let out = run_single_pair(&cfg, setup, ls, batch);
-            ls_cells.push(1.0 - out.ls_uipc / reference[ls]);
-            batch_cells.push(1.0 - out.batch_uipc / reference[batch]);
-        }
-        (batch.clone(), ls_cells, batch_cells)
-    });
-
-    let mut rob_losses = Vec::new();
-    for (batch, ls_cells, batch_cells) in &rows {
-        rob_losses.push(batch_cells[0]);
-        let mut row = vec![batch.clone()];
-        row.extend(ls_cells.iter().map(|v| format!("{:.1}%", v * 100.0)));
-        row.extend(batch_cells.iter().map(|v| format!("{:.1}%", v * 100.0)));
-        table.row(&row);
-    }
-    table.print();
-
-    let over_15 = rob_losses.iter().filter(|&&v| v > 0.15).count();
-    let max = rob_losses.iter().cloned().fold(f64::MIN, f64::max);
-    println!();
-    println!(
-        "Batch co-runners losing more than 15% in the shared ROB: {over_15} of {} (paper: 15 of 29); \
-         worst case {:.1}% (paper: 31%).",
-        rob_losses.len(),
-        max * 100.0
-    );
+    stretch_bench::figures::run_standalone_binary("figure04");
 }

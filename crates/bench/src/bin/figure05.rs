@@ -1,50 +1,9 @@
-//! Figure 5: average slowdown caused by sharing each core resource, for all
-//! four latency-sensitive services and their batch co-runners.
+//! Thin wrapper: renders the paper's Figure 5 via the shared figure
+//! registry (`stretch_bench::figures`), so its output is identical to the
+//! `figures` driver's.
 //!
 //! Run with: `cargo run --release -p stretch-bench --bin figure05 [--quick]`
 
-use cpu_sim::StudiedResource;
-use stretch_bench::harness::{
-    batch_names, ls_names, parallel_map, run_single_pair, standalone_reference, ExperimentConfig,
-};
-use stretch_bench::report::TableWriter;
-
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let cfg = if quick { ExperimentConfig::quick() } else { ExperimentConfig::standard() };
-
-    let reference = standalone_reference(&cfg);
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-
-    let mut table = TableWriter::new(
-        "Figure 5: average slowdown from sharing one resource (LS thread | batch co-runners)",
-        &["latency-sensitive", "side", "ROB", "L1-I", "L1-D", "BTB+BP"],
-    );
-
-    for ls in ls_names() {
-        let per_resource = parallel_map(StudiedResource::ALL.to_vec(), workers, |resource| {
-            let setup = resource.setup(&cfg.core);
-            let mut ls_sum = 0.0;
-            let mut batch_sum = 0.0;
-            let batches = batch_names();
-            for batch in &batches {
-                let out = run_single_pair(&cfg, setup, &ls, batch);
-                ls_sum += 1.0 - out.ls_uipc / reference[&ls];
-                batch_sum += 1.0 - out.batch_uipc / reference[batch];
-            }
-            (ls_sum / batches.len() as f64, batch_sum / batches.len() as f64)
-        });
-        let mut ls_row = vec![ls.clone(), "LS".to_string()];
-        let mut batch_row = vec![ls.clone(), "batch".to_string()];
-        for (ls_avg, batch_avg) in &per_resource {
-            ls_row.push(format!("{:.1}%", ls_avg * 100.0));
-            batch_row.push(format!("{:.1}%", batch_avg * 100.0));
-        }
-        table.row(&ls_row);
-        table.row(&batch_row);
-    }
-    table.print();
-    println!();
-    println!("Paper: the ROB is the consistent source of batch degradation (19% avg, 31% max);");
-    println!("no single resource dominates latency-sensitive slowdown except lbm's L1-D pressure.");
+    stretch_bench::figures::run_standalone_binary("figure05");
 }

@@ -1,119 +1,9 @@
-//! Figure 6: sensitivity to ROB capacity.
-//!
-//! Each workload runs alone on a core whose (per-thread) ROB capacity is
-//! swept from 16 to 192 entries; performance is normalised to the 192-entry
-//! point. The paper plots the four latency-sensitive services, the batch
-//! average and `zeusmp`.
+//! Thin wrapper: renders the paper's Figure 6 via the shared figure
+//! registry (`stretch_bench::figures`), so its output is identical to the
+//! `figures` driver's.
 //!
 //! Run with: `cargo run --release -p stretch-bench --bin figure06 [--quick]`
 
-use cpu_sim::run_standalone_with_rob;
-use stretch_bench::harness::{batch_names, pair_seed, parallel_map, ExperimentConfig};
-use stretch_bench::report::TableWriter;
-use workloads::profile_by_name;
-
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let cfg = if quick { ExperimentConfig::quick() } else { ExperimentConfig::standard() };
-    let rob_sizes: Vec<usize> = vec![16, 32, 48, 64, 80, 96, 112, 128, 144, 160, 176, 192];
-
-    let mut curves: Vec<(String, Vec<f64>)> = Vec::new();
-    let mut series: Vec<String> = vec![
-        "data-serving".into(),
-        "web-serving".into(),
-        "web-search".into(),
-        "media-streaming".into(),
-        "zeusmp".into(),
-    ];
-    series.extend(batch_names());
-    series.dedup();
-
-    let workers = if cfg.parallelism > 0 {
-        cfg.parallelism
-    } else {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
-    };
-    let results = parallel_map(series.clone(), workers, |name| {
-        let profile = profile_by_name(name).expect("known workload");
-        let seed = pair_seed(cfg.seed, name, "rob-sweep");
-        let uipcs: Vec<f64> = rob_sizes
-            .iter()
-            .map(|&rob| {
-                run_standalone_with_rob(&cfg.core, profile.spawn(seed), rob, cfg.length).uipc
-            })
-            .collect();
-        (name.clone(), uipcs)
-    });
-    for (name, uipcs) in results {
-        curves.push((name, uipcs));
-    }
-
-    // Batch average over the 29 SPEC-like profiles.
-    let batch_set: Vec<&(String, Vec<f64>)> =
-        curves.iter().filter(|(n, _)| batch_names().contains(n)).collect();
-    let batch_avg: Vec<f64> = (0..rob_sizes.len())
-        .map(|i| batch_set.iter().map(|(_, c)| c[i]).sum::<f64>() / batch_set.len() as f64)
-        .collect();
-
-    let mut table = TableWriter::new(
-        "Figure 6: slowdown vs ROB size (normalised to 192 entries; higher = worse)",
-        &[
-            "ROB entries",
-            "data-serving",
-            "web-serving",
-            "web-search",
-            "media-streaming",
-            "batch (avg)",
-            "zeusmp",
-        ],
-    );
-    let lookup = |name: &str| -> &Vec<f64> {
-        &curves.iter().find(|(n, _)| n == name).expect("series present").1
-    };
-    for (i, rob) in rob_sizes.iter().enumerate() {
-        let row: Vec<String> = std::iter::once(rob.to_string())
-            .chain(["data-serving", "web-serving", "web-search", "media-streaming"].iter().map(
-                |n| {
-                    let c = lookup(n);
-                    format!("{:.1}%", (1.0 - c[i] / c[rob_sizes.len() - 1]) * 100.0)
-                },
-            ))
-            .chain(std::iter::once(format!(
-                "{:.1}%",
-                (1.0 - batch_avg[i] / batch_avg[rob_sizes.len() - 1]) * 100.0
-            )))
-            .chain(std::iter::once({
-                let c = lookup("zeusmp");
-                format!("{:.1}%", (1.0 - c[i] / c[rob_sizes.len() - 1]) * 100.0)
-            }))
-            .collect();
-        table.row(&row);
-    }
-    table.print();
-
-    // The headline numbers quoted in §III-C.
-    let idx_96 = rob_sizes.iter().position(|&r| r == 96).expect("96 in sweep");
-    let idx_48 = rob_sizes.iter().position(|&r| r == 48).expect("48 in sweep");
-    let last = rob_sizes.len() - 1;
-    let batch_loss_96 = 1.0 - batch_avg[idx_96] / batch_avg[last];
-    let batch_worst_96 =
-        batch_set.iter().map(|(_, c)| 1.0 - c[idx_96] / c[last]).fold(f64::MIN, f64::max);
-    let ls_loss_48: Vec<f64> = ["data-serving", "web-serving", "web-search", "media-streaming"]
-        .iter()
-        .map(|n| {
-            let c = lookup(n);
-            1.0 - c[idx_48] / c[last]
-        })
-        .collect();
-    println!();
-    println!(
-        "Batch loss at 96 entries: {:.1}% average, {:.1}% worst case (paper: 19% / 31%)",
-        batch_loss_96 * 100.0,
-        batch_worst_96 * 100.0
-    );
-    println!(
-        "Latency-sensitive loss at 48 entries: {:.1}%..{:.1}% (paper: within 23%)",
-        ls_loss_48.iter().cloned().fold(f64::MAX, f64::min) * 100.0,
-        ls_loss_48.iter().cloned().fold(f64::MIN, f64::max) * 100.0
-    );
+    stretch_bench::figures::run_standalone_binary("figure06");
 }

@@ -1,46 +1,9 @@
-//! Figure 7: memory-level parallelism of Web Search versus zeusmp — the
-//! fraction of execution time with at least N concurrent in-flight memory
-//! requests (to distinct cache blocks).
+//! Thin wrapper: renders the paper's Figure 7 via the shared figure
+//! registry (`stretch_bench::figures`), so its output is identical to the
+//! `figures` driver's.
 //!
 //! Run with: `cargo run --release -p stretch-bench --bin figure07 [--quick]`
 
-use cpu_sim::run_standalone;
-use stretch_bench::harness::{pair_seed, ExperimentConfig};
-use stretch_bench::report::TableWriter;
-use workloads::{batch, latency_sensitive};
-
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let cfg = if quick { ExperimentConfig::quick() } else { ExperimentConfig::standard() };
-
-    let ws = run_standalone(
-        &cfg.core,
-        latency_sensitive::web_search(pair_seed(cfg.seed, "web-search", "mlp")),
-        cfg.length,
-    );
-    let zeusmp =
-        run_standalone(&cfg.core, batch::zeusmp(pair_seed(cfg.seed, "zeusmp", "mlp")), cfg.length);
-
-    let mut table = TableWriter::new(
-        "Figure 7: fraction of time with >= N memory requests in flight",
-        &["N (in-flight requests)", "web-search", "zeusmp"],
-    );
-    for n in 1..=5usize {
-        table.row(&[
-            format!(">={n}"),
-            format!("{:.1}%", ws.mlp.fraction_at_least(n) * 100.0),
-            format!("{:.1}%", zeusmp.mlp.fraction_at_least(n) * 100.0),
-        ]);
-    }
-    table.print();
-
-    println!();
-    println!(
-        "Web Search exhibits MLP (>=2 in flight) {:.0}% of the time vs {:.0}% for zeusmp \
-         (paper: 9% vs 55%); >=3 in flight: {:.0}% vs {:.0}% (paper: 3% vs 21%).",
-        ws.mlp.fraction_at_least(2) * 100.0,
-        zeusmp.mlp.fraction_at_least(2) * 100.0,
-        ws.mlp.fraction_at_least(3) * 100.0,
-        zeusmp.mlp.fraction_at_least(3) * 100.0
-    );
+    stretch_bench::figures::run_standalone_binary("figure07");
 }

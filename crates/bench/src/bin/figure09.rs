@@ -1,63 +1,9 @@
-//! Figure 9: performance change under the Stretch B-mode and Q-mode skews,
-//! relative to the baseline equal ROB partitioning.
+//! Thin wrapper: renders the paper's Figure 9 via the shared figure
+//! registry (`stretch_bench::figures`), so its output is identical to the
+//! `figures` driver's.
 //!
 //! Run with: `cargo run --release -p stretch-bench --bin figure09 [--quick]`
 
-use cpu_sim::CoreSetup;
-use sim_model::ThreadId;
-use sim_stats::DistributionSummary;
-use stretch::{RobSkew, StretchMode};
-use stretch_bench::harness::{run_matrix, ExperimentConfig, PairOutcome};
-use stretch_bench::report::format_distribution_row;
-
-fn speedups(base: &[PairOutcome], other: &[PairOutcome]) -> (Vec<f64>, Vec<f64>) {
-    let mut ls = Vec::new();
-    let mut batch = Vec::new();
-    for (b, o) in base.iter().zip(other) {
-        assert_eq!((&b.ls, &b.batch), (&o.ls, &o.batch), "matrices must be aligned");
-        ls.push(o.ls_uipc / b.ls_uipc - 1.0);
-        batch.push(o.batch_uipc / b.batch_uipc - 1.0);
-    }
-    (ls, batch)
-}
-
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let cfg = if quick { ExperimentConfig::quick() } else { ExperimentConfig::standard() };
-
-    println!("Figure 9: speedup over the equally partitioned baseline");
-    println!();
-    let baseline = run_matrix(&cfg, CoreSetup::baseline(&cfg.core));
-
-    println!("B-modes (ROB skew LS-batch):");
-    for skew in RobSkew::b_mode_sweep() {
-        report_skew(&cfg, &baseline, StretchMode::BatchBoost(skew));
-    }
-    println!();
-    println!("Q-modes (ROB skew LS-batch):");
-    for skew in RobSkew::q_mode_sweep() {
-        report_skew(&cfg, &baseline, StretchMode::QosBoost(skew));
-    }
-    println!();
-    println!("Paper headline: B-mode 56-136 gives batch +13% avg (+30% max) at a 7% avg LS cost;");
-    println!("B-mode 32-160 gives +18% avg (+40% max); Q-mode 136-56 gives LS +7% avg (+18% max)");
-    println!("while costing batch 21% avg.");
-}
-
-fn report_skew(cfg: &ExperimentConfig, baseline: &[PairOutcome], mode: StretchMode) {
-    let mut setup = CoreSetup::baseline(&cfg.core);
-    setup.partition = mode.partition_policy(&cfg.core, ThreadId::T0);
-    let result = run_matrix(cfg, setup);
-    let (ls, batch) = speedups(baseline, &result);
-    println!(
-        "{}",
-        format_distribution_row(&format!("{mode} (LS)"), &DistributionSummary::from_samples(&ls))
-    );
-    println!(
-        "{}",
-        format_distribution_row(
-            &format!("{mode} (batch)"),
-            &DistributionSummary::from_samples(&batch)
-        )
-    );
+    stretch_bench::figures::run_standalone_binary("figure09");
 }

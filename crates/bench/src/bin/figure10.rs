@@ -1,51 +1,9 @@
-//! Figure 10: per-benchmark speedup of batch applications under the Stretch
-//! B-mode with ROB skew 56-136, for each latency-sensitive co-runner.
-//! Speedups are sorted from largest to smallest, as in the paper.
+//! Thin wrapper: renders the paper's Figure 10 via the shared figure
+//! registry (`stretch_bench::figures`), so its output is identical to the
+//! `figures` driver's.
 //!
 //! Run with: `cargo run --release -p stretch-bench --bin figure10 [--quick]`
 
-use cpu_sim::CoreSetup;
-use sim_model::ThreadId;
-use stretch::{RobSkew, StretchMode};
-use stretch_bench::harness::{ls_names, run_matrix, ExperimentConfig};
-use stretch_bench::report::TableWriter;
-
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let cfg = if quick { ExperimentConfig::quick() } else { ExperimentConfig::standard() };
-
-    let baseline = run_matrix(&cfg, CoreSetup::baseline(&cfg.core));
-    let mut b_setup = CoreSetup::baseline(&cfg.core);
-    b_setup.partition = StretchMode::BatchBoost(RobSkew::recommended_b_mode())
-        .partition_policy(&cfg.core, ThreadId::T0);
-    let b_mode = run_matrix(&cfg, b_setup);
-
-    println!("Figure 10: batch speedup from B-mode 56-136 over the equal-partition baseline");
-    println!("(per latency-sensitive co-runner, sorted from largest to smallest)");
-    println!();
-
-    for ls in ls_names() {
-        let mut speedups: Vec<(String, f64)> = baseline
-            .iter()
-            .zip(&b_mode)
-            .filter(|(b, _)| b.ls == ls)
-            .map(|(b, s)| (b.batch.clone(), s.batch_uipc / b.batch_uipc - 1.0))
-            .collect();
-        speedups.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN speedups"));
-        let mut table = TableWriter::new(
-            &format!("batch speedups when colocated with {ls}"),
-            &["rank", "benchmark", "speedup"],
-        );
-        for (i, (name, s)) in speedups.iter().enumerate() {
-            table.row(&[format!("{}", i + 1), name.clone(), format!("{:+.1}%", s * 100.0)]);
-        }
-        table.print();
-        let over_15 = speedups.iter().filter(|(_, s)| *s > 0.15).count();
-        let over_10 = speedups.iter().filter(|(_, s)| *s > 0.10).count();
-        println!(
-            "  -> {over_15} benchmarks gain more than 15%, {over_10} more than 10% \
-             (paper: at least 10 over 15%, 12 over 10%)"
-        );
-        println!();
-    }
+    stretch_bench::figures::run_standalone_binary("figure10");
 }

@@ -1,68 +1,9 @@
-//! Figure 11: slowdown of batch applications under a dynamically shared ROB,
-//! relative to the equal static partitioning.
+//! Thin wrapper: renders the paper's Figure 11 via the shared figure
+//! registry (`stretch_bench::figures`), so its output is identical to the
+//! `figures` driver's.
 //!
 //! Run with: `cargo run --release -p stretch-bench --bin figure11 [--quick]`
 
-use baselines::dynamic_rob_setup;
-use cpu_sim::CoreSetup;
-use sim_stats::DistributionSummary;
-use stretch_bench::harness::{ls_names, run_matrix, ExperimentConfig};
-use stretch_bench::report::format_distribution_row;
-
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let cfg = if quick { ExperimentConfig::quick() } else { ExperimentConfig::standard() };
-
-    let baseline = run_matrix(&cfg, CoreSetup::baseline(&cfg.core));
-    let dynamic = run_matrix(&cfg, dynamic_rob_setup(&cfg.core));
-
-    println!("Figure 11: batch slowdown under dynamic ROB sharing vs equal partitioning");
-    println!("(positive = dynamic sharing is worse for the batch thread)");
-    println!();
-
-    let mut all_batch = Vec::new();
-    let mut all_ls = Vec::new();
-    for ls in ls_names() {
-        let batch_slow: Vec<f64> = baseline
-            .iter()
-            .zip(&dynamic)
-            .filter(|(b, _)| b.ls == ls)
-            .map(|(b, d)| 1.0 - d.batch_uipc / b.batch_uipc)
-            .collect();
-        let ls_speed: Vec<f64> = baseline
-            .iter()
-            .zip(&dynamic)
-            .filter(|(b, _)| b.ls == ls)
-            .map(|(b, d)| d.ls_uipc / b.ls_uipc - 1.0)
-            .collect();
-        println!(
-            "{}",
-            format_distribution_row(
-                &format!("{ls} co-runners"),
-                &DistributionSummary::from_samples(&batch_slow)
-            )
-        );
-        all_batch.extend(batch_slow);
-        all_ls.extend(ls_speed);
-    }
-    println!();
-    println!(
-        "{}",
-        format_distribution_row(
-            "ALL batch slowdown",
-            &DistributionSummary::from_samples(&all_batch)
-        )
-    );
-    println!(
-        "{}",
-        format_distribution_row(
-            "ALL latency-sensitive speedup",
-            &DistributionSummary::from_samples(&all_ls)
-        )
-    );
-    println!();
-    println!("Paper: batch loses 8% on average (49% max) under dynamic sharing, while");
-    println!(
-        "latency-sensitive workloads gain ~4% (11% max); Data Serving co-runners suffer most."
-    );
+    stretch_bench::figures::run_standalone_binary("figure11");
 }

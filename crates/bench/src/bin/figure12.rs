@@ -1,63 +1,9 @@
-//! Figure 12: fetch throttling (ratios 1:2 to 1:16) versus Stretch B-mode
-//! 56-136, both relative to the equally partitioned baseline.
+//! Thin wrapper: renders the paper's Figure 12 via the shared figure
+//! registry (`stretch_bench::figures`), so its output is identical to the
+//! `figures` driver's.
 //!
 //! Run with: `cargo run --release -p stretch-bench --bin figure12 [--quick]`
 
-use baselines::{fetch_throttling_setup, FETCH_THROTTLING_RATIOS};
-use cpu_sim::CoreSetup;
-use sim_model::ThreadId;
-use stretch::{RobSkew, StretchMode};
-use stretch_bench::harness::{ls_names, run_matrix, ExperimentConfig, PairOutcome};
-use stretch_bench::report::TableWriter;
-
-fn per_ls_average(baseline: &[PairOutcome], other: &[PairOutcome], ls: &str) -> (f64, f64) {
-    let pairs: Vec<(&PairOutcome, &PairOutcome)> =
-        baseline.iter().zip(other).filter(|(b, _)| b.ls == ls).collect();
-    let n = pairs.len() as f64;
-    let ls_slow = pairs.iter().map(|(b, o)| 1.0 - o.ls_uipc / b.ls_uipc).sum::<f64>() / n;
-    let batch_speed = pairs.iter().map(|(b, o)| o.batch_uipc / b.batch_uipc - 1.0).sum::<f64>() / n;
-    (ls_slow, batch_speed)
-}
-
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let cfg = if quick { ExperimentConfig::quick() } else { ExperimentConfig::standard() };
-
-    let baseline = run_matrix(&cfg, CoreSetup::baseline(&cfg.core));
-
-    let mut configs: Vec<(String, Vec<PairOutcome>)> = Vec::new();
-    for ratio in FETCH_THROTTLING_RATIOS {
-        let matrix = run_matrix(&cfg, fetch_throttling_setup(&cfg.core, ThreadId::T0, ratio));
-        configs.push((format!("FT 1:{ratio}"), matrix));
-    }
-    let mut stretch_setup = CoreSetup::baseline(&cfg.core);
-    stretch_setup.partition = StretchMode::BatchBoost(RobSkew::recommended_b_mode())
-        .partition_policy(&cfg.core, ThreadId::T0);
-    configs.push(("Stretch 56-136".to_string(), run_matrix(&cfg, stretch_setup)));
-
-    let mut slow_table = TableWriter::new(
-        "Figure 12 (top): average slowdown of the latency-sensitive thread (lower is better)",
-        &["configuration", "data-serving", "web-serving", "web-search", "media-streaming"],
-    );
-    let mut speed_table = TableWriter::new(
-        "Figure 12 (bottom): average speedup of the batch thread (higher is better)",
-        &["configuration", "data-serving", "web-serving", "web-search", "media-streaming"],
-    );
-    for (name, matrix) in &configs {
-        let mut slow_row = vec![name.clone()];
-        let mut speed_row = vec![name.clone()];
-        for ls in ls_names() {
-            let (ls_slow, batch_speed) = per_ls_average(&baseline, matrix, &ls);
-            slow_row.push(format!("{:.1}%", ls_slow * 100.0));
-            speed_row.push(format!("{:+.1}%", batch_speed * 100.0));
-        }
-        slow_table.row(&slow_row);
-        speed_table.row(&speed_row);
-    }
-    slow_table.print();
-    println!();
-    speed_table.print();
-    println!();
-    println!("Paper: fetch throttling 1:8/1:16 costs latency-sensitive threads 48%/68% while");
-    println!("buying batch only 4%/6%; Stretch delivers +13% batch for a 7% LS cost.");
+    stretch_bench::figures::run_standalone_binary("figure12");
 }

@@ -1,76 +1,9 @@
-//! Figure 13: ideal software scheduling versus Stretch versus the
-//! combination, measured as the average batch speedup over the baseline core
-//! for each latency-sensitive co-runner.
+//! Thin wrapper: renders the paper's Figure 13 via the shared figure
+//! registry (`stretch_bench::figures`), so its output is identical to the
+//! `figures` driver's.
 //!
 //! Run with: `cargo run --release -p stretch-bench --bin figure13 [--quick]`
 
-use baselines::{ideal_scheduling_setup, ideal_scheduling_with_stretch_setup};
-use cpu_sim::CoreSetup;
-use sim_model::ThreadId;
-use stretch::{RobSkew, StretchMode};
-use stretch_bench::harness::{ls_names, run_matrix, ExperimentConfig, PairOutcome};
-use stretch_bench::report::TableWriter;
-
-fn average_batch_speedup(baseline: &[PairOutcome], other: &[PairOutcome], ls: &str) -> f64 {
-    let pairs: Vec<(&PairOutcome, &PairOutcome)> =
-        baseline.iter().zip(other).filter(|(b, _)| b.ls == ls).collect();
-    pairs.iter().map(|(b, o)| o.batch_uipc / b.batch_uipc - 1.0).sum::<f64>() / pairs.len() as f64
-}
-
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let cfg = if quick { ExperimentConfig::quick() } else { ExperimentConfig::standard() };
-    let skew = RobSkew::recommended_b_mode();
-
-    let baseline = run_matrix(&cfg, CoreSetup::baseline(&cfg.core));
-    let ideal = run_matrix(&cfg, ideal_scheduling_setup(&cfg.core));
-    let mut stretch_setup = CoreSetup::baseline(&cfg.core);
-    stretch_setup.partition =
-        StretchMode::BatchBoost(skew).partition_policy(&cfg.core, ThreadId::T0);
-    let stretch_only = run_matrix(&cfg, stretch_setup);
-    let combined = run_matrix(
-        &cfg,
-        ideal_scheduling_with_stretch_setup(
-            &cfg.core,
-            ThreadId::T0,
-            skew.ls_entries,
-            skew.batch_entries,
-        ),
-    );
-
-    let mut table = TableWriter::new(
-        "Figure 13: average batch speedup over the baseline core",
-        &[
-            "latency-sensitive",
-            "ideal software scheduling",
-            "Stretch",
-            "Stretch + ideal scheduling",
-        ],
-    );
-    let mut sums = [0.0f64; 3];
-    for ls in ls_names() {
-        let a = average_batch_speedup(&baseline, &ideal, &ls);
-        let b = average_batch_speedup(&baseline, &stretch_only, &ls);
-        let c = average_batch_speedup(&baseline, &combined, &ls);
-        sums[0] += a;
-        sums[1] += b;
-        sums[2] += c;
-        table.row(&[
-            ls.clone(),
-            format!("{:+.1}%", a * 100.0),
-            format!("{:+.1}%", b * 100.0),
-            format!("{:+.1}%", c * 100.0),
-        ]);
-    }
-    let n = ls_names().len() as f64;
-    table.row(&[
-        "Average".to_string(),
-        format!("{:+.1}%", sums[0] / n * 100.0),
-        format!("{:+.1}%", sums[1] / n * 100.0),
-        format!("{:+.1}%", sums[2] / n * 100.0),
-    ]);
-    table.print();
-    println!();
-    println!("Paper: ideal software scheduling +8%, Stretch +13%, combined +21% — the two");
-    println!("techniques address different sources of loss and compose additively.");
+    stretch_bench::figures::run_standalone_binary("figure13");
 }

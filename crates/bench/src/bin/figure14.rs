@@ -1,49 +1,9 @@
-//! Figure 14 and the §VI-D case studies: diurnal load patterns for a Web
-//! Search cluster and a YouTube-like video cluster, the hours during which
-//! Stretch's B-mode can be engaged, and the resulting 24-hour cluster
-//! throughput gains.
+//! Thin wrapper: renders the paper's Figure 14 via the shared figure
+//! registry (`stretch_bench::figures`), so its output is identical to the
+//! `figures` driver's.
 //!
-//! Run with: `cargo run --release -p stretch-bench --bin figure14`
-
-use cluster::{CaseStudy, DiurnalPattern};
-use stretch_bench::report::TableWriter;
+//! Run with: `cargo run --release -p stretch-bench --bin figure14 [--quick]`
 
 fn main() {
-    let mut table = TableWriter::new(
-        "Figure 14: diurnal load (fraction of peak) and B-mode engagement (<85% of peak)",
-        &["hour", "web-search load", "B-mode", "youtube load", "B-mode"],
-    );
-    for hour in 0..24 {
-        let ws = DiurnalPattern::WebSearch.load_at(hour as f64);
-        let yt = DiurnalPattern::YouTube.load_at(hour as f64);
-        table.row(&[
-            format!("{hour:02}:00"),
-            format!("{:.0}%", ws * 100.0),
-            if ws < 0.85 { "engaged".into() } else { "-".to_string() },
-            format!("{:.0}%", yt * 100.0),
-            if yt < 0.85 { "engaged".into() } else { "-".to_string() },
-        ]);
-    }
-    table.print();
-    println!();
-
-    let mut summary = TableWriter::new(
-        "Cluster case studies (B-mode 56-136 engaged below 85% of peak load)",
-        &["cluster", "hours engaged / day", "24-hour batch throughput gain", "paper"],
-    );
-    let ws = CaseStudy::web_search().run();
-    let yt = CaseStudy::youtube().run();
-    summary.row(&[
-        "Web Search".to_string(),
-        format!("{:.1} h", ws.hours_engaged),
-        format!("{:+.1}%", ws.gain() * 100.0),
-        "~11 h, +5%".to_string(),
-    ]);
-    summary.row(&[
-        "YouTube".to_string(),
-        format!("{:.1} h", yt.hours_engaged),
-        format!("{:+.1}%", yt.gain() * 100.0),
-        "~17 h, +11%".to_string(),
-    ]);
-    summary.print();
+    stretch_bench::figures::run_standalone_binary("figure14");
 }

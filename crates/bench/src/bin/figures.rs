@@ -1,0 +1,199 @@
+//! `figures` — the single-process driver for every figure and table of the
+//! paper.
+//!
+//! Runs any subset (or all) of the figures in one process on the shared
+//! experiment [`Engine`], computing the stand-alone reference and every
+//! shared (setup, pair) matrix cell exactly once and memoising results
+//! across figures *and* across invocations via the on-disk result cache.
+//!
+//! ```text
+//! cargo run --release --bin figures -- --all
+//! cargo run --release --bin figures -- figure03 figure09
+//! cargo run --release --bin figures -- --all --quick --matrix 2x3
+//! ```
+//!
+//! Options:
+//!
+//! * `--all` — render every figure/table in paper order;
+//! * `--quick` — quick simulation lengths and request counts (CI scale);
+//! * `--cache-dir <dir>` — result-cache location (default
+//!   `target/result-cache`);
+//! * `--no-cache` — in-process memoisation only, nothing persisted;
+//! * `--wipe-cache` — delete every cache entry, then proceed;
+//! * `--matrix <LxB>` — restrict to the first L latency-sensitive and B
+//!   batch workloads (e.g. `2x3`) for quick sub-matrix runs;
+//! * `--assert-warm` — exit non-zero if any simulation ran (CI uses this to
+//!   prove the second invocation is served entirely from the cache);
+//! * `--list` — print the registry and exit.
+
+use std::process::ExitCode;
+
+use stretch_bench::figures;
+use stretch_bench::report::format_cache_stats;
+use stretch_bench::{Engine, ExperimentConfig};
+
+struct Options {
+    all: bool,
+    quick: bool,
+    cache_dir: Option<String>,
+    wipe_cache: bool,
+    sub_matrix: Option<(usize, usize)>,
+    assert_warm: bool,
+    list: bool,
+    names: Vec<String>,
+}
+
+fn usage() -> String {
+    let mut text = String::from(
+        "usage: figures [--all | NAME...] [--quick] [--cache-dir DIR] [--no-cache] \
+         [--wipe-cache] [--matrix LxB] [--assert-warm] [--list]\n\navailable figures:\n",
+    );
+    for spec in figures::all() {
+        text.push_str(&format!("  {:<10} {}\n", spec.name, spec.title));
+    }
+    text
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        all: false,
+        quick: false,
+        cache_dir: Some("target/result-cache".to_string()),
+        wipe_cache: false,
+        sub_matrix: None,
+        assert_warm: false,
+        list: false,
+        names: Vec::new(),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--all" => opts.all = true,
+            "--quick" => opts.quick = true,
+            "--no-cache" => opts.cache_dir = None,
+            "--wipe-cache" => opts.wipe_cache = true,
+            "--assert-warm" => opts.assert_warm = true,
+            "--list" => opts.list = true,
+            "--help" | "-h" => return Err(usage()),
+            "--cache-dir" => {
+                i += 1;
+                let dir = args.get(i).ok_or("--cache-dir needs a directory argument")?;
+                opts.cache_dir = Some(dir.clone());
+            }
+            "--matrix" => {
+                i += 1;
+                let spec = args.get(i).ok_or("--matrix needs an LxB argument (e.g. 2x3)")?;
+                let (ls, batch) = spec
+                    .split_once('x')
+                    .ok_or_else(|| format!("--matrix {spec}: expected LxB (e.g. 2x3)"))?;
+                let ls: usize = ls.parse().map_err(|_| format!("--matrix {spec}: bad LS count"))?;
+                let batch: usize =
+                    batch.parse().map_err(|_| format!("--matrix {spec}: bad batch count"))?;
+                let (max_ls, max_batch) =
+                    (stretch_bench::ls_names().len(), stretch_bench::batch_names().len());
+                if ls < 1 || ls > max_ls || batch < 1 || batch > max_batch {
+                    return Err(format!(
+                        "--matrix {spec}: LS must be 1..={max_ls} and batch 1..={max_batch}"
+                    ));
+                }
+                opts.sub_matrix = Some((ls, batch));
+            }
+            name if !name.starts_with('-') => opts.names.push(name.to_string()),
+            unknown => return Err(format!("unknown option {unknown}\n\n{}", usage())),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list {
+        print!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    if opts.wipe_cache && opts.cache_dir.is_none() {
+        eprintln!("--wipe-cache needs a cache to wipe; drop --no-cache (or pass --cache-dir)");
+        return ExitCode::from(2);
+    }
+
+    let selected: Vec<&figures::FigureSpec> = if opts.all {
+        figures::all().iter().collect()
+    } else if opts.names.is_empty() {
+        eprintln!("nothing to do: pass --all or figure names\n\n{}", usage());
+        return ExitCode::from(2);
+    } else {
+        let mut selected = Vec::new();
+        for name in &opts.names {
+            match figures::by_name(name) {
+                Some(spec) => selected.push(spec),
+                None => {
+                    eprintln!("unknown figure {name}\n\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        selected
+    };
+
+    let cfg = if opts.quick { ExperimentConfig::quick() } else { ExperimentConfig::standard() };
+    let mut engine = Engine::new(cfg);
+    if let Some((ls, batch)) = opts.sub_matrix {
+        engine = engine.with_sub_matrix(ls, batch);
+    }
+    if let Some(dir) = &opts.cache_dir {
+        engine = match engine.with_store(dir) {
+            Ok(engine) => engine,
+            Err(err) => {
+                eprintln!("cannot open result cache at {dir}: {err}");
+                return ExitCode::from(2);
+            }
+        };
+    }
+    if opts.wipe_cache {
+        if let Some(store) = engine.store() {
+            match store.wipe() {
+                Ok(n) => eprintln!("wiped {n} cache entries from {}", store.dir().display()),
+                Err(err) => {
+                    eprintln!("cannot wipe result cache: {err}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    }
+
+    for (i, spec) in selected.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        print!("{}", (spec.render)(&engine));
+    }
+
+    let stats = engine.stats();
+    println!();
+    println!("{}", format_cache_stats(&stats));
+    if let Some(store) = engine.store() {
+        println!(
+            "cache directory: {} ({} entries)",
+            store.dir().display(),
+            store.entries().map_or_else(|_| "?".to_string(), |n| n.to_string())
+        );
+    }
+
+    if opts.assert_warm && stats.misses > 0 {
+        eprintln!(
+            "--assert-warm failed: {} simulation runs were not served from the cache",
+            stats.misses
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,141 +1,14 @@
-//! Tables I, II and III: the workload specifications and the simulated
-//! processor parameters used throughout the reproduction.
+//! Thin wrapper: renders Tables I, II and III via the shared figure registry
+//! (`stretch_bench::figures`), so its output is identical to the `figures`
+//! driver's.
 //!
 //! Run with: `cargo run --release -p stretch-bench --bin tables`
 //! (pass `--json` to emit the tables as JSON for plotting scripts).
 
-use qos::ServiceSpec;
-use sim_model::CoreConfig;
-use stretch_bench::report::{json, TableWriter};
-use workloads::{batch, latency_sensitive};
+use stretch_bench::{Engine, ExperimentConfig};
 
 fn main() {
     let as_json = std::env::args().skip(1).any(|a| a == "--json");
-    let emit = |table: &TableWriter| {
-        if as_json {
-            println!("{}", json::render(table));
-        } else {
-            table.print();
-        }
-    };
-    // Table I: latency-sensitive workloads and their QoS targets.
-    let mut t1 = TableWriter::new(
-        "Table I: latency-sensitive workloads and QoS targets",
-        &["workload", "QoS target", "tail metric", "service median (ms)", "CPU fraction"],
-    );
-    for s in ServiceSpec::all() {
-        t1.row(&[
-            s.name.clone(),
-            format!("{} ms", s.qos_target_ms),
-            format!("{:?}", s.tail_metric),
-            format!("{}", s.service_median_ms),
-            format!("{:.0}%", s.cpu_fraction * 100.0),
-        ]);
-    }
-    emit(&t1);
-    println!();
-
-    // Table II: simulated processor parameters.
-    let cfg = CoreConfig::default();
-    let mut t2 =
-        TableWriter::new("Table II: simulated processor parameters", &["parameter", "value"]);
-    t2.row(&[
-        "Fetch width".into(),
-        format!(
-            "{} instructions, up to {} blocks, {} branch",
-            cfg.fetch_width, cfg.fetch_blocks_per_cycle, cfg.fetch_branches_per_cycle
-        ),
-    ]);
-    t2.row(&[
-        "L1-I".into(),
-        format!(
-            "{} KB, {}-way, {} banks",
-            cfg.l1i.capacity_bytes / 1024,
-            cfg.l1i.ways,
-            cfg.l1i.banks
-        ),
-    ]);
-    t2.row(&[
-        "Branch predictor".into(),
-        format!(
-            "hybrid ({}K gShare + {}K bimodal), {}-entry BTB",
-            cfg.branch.gshare_entries / 1024,
-            cfg.branch.bimodal_entries / 1024,
-            cfg.branch.btb_entries
-        ),
-    ]);
-    t2.row(&["Pipeline flush".into(), format!("{} cycles", cfg.pipeline_flush_cycles)]);
-    t2.row(&[
-        "ROB".into(),
-        format!("{} entries total, {} per thread", cfg.rob_capacity, cfg.rob_capacity / 2),
-    ]);
-    t2.row(&[
-        "LSQ".into(),
-        format!("{} entries total, {} per thread", cfg.lsq_capacity, cfg.lsq_capacity / 2),
-    ]);
-    t2.row(&[
-        "L1-D".into(),
-        format!(
-            "{} KB, {}-way, {} MSHRs per thread, stride prefetcher ({} PCs)",
-            cfg.l1d.capacity_bytes / 1024,
-            cfg.l1d.ways,
-            cfg.mshrs_per_thread,
-            cfg.prefetcher_pc_slots
-        ),
-    ]);
-    t2.row(&[
-        "Functional units".into(),
-        format!(
-            "{} int ALU + {} mul, {} FPU, {} LSU",
-            cfg.fus.int_alu, cfg.fus.int_mul, cfg.fus.fpu, cfg.fus.lsu
-        ),
-    ]);
-    t2.row(&[
-        "Dispatch/commit width".into(),
-        format!("{} / {}", cfg.dispatch_width, cfg.commit_width),
-    ]);
-    t2.row(&[
-        "LLC".into(),
-        format!(
-            "{} MB, {}-way, {}-cycle average access",
-            cfg.uncore.llc_capacity_bytes / (1024 * 1024),
-            cfg.uncore.llc_ways,
-            cfg.uncore.llc_latency
-        ),
-    ]);
-    t2.row(&[
-        "Memory".into(),
-        format!(
-            "{} ns ({} cycles at {} GHz)",
-            cfg.uncore.mem_latency_ns,
-            cfg.uncore.mem_latency_cycles(),
-            cfg.uncore.freq_ghz
-        ),
-    ]);
-    emit(&t2);
-    println!();
-
-    // Table III: workload profiles used for the microarchitectural studies.
-    let mut t3 = TableWriter::new(
-        "Table III: workload profiles (synthetic substitutes)",
-        &[
-            "workload",
-            "class",
-            "code footprint",
-            "data footprint",
-            "dependent loads",
-            "stride frac",
-        ],
-    );
-    for p in latency_sensitive::all_profiles().into_iter().chain(batch::all_profiles()) {
-        t3.row(&[
-            p.name.clone(),
-            format!("{}", p.class),
-            format!("{} KB", p.code_footprint_bytes / 1024),
-            format!("{} MB", p.data_footprint_bytes / (1024 * 1024)),
-            format!("{:.0}%", p.dependent_load_frac * 100.0),
-            format!("{:.0}%", p.stride_frac * 100.0),
-        ]);
-    }
-    emit(&t3);
+    let engine = Engine::new(ExperimentConfig::standard());
+    print!("{}", stretch_bench::figures::tables(&engine, as_json));
 }

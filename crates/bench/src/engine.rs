@@ -1,0 +1,501 @@
+//! The shared experiment engine.
+//!
+//! Every paper figure is a view over the same experiment space: the 4 latency
+//! sensitive × 29 batch colocation matrix under a handful of core setups,
+//! stand-alone full-core reference runs, ROB-capacity sweeps and request
+//! level queueing curves. The [`Engine`] runs each *distinct* experiment cell
+//! exactly once:
+//!
+//! * **in-process memoisation** — completed cells are kept in memory and
+//!   shared across figures rendered in the same process (the `figures`
+//!   driver renders all of them from one engine);
+//! * **in-flight deduplication** — when two workers request the same cell
+//!   concurrently, the second blocks on a condvar until the first finishes,
+//!   instead of running the simulation twice;
+//! * **persistent caching** — with a [`ResultStore`] attached, results
+//!   survive the process, keyed by a collision-free canonical digest of the
+//!   core configuration, setup, pairing, seed and simulation length (see
+//!   [`crate::store`]); a warm-cache invocation performs zero simulation
+//!   runs, which [`CacheStats`] makes verifiable.
+//!
+//! All matrix-shaped work is funnelled through the harness's single
+//! [`parallel_map`] pool with the configuration's worker count, so callers
+//! never spawn their own ad-hoc thread pools.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::PathBuf;
+use std::sync::{Condvar, Mutex};
+
+use cpu_sim::{run_standalone_with_rob, CoreSetup, ThreadRunResult};
+use qos::{latency_vs_load, slack_curve, LoadPoint, ServiceSpec, SlackPoint};
+use serde_json::Value;
+use sim_model::KeyEncoder;
+use workloads::{batch, latency_sensitive};
+
+use crate::harness::{pair_seed, parallel_map, run_single_pair, ExperimentConfig, PairOutcome};
+use crate::store::{JsonCodec, ResultStore};
+
+/// Hit/miss counters for one engine. `misses` equals the number of actual
+/// simulation runs performed — a warm-cache invocation reports `misses == 0`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests answered from the in-process memo (includes waiting out an
+    /// in-flight computation of the same cell).
+    pub memo_hits: u64,
+    /// Requests answered from the persistent [`ResultStore`].
+    pub store_hits: u64,
+    /// Requests that had to run a simulation.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total requests answered without simulating.
+    pub fn hits(&self) -> u64 {
+        self.memo_hits + self.store_hits
+    }
+
+    /// Total requests served.
+    pub fn total(&self) -> u64 {
+        self.hits() + self.misses
+    }
+
+    /// Fraction of requests served from a cache (1.0 when fully warm; 0.0
+    /// for an empty engine that served nothing).
+    pub fn hit_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / self.total() as f64
+        }
+    }
+}
+
+enum Slot {
+    /// A worker is computing this cell; wait on the condvar.
+    InFlight,
+    /// The cell's encoded result.
+    Ready(Value),
+}
+
+struct EngineState {
+    memo: HashMap<String, Slot>,
+    stats: CacheStats,
+}
+
+/// RAII ownership of a cell's [`Slot::InFlight`] claim. On success the owner
+/// calls [`InFlightClaim::publish`]; if the store probe or the computation
+/// panics first, `Drop` removes the claim and wakes waiters so they can
+/// re-claim the cell instead of blocking on the condvar forever.
+struct InFlightClaim<'a> {
+    engine: &'a Engine,
+    digest: Option<String>,
+}
+
+impl InFlightClaim<'_> {
+    /// Publishes the computed value under the claimed digest, bumps the
+    /// chosen counter and wakes every waiter.
+    fn publish(&mut self, value: Value, count: impl FnOnce(&mut CacheStats)) {
+        let digest = self.digest.take().expect("claim published once");
+        let mut state = self.engine.state.lock().expect("engine state lock");
+        count(&mut state.stats);
+        state.memo.insert(digest, Slot::Ready(value));
+        self.engine.ready.notify_all();
+    }
+}
+
+impl Drop for InFlightClaim<'_> {
+    fn drop(&mut self) {
+        if let Some(digest) = self.digest.take() {
+            // Unwinding with the claim unpublished: release it. Ignore a
+            // poisoned lock — every other engine user unwraps it anyway.
+            if let Ok(mut state) = self.engine.state.lock() {
+                state.memo.remove(&digest);
+                self.engine.ready.notify_all();
+            }
+        }
+    }
+}
+
+/// The shared experiment engine. See the [module docs](self) for semantics.
+pub struct Engine {
+    cfg: ExperimentConfig,
+    ls: Vec<String>,
+    batch: Vec<String>,
+    store: Option<ResultStore>,
+    state: Mutex<EngineState>,
+    ready: Condvar,
+}
+
+impl Engine {
+    /// An engine over the full 4 × 29 study of the paper.
+    pub fn new(cfg: ExperimentConfig) -> Engine {
+        Engine {
+            cfg,
+            ls: latency_sensitive::NAMES.iter().map(|s| s.to_string()).collect(),
+            batch: batch::NAMES.iter().map(|s| s.to_string()).collect(),
+            store: None,
+            state: Mutex::new(EngineState { memo: HashMap::new(), stats: CacheStats::default() }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Attaches a persistent [`ResultStore`] rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the store directory cannot be
+    /// created.
+    pub fn with_store(mut self, dir: impl Into<PathBuf>) -> io::Result<Engine> {
+        self.store = Some(ResultStore::open(dir)?);
+        Ok(self)
+    }
+
+    /// Restricts the engine to a sub-matrix: the first `ls` latency-sensitive
+    /// and first `batch` batch workloads (for tests and CI runs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero or exceeds the full study size.
+    pub fn with_sub_matrix(mut self, ls: usize, batch: usize) -> Engine {
+        assert!(ls >= 1 && ls <= self.ls.len(), "need 1..={} LS workloads", self.ls.len());
+        assert!(batch >= 1 && batch <= self.batch.len(), "need 1..={} batch", self.batch.len());
+        self.ls.truncate(ls);
+        self.batch.truncate(batch);
+        self
+    }
+
+    /// The experiment configuration.
+    pub fn cfg(&self) -> &ExperimentConfig {
+        &self.cfg
+    }
+
+    /// The latency-sensitive workload names in study order.
+    pub fn ls_names(&self) -> &[String] {
+        &self.ls
+    }
+
+    /// The batch workload names in study order.
+    pub fn batch_names(&self) -> &[String] {
+        &self.batch
+    }
+
+    /// The persistent store, if one is attached.
+    pub fn store(&self) -> Option<&ResultStore> {
+        self.store.as_ref()
+    }
+
+    /// A snapshot of the cache counters.
+    pub fn stats(&self) -> CacheStats {
+        self.state.lock().expect("engine state lock").stats
+    }
+
+    /// Number of actual simulation runs performed by this engine.
+    pub fn sim_runs(&self) -> u64 {
+        self.stats().misses
+    }
+
+    /// A key prefix binding a request kind to the core configuration,
+    /// simulation length and base seed.
+    fn core_key(&self, kind: &str) -> KeyEncoder {
+        let mut enc = KeyEncoder::new();
+        enc.str(kind).field(&self.cfg.core).field(&self.cfg.length).u64(self.cfg.seed);
+        enc
+    }
+
+    /// Central memoisation path: answer from memo or store, or claim the
+    /// cell, compute it once, and publish the result.
+    ///
+    /// The store probe and the computation both run *without* the state lock
+    /// held (the cell is marked in-flight first), so warm runs read the disk
+    /// in parallel and cold runs never serialise behind each other.
+    fn run_cached<T: JsonCodec>(
+        &self,
+        key: &KeyEncoder,
+        what: &str,
+        compute: impl FnOnce() -> T,
+    ) -> T {
+        let digest = key.digest();
+        let mut state = self.state.lock().expect("engine state lock");
+        loop {
+            match state.memo.get(&digest) {
+                Some(Slot::Ready(value)) => {
+                    let value = value.clone();
+                    state.stats.memo_hits += 1;
+                    drop(state);
+                    return T::from_json(&value).expect("memoised value decodes");
+                }
+                Some(Slot::InFlight) => {
+                    state = self.ready.wait(state).expect("engine state lock");
+                }
+                None => break,
+            }
+        }
+        state.memo.insert(digest.clone(), Slot::InFlight);
+        drop(state);
+        // If the probe or the computation panics, the guard clears the
+        // in-flight claim and wakes waiters (who will then claim the cell
+        // themselves) instead of leaving them blocked forever.
+        let mut claim = InFlightClaim { engine: self, digest: Some(digest.clone()) };
+
+        if let Some(store) = &self.store {
+            if let Some(value) = store.load(&digest) {
+                if let Some(decoded) = T::from_json(&value) {
+                    claim.publish(value, |stats| stats.store_hits += 1);
+                    return decoded;
+                }
+                // An unreadable/incompatible entry falls through to a
+                // recompute that overwrites it.
+            }
+        }
+        let result = compute();
+        let value = result.to_json();
+        if let Some(store) = &self.store {
+            if let Err(err) = store.save(&digest, what, &value) {
+                eprintln!("warning: result store write failed for {what}: {err}");
+            }
+        }
+        claim.publish(value, |stats| stats.misses += 1);
+        result
+    }
+
+    /// One latency-sensitive × batch colocation cell under `setup`. The
+    /// computation is [`crate::harness::run_single_pair`], so engine cells
+    /// are exactly the legacy harness results.
+    pub fn pair(&self, setup: CoreSetup, ls: &str, batch_name: &str) -> PairOutcome {
+        let mut key = self.core_key("pair/v1");
+        key.field(&setup).str(ls).str(batch_name);
+        self.run_cached(&key, &format!("pair {ls} x {batch_name}"), || {
+            run_single_pair(&self.cfg, setup, ls, batch_name)
+        })
+    }
+
+    /// The full colocation matrix (engine's LS × batch lists) under one
+    /// setup, row-major like [`crate::harness::run_matrix_on`].
+    pub fn matrix(&self, setup: CoreSetup) -> Vec<PairOutcome> {
+        self.matrix_with(|_, _| setup)
+    }
+
+    /// The colocation matrix with a per-pairing setup.
+    pub fn matrix_with(
+        &self,
+        setup_for: impl Fn(&str, &str) -> CoreSetup + Sync,
+    ) -> Vec<PairOutcome> {
+        let pairs: Vec<(String, String)> = self
+            .ls
+            .iter()
+            .flat_map(|ls| self.batch.iter().map(move |b| (ls.clone(), b.clone())))
+            .collect();
+        parallel_map(pairs, self.cfg.workers(), |(ls, batch_name)| {
+            self.pair(setup_for(ls, batch_name), ls, batch_name)
+        })
+    }
+
+    /// A stand-alone full-core run of one workload (the normalisation
+    /// reference of Figures 3–6, and the MLP census source of Figure 7).
+    pub fn standalone(&self, name: &str) -> ThreadRunResult {
+        self.standalone_with_rob(name, self.cfg.core.rob_capacity)
+    }
+
+    /// A stand-alone run with an explicit per-thread ROB allocation (the
+    /// Figure 6 sensitivity sweep). With `rob_entries` equal to the full ROB
+    /// capacity this is the same cell as [`Engine::standalone`] — the sweep's
+    /// endpoint and the reference run share one simulation.
+    pub fn standalone_with_rob(&self, name: &str, rob_entries: usize) -> ThreadRunResult {
+        let mut key = self.core_key("standalone/v1");
+        key.str(name).usize(rob_entries);
+        self.run_cached(&key, &format!("standalone {name} rob={rob_entries}"), || {
+            let seed = pair_seed(self.cfg.seed, name, "standalone");
+            let trace = workloads::profile_by_name(name)
+                .unwrap_or_else(|| panic!("unknown workload {name}"))
+                .spawn(seed);
+            run_standalone_with_rob(&self.cfg.core, trace, rob_entries, self.cfg.length)
+        })
+    }
+
+    /// Stand-alone full-core UIPC for every workload in the engine's study,
+    /// keyed by name. Individual runs are cached cells, so the reference is
+    /// computed at most once per process no matter how many figures need it.
+    pub fn standalone_reference(&self) -> HashMap<String, f64> {
+        let mut names = self.ls.clone();
+        names.extend(self.batch.iter().cloned());
+        parallel_map(names, self.cfg.workers(), |name| (name.clone(), self.standalone(name).uipc))
+            .into_iter()
+            .collect()
+    }
+
+    /// The Figure 1 latency-versus-load curve for one service, scaled to the
+    /// configuration (quick or standard request counts).
+    pub fn latency_curve(
+        &self,
+        spec: &ServiceSpec,
+        seed: u64,
+        min_load: f64,
+        steps: usize,
+    ) -> Vec<LoadPoint> {
+        let params = self.cfg.qos_params(seed);
+        let mut key = KeyEncoder::new();
+        key.str("latency-curve/v1").field(spec).field(&params).f64(min_load).usize(steps);
+        self.run_cached(&key, &format!("latency curve {}", spec.name), || {
+            latency_vs_load(spec, params, min_load, steps)
+        })
+    }
+
+    /// The Figure 2 slack curve for one service over a load grid.
+    pub fn slack_curve(&self, spec: &ServiceSpec, seed: u64, loads: &[f64]) -> Vec<SlackPoint> {
+        let params = self.cfg.qos_params(seed);
+        let mut key = KeyEncoder::new();
+        key.str("slack-curve/v2").field(spec).field(&params).list(loads);
+        self.run_cached(&key, &format!("slack curve {}", spec.name), || {
+            slack_curve(spec, params, loads)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn quick_cfg() -> ExperimentConfig {
+        ExperimentConfig::quick()
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let unique = NEXT.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir()
+            .join(format!("stretch-engine-test-{tag}-{}-{unique}", std::process::id()))
+    }
+
+    #[test]
+    fn repeated_cells_simulate_once() {
+        let engine = Engine::new(quick_cfg());
+        let setup = CoreSetup::baseline(&engine.cfg().core);
+        let a = engine.pair(setup, "web-search", "zeusmp");
+        let b = engine.pair(setup, "web-search", "zeusmp");
+        assert_eq!(a, b);
+        let stats = engine.stats();
+        assert_eq!(stats.misses, 1, "second request must be a memo hit");
+        assert_eq!(stats.memo_hits, 1);
+    }
+
+    #[test]
+    fn in_flight_duplicates_are_deduplicated() {
+        let engine = Engine::new(quick_cfg());
+        let setup = CoreSetup::baseline(&engine.cfg().core);
+        // Hammer the same cell from many workers at once; only one may run.
+        let requests: Vec<u32> = (0..16).collect();
+        let outcomes = parallel_map(requests, 8, |_| engine.pair(setup, "web-search", "mcf"));
+        assert!(outcomes.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(engine.stats().misses, 1, "concurrent duplicates must not re-simulate");
+        assert_eq!(engine.stats().memo_hits, 15);
+    }
+
+    #[test]
+    fn store_makes_results_survive_the_engine() {
+        let dir = temp_dir("warm");
+        let setup = CoreSetup::baseline(&quick_cfg().core);
+
+        let cold = Engine::new(quick_cfg()).with_store(&dir).expect("store opens");
+        let first = cold.pair(setup, "web-search", "zeusmp");
+        let reference = cold.standalone("web-search");
+        assert_eq!(cold.stats().misses, 2);
+
+        let warm = Engine::new(quick_cfg()).with_store(&dir).expect("store opens");
+        let second = warm.pair(setup, "web-search", "zeusmp");
+        let reference2 = warm.standalone("web-search");
+        assert_eq!(warm.sim_runs(), 0, "warm engine must not simulate");
+        assert_eq!(warm.stats().store_hits, 2);
+        assert_eq!(first, second);
+        assert_eq!(reference.uipc.to_bits(), reference2.uipc.to_bits());
+        assert_eq!(reference.mlp, reference2.mlp);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // Cache invalidation on config/seed/length changes is covered by the
+    // integration test `engine_results_survive_restart_and_invalidate_on_
+    // key_changes` in tests/engine_cache.rs, which exercises the same matrix
+    // through the public crate surface.
+
+    #[test]
+    fn distinct_setups_are_distinct_cells() {
+        let engine = Engine::new(quick_cfg());
+        let baseline = CoreSetup::baseline(&engine.cfg().core);
+        let private = CoreSetup::private_full(&engine.cfg().core);
+        let a = engine.pair(baseline, "web-search", "zeusmp");
+        let b = engine.pair(private, "web-search", "zeusmp");
+        assert_eq!(engine.stats().misses, 2, "different setups must not share a cell");
+        // A fully private core cannot be slower than the contended baseline
+        // for the batch thread.
+        assert!(b.batch_uipc >= a.batch_uipc * 0.95);
+    }
+
+    #[test]
+    fn sub_matrix_restricts_the_study() {
+        let engine = Engine::new(quick_cfg()).with_sub_matrix(1, 2);
+        assert_eq!(engine.ls_names().len(), 1);
+        assert_eq!(engine.batch_names().len(), 2);
+        let matrix = engine.matrix(CoreSetup::baseline(&engine.cfg().core));
+        assert_eq!(matrix.len(), 2);
+        assert_eq!(engine.stats().misses, 2);
+        // The reference covers exactly the sub-matrix workloads.
+        let reference = engine.standalone_reference();
+        assert_eq!(reference.len(), 3);
+    }
+
+    #[test]
+    fn standalone_reference_reuses_full_rob_sweep_endpoint() {
+        let engine = Engine::new(quick_cfg()).with_sub_matrix(1, 1);
+        let full = engine.cfg().core.rob_capacity;
+        let sweep_endpoint = engine.standalone_with_rob("web-search", full);
+        let reference = engine.standalone("web-search");
+        assert_eq!(engine.stats().misses, 1, "endpoint and reference are the same cell");
+        assert_eq!(sweep_endpoint.uipc.to_bits(), reference.uipc.to_bits());
+    }
+
+    #[test]
+    fn qos_curves_are_cached_cells_too() {
+        let dir = temp_dir("qos");
+        let spec = ServiceSpec::web_search();
+        let cold = Engine::new(quick_cfg()).with_store(&dir).unwrap();
+        let curve = cold.slack_curve(&spec, 7, &[0.2, 0.5]);
+        assert_eq!(curve.len(), 2);
+        assert_eq!(cold.stats().misses, 1);
+
+        let warm = Engine::new(quick_cfg()).with_store(&dir).unwrap();
+        let again = warm.slack_curve(&spec, 7, &[0.2, 0.5]);
+        assert_eq!(warm.sim_runs(), 0);
+        assert_eq!(curve, again);
+        // A different load grid is a different cell.
+        let _ = warm.slack_curve(&spec, 7, &[0.2, 0.5, 0.9]);
+        assert_eq!(warm.sim_runs(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn panicking_cell_releases_its_in_flight_claim() {
+        let engine = Engine::new(quick_cfg());
+        let setup = CoreSetup::baseline(&engine.cfg().core);
+        // An unknown workload panics inside the compute closure. The claim
+        // guard must release the cell so a retry panics again (same error)
+        // instead of deadlocking on a stale InFlight slot.
+        for _ in 0..2 {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                engine.pair(setup, "no-such-workload", "zeusmp")
+            }));
+            assert!(result.is_err(), "unknown workload must panic, not hang");
+        }
+        // The engine is still usable for valid cells afterwards.
+        let ok = engine.pair(setup, "web-search", "zeusmp");
+        assert!(ok.ls_uipc > 0.0);
+    }
+
+    #[test]
+    fn hit_rate_reports_fully_warm_runs() {
+        let stats = CacheStats { memo_hits: 3, store_hits: 7, misses: 0 };
+        assert_eq!(stats.hits(), 10);
+        assert!((stats.hit_rate() - 1.0).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+}

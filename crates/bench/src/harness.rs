@@ -41,11 +41,22 @@ impl ExperimentConfig {
         }
     }
 
-    fn workers(&self) -> usize {
+    /// The effective worker-thread count for this configuration.
+    pub fn workers(&self) -> usize {
         if self.parallelism > 0 {
             self.parallelism
         } else {
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        }
+    }
+
+    /// Queueing-simulation parameters matching this configuration's scale:
+    /// quick core simulations pair with quick request-level simulations.
+    pub fn qos_params(&self, seed: u64) -> qos::SimParams {
+        if self.length == SimLength::quick() {
+            qos::SimParams::quick(seed)
+        } else {
+            qos::SimParams::standard(seed)
         }
     }
 }
@@ -57,7 +68,7 @@ impl Default for ExperimentConfig {
 }
 
 /// Outcome of one latency-sensitive × batch colocation run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct PairOutcome {
     /// Latency-sensitive workload name (thread 0).
     pub ls: String,
@@ -80,6 +91,11 @@ pub fn batch_names() -> Vec<String> {
 }
 
 /// Runs `f` over `items` on a pool of OS threads, preserving input order.
+///
+/// Work is distributed by an atomic work-stealing index; each worker
+/// accumulates `(index, result)` pairs in a thread-local buffer and merges
+/// them into the shared output exactly once when it runs out of work, so
+/// result writes never contend per item.
 pub fn parallel_map<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
 where
     T: Send + Sync,
@@ -88,39 +104,57 @@ where
 {
     assert!(workers > 0, "need at least one worker");
     let n = items.len();
-    let mut results: Vec<Option<R>> = Vec::with_capacity(n);
-    results.resize_with(n, || None);
-    let results = Mutex::new(results);
+    let collected: Mutex<Vec<Vec<(usize, R)>>> = Mutex::new(Vec::with_capacity(workers));
     let next = std::sync::atomic::AtomicUsize::new(0);
     let items_ref = &items;
     let f_ref = &f;
     std::thread::scope(|scope| {
         for _ in 0..workers.min(n.max(1)) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
+            scope.spawn(|| {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    local.push((i, f_ref(&items_ref[i])));
                 }
-                let r = f_ref(&items_ref[i]);
-                results.lock().expect("no panics while holding the lock")[i] = Some(r);
+                if !local.is_empty() {
+                    collected.lock().expect("no panics while holding the lock").push(local);
+                }
             });
         }
     });
-    results
-        .into_inner()
-        .expect("scope joined all workers")
-        .into_iter()
-        .map(|r| r.expect("every index was processed"))
-        .collect()
+    let mut results: Vec<Option<R>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+    for chunk in collected.into_inner().expect("scope joined all workers") {
+        for (i, r) in chunk {
+            results[i] = Some(r);
+        }
+    }
+    results.into_iter().map(|r| r.expect("every index was processed")).collect()
 }
 
 /// Derives a per-pair seed so that the same pairing always sees the same
 /// instruction streams across configurations (paired comparisons).
+///
+/// Each name is length-prefixed before it enters the FNV loop, so distinct
+/// pairings can never alias onto the same byte stream (the previous bare
+/// concatenation collided for e.g. `("ab", "c")` and `("a", "bc")`, silently
+/// sharing instruction streams between different experiments).
 pub fn pair_seed(base: u64, ls: &str, batch_name: &str) -> u64 {
     let mut h = base ^ 0x9E37_79B9_7F4A_7C15;
-    for b in ls.bytes().chain(batch_name.bytes()) {
-        h ^= u64::from(b);
+    let mut mix = |byte: u8| {
+        h ^= u64::from(byte);
         h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    };
+    for name in [ls, batch_name] {
+        for b in (name.len() as u64).to_le_bytes() {
+            mix(b);
+        }
+        for b in name.bytes() {
+            mix(b);
+        }
     }
     h
 }
@@ -206,6 +240,30 @@ mod tests {
         assert_eq!(pair_seed(1, "a", "b"), pair_seed(1, "a", "b"));
         assert_ne!(pair_seed(1, "a", "b"), pair_seed(1, "a", "c"));
         assert_ne!(pair_seed(1, "a", "b"), pair_seed(2, "a", "b"));
+    }
+
+    #[test]
+    fn pair_seed_does_not_collide_on_name_boundaries() {
+        // Regression: bare byte concatenation made these four pairings hash
+        // identically, silently sharing instruction streams across distinct
+        // experiments. Length prefixes keep every split of the same byte
+        // soup distinct.
+        let adversarial = [("ab", "c"), ("a", "bc"), ("abc", ""), ("", "abc")];
+        for (i, a) in adversarial.iter().enumerate() {
+            for b in &adversarial[i + 1..] {
+                assert_ne!(
+                    pair_seed(42, a.0, a.1),
+                    pair_seed(42, b.0, b.1),
+                    "({:?}, {:?}) must not collide with ({:?}, {:?})",
+                    a.0,
+                    a.1,
+                    b.0,
+                    b.1
+                );
+            }
+        }
+        // Swapping roles must also produce a different stream.
+        assert_ne!(pair_seed(42, "web-search", "zeusmp"), pair_seed(42, "zeusmp", "web-search"));
     }
 
     #[test]

@@ -1,13 +1,23 @@
 //! Experiment harness for the Stretch (HPCA'19) reproduction.
 //!
-//! The `figureNN` binaries in `src/bin/` regenerate every figure of the
-//! paper's evaluation; this library holds the shared machinery:
+//! The `figures` driver binary regenerates any subset of the paper's
+//! evaluation in a single process; the `figureNN` binaries are thin wrappers
+//! over the same figure definitions. This library holds the shared
+//! machinery:
 //!
+//! * [`engine`] — the shared experiment engine: runs every distinct
+//!   experiment cell exactly once (in-process memoisation + in-flight
+//!   deduplication) and persists results via [`store`];
+//! * [`store`] — the content-addressed on-disk result store, keyed by a
+//!   collision-free canonical digest of core config, setup, pairing, seed
+//!   and simulation length;
+//! * [`figures`] — every figure/table of the paper as a declarative
+//!   renderer over the engine, plus the registry the binaries dispatch on;
 //! * [`harness`] — colocation-matrix runners (4 latency-sensitive × 29 batch
-//!   workloads), stand-alone full-core reference runs, and speedup /
-//!   slowdown aggregation, all parallelised across OS threads;
-//! * [`report`] — plain-text table formatting shared by the binaries so each
-//!   prints rows directly comparable to the paper's figures.
+//!   workloads), stand-alone full-core reference runs, and the shared
+//!   [`harness::parallel_map`] worker pool;
+//! * [`report`] — plain-text table formatting and cache-statistics reporting
+//!   shared by the binaries.
 //!
 //! The same entry points back the criterion benches in `benches/`, scaled
 //! down via [`cpu_sim::SimLength::quick`].
@@ -15,11 +25,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
+pub mod figures;
 pub mod harness;
 pub mod report;
+pub mod store;
 
+pub use engine::{CacheStats, Engine};
 pub use harness::{
     batch_names, ls_names, run_matrix, run_matrix_on, run_matrix_with, standalone_reference,
     ExperimentConfig, PairOutcome,
 };
-pub use report::{format_distribution_row, format_percent, TableWriter};
+pub use report::{format_cache_stats, format_distribution_row, format_percent, TableWriter};
+pub use store::{JsonCodec, ResultStore};

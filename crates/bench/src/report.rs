@@ -22,6 +22,20 @@ pub fn format_distribution_row(label: &str, summary: &DistributionSummary) -> St
     )
 }
 
+/// Formats the engine's cache counters for the end-of-run report of the
+/// `figures` driver: hit/miss totals, hit rate and the number of actual
+/// simulation runs (a fully warm invocation reports zero).
+pub fn format_cache_stats(stats: &crate::engine::CacheStats) -> String {
+    format!(
+        "result cache: {} requests | {} memo hits | {} store hits | {} simulated | {:.1}% hit rate",
+        stats.total(),
+        stats.memo_hits,
+        stats.store_hits,
+        stats.misses,
+        stats.hit_rate() * 100.0,
+    )
+}
+
 /// A minimal fixed-width table writer for the figure binaries.
 #[derive(Debug, Default, Clone)]
 pub struct TableWriter {

@@ -8,7 +8,7 @@
 //! granted to the latency-sensitive thread.
 
 use serde::{Deserialize, Serialize};
-use sim_model::ThreadId;
+use sim_model::{CanonicalKey, KeyEncoder, ThreadId};
 
 /// Thread-selection policy for the shared front end.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -40,6 +40,22 @@ impl FetchPolicy {
     pub fn throttled(throttled: ThreadId, ratio: u32) -> FetchPolicy {
         assert!(ratio >= 1, "fetch throttling ratio must be at least 1");
         FetchPolicy::Throttled { throttled, ratio }
+    }
+}
+
+impl CanonicalKey for FetchPolicy {
+    fn encode_key(&self, enc: &mut KeyEncoder) {
+        match self {
+            FetchPolicy::ICount => {
+                enc.tag(0);
+            }
+            FetchPolicy::RoundRobin => {
+                enc.tag(1);
+            }
+            FetchPolicy::Throttled { throttled, ratio } => {
+                enc.tag(2).field(throttled).u64(u64::from(*ratio));
+            }
+        }
     }
 }
 

@@ -9,7 +9,7 @@
 //! full capacity (bounded only by total occupancy).
 
 use serde::{Deserialize, Serialize};
-use sim_model::{CoreConfig, ThreadId};
+use sim_model::{CanonicalKey, CoreConfig, KeyEncoder, ThreadId};
 
 /// How the ROB and LSQ are divided between the two hardware threads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -92,6 +92,19 @@ impl PartitionPolicy {
         match self {
             PartitionPolicy::Static { .. } => false,
             PartitionPolicy::Dynamic => true,
+        }
+    }
+}
+
+impl CanonicalKey for PartitionPolicy {
+    fn encode_key(&self, enc: &mut KeyEncoder) {
+        match self {
+            PartitionPolicy::Static { rob, lsq } => {
+                enc.tag(0).usize(rob[0]).usize(rob[1]).usize(lsq[0]).usize(lsq[1]);
+            }
+            PartitionPolicy::Dynamic => {
+                enc.tag(1);
+            }
         }
     }
 }

@@ -6,7 +6,7 @@ use crate::fetch::FetchPolicy;
 use crate::partition::PartitionPolicy;
 use mem_sim::Sharing;
 use serde::{Deserialize, Serialize};
-use sim_model::{BoxedTrace, CoreConfig, ThreadId};
+use sim_model::{BoxedTrace, CanonicalKey, CoreConfig, KeyEncoder, ThreadId};
 use sim_stats::{Histogram, SamplingPlan};
 
 /// How long to simulate: per-thread warm-up and measurement instruction
@@ -50,6 +50,12 @@ impl SimLength {
 impl Default for SimLength {
     fn default() -> SimLength {
         SimLength::standard()
+    }
+}
+
+impl CanonicalKey for SimLength {
+    fn encode_key(&self, enc: &mut KeyEncoder) {
+        enc.u64(self.warmup_instructions).u64(self.measured_instructions).u64(self.max_cycles);
     }
 }
 
@@ -144,6 +150,16 @@ impl CoreSetup {
             .l1i_sharing(self.l1i_sharing)
             .l1d_sharing(self.l1d_sharing)
             .bp_sharing(self.bp_sharing)
+    }
+}
+
+impl CanonicalKey for CoreSetup {
+    fn encode_key(&self, enc: &mut KeyEncoder) {
+        enc.field(&self.partition)
+            .field(&self.fetch_policy)
+            .field(&self.l1i_sharing)
+            .field(&self.l1d_sharing)
+            .field(&self.bp_sharing);
     }
 }
 

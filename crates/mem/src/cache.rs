@@ -2,7 +2,7 @@
 //! privatisation.
 
 use serde::{Deserialize, Serialize};
-use sim_model::{CacheConfig, ThreadId};
+use sim_model::{CacheConfig, CanonicalKey, KeyEncoder, ThreadId};
 
 /// How a cache structure is shared between the two SMT threads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -15,6 +15,15 @@ pub enum Sharing {
     /// per-resource study (Figures 4/5) and the ideal-software-scheduling
     /// baseline (Figure 13).
     PrivatePerThread,
+}
+
+impl CanonicalKey for Sharing {
+    fn encode_key(&self, enc: &mut KeyEncoder) {
+        enc.tag(match self {
+            Sharing::Shared => 0,
+            Sharing::PrivatePerThread => 1,
+        });
+    }
 }
 
 /// Hit/miss counters for one cache.

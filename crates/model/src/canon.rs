@@ -1,0 +1,266 @@
+//! Canonical byte encoding for experiment identity.
+//!
+//! The result store in `stretch-bench` memoises simulation runs on disk,
+//! keyed by *what was simulated*: core configuration, core setup, workload
+//! pairing, seed and simulation length. For that key to be collision-free the
+//! encoding must be unambiguous — concatenating variable-length fields bare
+//! (as the original `pair_seed` did with workload names) lets distinct inputs
+//! produce identical byte streams (`("ab", "c")` vs `("a", "bc")`).
+//!
+//! [`KeyEncoder`] therefore length-prefixes every variable-length field and
+//! tags every enum variant, so the byte stream parses back uniquely (it is a
+//! prefix code). [`CanonicalKey`] is implemented by every type that
+//! participates in a cache key; crates higher in the stack (`mem_sim`,
+//! `cpu_sim`, `qos`) implement it for their own configuration types.
+//!
+//! The digest over the canonical bytes is 128-bit FNV-1a: not cryptographic,
+//! but with an unambiguous input encoding and a 128-bit state, accidental
+//! collisions across the few thousand distinct runs of a full reproduction
+//! are vanishingly unlikely.
+
+/// Appends an unambiguous (prefix-free) byte encoding of `self` to a
+/// [`KeyEncoder`]. Implementations must be *stable*: the same logical value
+/// always encodes to the same bytes, across processes and releases (bump the
+/// store's version tag when an encoding must change).
+pub trait CanonicalKey {
+    /// Encodes `self` into `enc`.
+    fn encode_key(&self, enc: &mut KeyEncoder);
+}
+
+/// Builder for canonical key bytes. Every variable-length field is
+/// length-prefixed and every scalar is fixed-width little-endian, so no two
+/// distinct field sequences can share an encoding.
+#[derive(Debug, Default, Clone)]
+pub struct KeyEncoder {
+    buf: Vec<u8>,
+}
+
+impl KeyEncoder {
+    /// Creates an empty encoder.
+    pub fn new() -> KeyEncoder {
+        KeyEncoder::default()
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) -> &mut Self {
+        self.u64(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+        self
+    }
+
+    /// Appends a fixed-width `u64` (little-endian).
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a `usize` as a fixed-width `u64`.
+    pub fn usize(&mut self, v: usize) -> &mut Self {
+        self.u64(v as u64)
+    }
+
+    /// Appends an `f64` by its IEEE-754 bit pattern (so `-0.0` and `0.0`
+    /// stay distinct and NaN payloads are preserved).
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.u64(v.to_bits())
+    }
+
+    /// Appends a `bool` as one byte.
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.buf.push(u8::from(v));
+        self
+    }
+
+    /// Appends an enum variant tag. Tags only need to be unique within one
+    /// type's `encode_key`, because every encoding site is reached through an
+    /// unambiguous path from the key root.
+    pub fn tag(&mut self, t: u8) -> &mut Self {
+        self.buf.push(t);
+        self
+    }
+
+    /// Appends a nested [`CanonicalKey`] value.
+    pub fn field(&mut self, v: &impl CanonicalKey) -> &mut Self {
+        v.encode_key(self);
+        self
+    }
+
+    /// Appends a length-prefixed list of [`CanonicalKey`] values.
+    pub fn list<T: CanonicalKey>(&mut self, items: &[T]) -> &mut Self {
+        self.usize(items.len());
+        for item in items {
+            item.encode_key(self);
+        }
+        self
+    }
+
+    /// The canonical bytes accumulated so far.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consumes the encoder and returns the 128-bit FNV-1a digest of its
+    /// bytes as a 32-character lowercase hex string (the result store's
+    /// content address).
+    pub fn digest(&self) -> String {
+        format!("{:032x}", fnv1a_128(&self.buf))
+    }
+}
+
+/// 128-bit FNV-1a over a byte slice.
+pub fn fnv1a_128(bytes: &[u8]) -> u128 {
+    const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u128::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+impl CanonicalKey for f64 {
+    fn encode_key(&self, enc: &mut KeyEncoder) {
+        enc.f64(*self);
+    }
+}
+
+impl CanonicalKey for u64 {
+    fn encode_key(&self, enc: &mut KeyEncoder) {
+        enc.u64(*self);
+    }
+}
+
+impl CanonicalKey for usize {
+    fn encode_key(&self, enc: &mut KeyEncoder) {
+        enc.usize(*self);
+    }
+}
+
+impl CanonicalKey for String {
+    fn encode_key(&self, enc: &mut KeyEncoder) {
+        enc.str(self);
+    }
+}
+
+impl CanonicalKey for crate::ThreadId {
+    fn encode_key(&self, enc: &mut KeyEncoder) {
+        enc.tag(self.index() as u8);
+    }
+}
+
+impl CanonicalKey for crate::config::CacheConfig {
+    fn encode_key(&self, enc: &mut KeyEncoder) {
+        enc.usize(self.capacity_bytes)
+            .usize(self.line_bytes)
+            .usize(self.ways)
+            .usize(self.banks)
+            .u64(self.hit_latency);
+    }
+}
+
+impl CanonicalKey for crate::config::BranchPredictorConfig {
+    fn encode_key(&self, enc: &mut KeyEncoder) {
+        enc.usize(self.gshare_entries)
+            .usize(self.bimodal_entries)
+            .usize(self.chooser_entries)
+            .usize(self.btb_entries)
+            .usize(self.ras_depth)
+            .usize(self.history_bits);
+    }
+}
+
+impl CanonicalKey for crate::config::FuConfig {
+    fn encode_key(&self, enc: &mut KeyEncoder) {
+        enc.usize(self.int_alu).usize(self.int_mul).usize(self.fpu).usize(self.lsu);
+    }
+}
+
+impl CanonicalKey for crate::config::UncoreConfig {
+    fn encode_key(&self, enc: &mut KeyEncoder) {
+        enc.usize(self.llc_capacity_bytes)
+            .usize(self.llc_ways)
+            .u64(self.llc_latency)
+            .u64(self.noc_hop_latency)
+            .f64(self.mem_latency_ns)
+            .f64(self.freq_ghz);
+    }
+}
+
+impl CanonicalKey for crate::config::CoreConfig {
+    fn encode_key(&self, enc: &mut KeyEncoder) {
+        enc.usize(self.fetch_width)
+            .usize(self.fetch_blocks_per_cycle)
+            .usize(self.fetch_branches_per_cycle)
+            .usize(self.dispatch_width)
+            .usize(self.issue_width)
+            .usize(self.commit_width)
+            .usize(self.rob_capacity)
+            .usize(self.lsq_capacity)
+            .u64(self.pipeline_flush_cycles)
+            .usize(self.mshrs_per_thread)
+            .usize(self.prefetcher_pc_slots)
+            .field(&self.l1i)
+            .field(&self.l1d)
+            .field(&self.branch)
+            .field(&self.fus)
+            .field(&self.uncore)
+            .usize(self.fetch_buffer_entries);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CoreConfig;
+
+    #[test]
+    fn string_fields_are_length_prefixed() {
+        let mut a = KeyEncoder::new();
+        a.str("ab").str("c");
+        let mut b = KeyEncoder::new();
+        b.str("a").str("bc");
+        assert_ne!(a.bytes(), b.bytes(), "length prefixes must disambiguate field boundaries");
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn empty_strings_still_occupy_space() {
+        let mut a = KeyEncoder::new();
+        a.str("").str("x");
+        let mut b = KeyEncoder::new();
+        b.str("x").str("");
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn digest_is_stable_and_sensitive() {
+        let mut a = KeyEncoder::new();
+        a.field(&CoreConfig::default()).u64(42);
+        let mut b = KeyEncoder::new();
+        b.field(&CoreConfig::default()).u64(42);
+        assert_eq!(a.digest(), b.digest());
+
+        let mut c = KeyEncoder::new();
+        let cfg = CoreConfig { rob_capacity: 190, ..CoreConfig::default() };
+        c.field(&cfg).u64(42);
+        assert_ne!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn fnv_vector() {
+        // FNV-1a 128 of the empty string is the offset basis.
+        assert_eq!(fnv1a_128(b""), 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d);
+        // One byte mixes the prime in.
+        assert_ne!(fnv1a_128(b"a"), fnv1a_128(b"b"));
+    }
+
+    #[test]
+    fn f64_encoding_distinguishes_signed_zero() {
+        let mut a = KeyEncoder::new();
+        a.f64(0.0);
+        let mut b = KeyEncoder::new();
+        b.f64(-0.0);
+        assert_ne!(a.digest(), b.digest());
+    }
+}

@@ -24,12 +24,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod canon;
 pub mod config;
 pub mod ids;
 pub mod rng;
 pub mod trace;
 pub mod uop;
 
+pub use canon::{CanonicalKey, KeyEncoder};
 pub use config::{BranchPredictorConfig, CacheConfig, CoreConfig, FuConfig, UncoreConfig};
 pub use ids::{ThreadId, WorkloadClass};
 pub use rng::SimRng;

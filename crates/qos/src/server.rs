@@ -9,7 +9,7 @@
 use crate::arrival::{ArrivalGenerator, ArrivalProcess};
 use crate::service::ServiceSpec;
 use serde::{Deserialize, Serialize};
-use sim_model::SimRng;
+use sim_model::{CanonicalKey, KeyEncoder, SimRng};
 use sim_stats::Percentiles;
 
 /// Parameters of one server simulation run.
@@ -61,6 +61,15 @@ impl SimParams {
             ));
         }
         Ok(())
+    }
+}
+
+impl CanonicalKey for SimParams {
+    fn encode_key(&self, enc: &mut KeyEncoder) {
+        enc.usize(self.requests)
+            .usize(self.warmup_requests)
+            .u64(self.seed)
+            .f64(self.performance_fraction);
     }
 }
 

@@ -1,6 +1,7 @@
 //! Latency-sensitive service specifications (Table I).
 
 use serde::{Deserialize, Serialize};
+use sim_model::{CanonicalKey, KeyEncoder};
 
 /// Which statistic of the latency distribution the QoS target constrains.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -22,6 +23,16 @@ impl TailMetric {
             TailMetric::P99 => 99.0,
             TailMetric::Timeout => 99.5,
         }
+    }
+}
+
+impl CanonicalKey for TailMetric {
+    fn encode_key(&self, enc: &mut KeyEncoder) {
+        enc.tag(match self {
+            TailMetric::P95 => 0,
+            TailMetric::P99 => 1,
+            TailMetric::Timeout => 2,
+        });
     }
 }
 
@@ -51,6 +62,18 @@ pub struct ServiceSpec {
     pub cpu_fraction: f64,
     /// Number of worker threads processing requests in parallel on one server.
     pub workers: usize,
+}
+
+impl CanonicalKey for ServiceSpec {
+    fn encode_key(&self, enc: &mut KeyEncoder) {
+        enc.str(&self.name)
+            .f64(self.qos_target_ms)
+            .field(&self.tail_metric)
+            .f64(self.service_median_ms)
+            .f64(self.service_sigma)
+            .f64(self.cpu_fraction)
+            .usize(self.workers);
+    }
 }
 
 impl ServiceSpec {

@@ -19,14 +19,32 @@ pub struct SlackPoint {
     pub load: f64,
     /// Minimum fraction of full single-thread performance that still meets
     /// the QoS target at this load (1.0 when even full performance barely
-    /// suffices, smaller when there is slack).
+    /// suffices, smaller when there is slack). When [`SlackPoint::feasible`]
+    /// is `false` this is 1.0 as well, but the target is *not* met — use
+    /// [`SlackPoint::required`] to keep the two cases apart.
     pub required_performance: f64,
+    /// Whether the QoS target is met at all at this load. `false` means even
+    /// full single-thread performance violates the target, so the load point
+    /// has no feasible operating fraction (and zero slack by definition).
+    pub feasible: bool,
 }
 
 impl SlackPoint {
-    /// Slack: the fraction of performance that can be given away.
+    /// Slack: the fraction of performance that can be given away, or zero
+    /// when the load point is infeasible.
     pub fn slack(&self) -> f64 {
-        1.0 - self.required_performance
+        if self.feasible {
+            1.0 - self.required_performance
+        } else {
+            0.0
+        }
+    }
+
+    /// The minimum feasible performance fraction, or `None` when the target
+    /// is unmet at any fraction (distinguishing "full performance barely
+    /// suffices" from "full performance is not enough").
+    pub fn required(&self) -> Option<f64> {
+        self.feasible.then_some(self.required_performance)
     }
 }
 
@@ -47,30 +65,44 @@ pub fn slack_curve(spec: &ServiceSpec, params: SimParams, loads: &[f64]) -> Vec<
         .iter()
         .map(|&load| {
             assert!(load > 0.0 && load <= 1.0, "load {load} outside (0, 1]");
-            SlackPoint {
-                load,
-                required_performance: required_performance(&sim, peak, load, params),
-            }
+            // A zero peak means the target is unmet even at a trickle of
+            // requests — every load point is infeasible.
+            let (required_performance, feasible) = if peak > 0.0 {
+                required_performance(&sim, peak, load, params)
+            } else {
+                (1.0, false)
+            };
+            SlackPoint { load, required_performance, feasible }
         })
         .collect()
 }
 
-/// Minimum performance fraction (searched in 5% steps) meeting QoS at `load`.
-fn required_performance(sim: &ServerSim, peak_rps: f64, load: f64, params: SimParams) -> f64 {
+/// Minimum performance fraction (searched in 5% steps) meeting QoS at
+/// `load`, plus whether the target is feasible at all. The search walks from
+/// full performance downwards and stops at the first violation; if the very
+/// first step (full performance) already violates the target, the point is
+/// infeasible rather than "requires 1.0".
+fn required_performance(
+    sim: &ServerSim,
+    peak_rps: f64,
+    load: f64,
+    params: SimParams,
+) -> (f64, bool) {
     let target = sim.spec().qos_target_ms;
     let metric = sim.spec().tail_metric;
     let mut required = 1.0;
-    // Search from full performance downwards; stop at the first violation.
+    let mut feasible = false;
     let steps: Vec<f64> = (1..=20).map(|i| i as f64 * 0.05).collect();
     for &fraction in steps.iter().rev() {
         let summary = sim.run_at_load(load, peak_rps, params.with_performance(fraction));
         if summary.tail(metric) <= target {
             required = fraction;
+            feasible = true;
         } else {
             break;
         }
     }
-    required
+    (required, feasible)
 }
 
 /// The standard load grid of Figure 2: 10% to 100% in 10% steps.
@@ -122,8 +154,45 @@ mod tests {
 
     #[test]
     fn slack_is_complement_of_required_performance() {
-        let p = SlackPoint { load: 0.3, required_performance: 0.4 };
+        let p = SlackPoint { load: 0.3, required_performance: 0.4, feasible: true };
         assert!((p.slack() - 0.6).abs() < 1e-12);
+        assert_eq!(p.required(), Some(0.4));
+    }
+
+    #[test]
+    fn infeasible_point_is_distinguishable_from_barely_feasible() {
+        let barely = SlackPoint { load: 1.0, required_performance: 1.0, feasible: true };
+        let unmet = SlackPoint { load: 1.0, required_performance: 1.0, feasible: false };
+        assert_eq!(barely.required(), Some(1.0));
+        assert_eq!(unmet.required(), None);
+        assert!((barely.slack()).abs() < 1e-12);
+        assert!((unmet.slack()).abs() < 1e-12);
+        assert_ne!(barely, unmet, "the flag must survive comparisons and serialisation");
+    }
+
+    #[test]
+    fn impossible_qos_target_reports_infeasible_loads() {
+        // A tail target barely above the *median* service time cannot be met
+        // by a heavy-tailed (log-normal) service at any performance fraction
+        // or load: the p99 always exceeds the median by far more than 1%.
+        let mut spec = ServiceSpec::web_search();
+        spec.qos_target_ms = spec.service_median_ms * 1.01;
+        let points = slack_curve(&spec, SimParams::quick(5), &[0.2, 0.9]);
+        for p in &points {
+            assert!(
+                !p.feasible,
+                "target {} ms must be unmet at load {}",
+                spec.qos_target_ms, p.load
+            );
+            assert_eq!(p.required(), None);
+            assert!((p.slack()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn feasible_loads_are_marked_feasible() {
+        let points = slack_curve(&ServiceSpec::web_search(), SimParams::quick(23), &[0.2]);
+        assert!(points[0].feasible, "web-search at 20% load meets its target at full perf");
     }
 
     #[test]

@@ -29,12 +29,16 @@ fn main() {
     println!("  load    required perf   slack");
     let loads: Vec<f64> = (1..=10).map(|i| i as f64 * 0.1).collect();
     for point in slack_curve(&spec, params, &loads) {
-        println!(
-            "  {:>4.0}%        {:>5.0}%        {:>5.0}%",
-            point.load * 100.0,
-            point.required_performance * 100.0,
-            point.slack() * 100.0
-        );
+        match point.required() {
+            Some(required) => println!(
+                "  {:>4.0}%        {:>5.0}%        {:>5.0}%",
+                point.load * 100.0,
+                required * 100.0,
+                point.slack() * 100.0
+            ),
+            // Even full performance misses the target at this load.
+            None => println!("  {:>4.0}%        unmet            -", point.load * 100.0),
+        }
     }
 
     println!();

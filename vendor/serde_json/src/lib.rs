@@ -2,9 +2,10 @@
 //!
 //! The build environment cannot reach crates.io (see `vendor/README.md`), so
 //! this shim provides the small JSON surface the workspace actually uses: an
-//! owned [`Value`] tree plus [`to_string`] / [`to_string_pretty`] over it.
-//! It does not implement generic `Serialize`-driven encoding — callers build
-//! a [`Value`] explicitly (see `stretch_bench::report::json`).
+//! owned [`Value`] tree, [`to_string`] / [`to_string_pretty`] over it, and a
+//! [`from_str`] parser back into [`Value`] (used by the `stretch-bench`
+//! result store). It does not implement generic `Serialize`-driven encoding —
+//! callers build a [`Value`] explicitly (see `stretch_bench::report::json`).
 #![forbid(unsafe_code)]
 
 use std::fmt;
@@ -75,6 +76,63 @@ impl<T: Into<Value>> From<Vec<T>> for Value {
 }
 
 impl Value {
+    /// Object field access by key (`None` for non-objects / missing keys),
+    /// mirroring `serde_json::Value::get`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 9.0e15 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a `bool`, if it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as an object map, if it is one.
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
     fn write(&self, f: &mut fmt::Formatter<'_>, pretty: bool, indent: usize) -> fmt::Result {
         const PAD: &str = "  ";
         match self {
@@ -171,13 +229,240 @@ pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
     Ok(format!("{value:#}"))
 }
 
-/// Error type mirroring `serde_json::Error` (never produced by this shim).
+/// Parses a JSON document into a [`Value`].
+///
+/// Supports the full JSON grammar the serialiser emits (and standard JSON in
+/// general): `null`, booleans, numbers (parsed as `f64` — round-trip exact
+/// for values the serialiser printed, since Rust's shortest-representation
+/// float formatting parses back to the identical bits), escaped strings,
+/// arrays and objects.
+///
+/// # Errors
+///
+/// Returns an [`Error`] describing the first syntax problem encountered,
+/// including trailing non-whitespace after the document.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::at("trailing characters after JSON document", p.pos));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, Error> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied().ok_or_else(|| Error::at("unexpected end", self.pos))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::at("unexpected character", self.pos))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(Error::at("invalid literal", self.pos))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek()? {
+            b'n' => self.eat_literal("null").map(|()| Value::Null),
+            b't' => self.eat_literal("true").map(|()| Value::Bool(true)),
+            b'f' => self.eat_literal("false").map(|()| Value::Bool(false)),
+            b'"' => self.parse_string().map(Value::String),
+            b'[' => self.parse_array(),
+            b'{' => self.parse_object(),
+            _ => self.parse_number(),
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::at("invalid number bytes", start))?;
+        text.parse::<f64>().map(Value::Number).map_err(|_| Error::at("invalid number", start))
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .ok_or_else(|| Error::at("truncated \\u escape", self.pos))?;
+        let code =
+            u32::from_str_radix(hex, 16).map_err(|_| Error::at("invalid \\u escape", self.pos))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| Error::at("unterminated string", self.pos))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| Error::at("unterminated escape", self.pos))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'u' => {
+                            let code = self.parse_hex4()?;
+                            if (0xd800..0xdc00).contains(&code) {
+                                // High surrogate: combine with the following
+                                // `\uXXXX` low surrogate (standard JSON).
+                                if self.bytes.get(self.pos..self.pos + 2) != Some(b"\\u") {
+                                    return Err(Error::at("unpaired surrogate", self.pos));
+                                }
+                                self.pos += 2;
+                                let low = self.parse_hex4()?;
+                                if !(0xdc00..0xe000).contains(&low) {
+                                    return Err(Error::at("invalid low surrogate", self.pos));
+                                }
+                                let combined = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+                                out.push(char::from_u32(combined).unwrap_or('\u{fffd}'));
+                            } else {
+                                // Lone low surrogates are invalid; map them
+                                // to the replacement character.
+                                out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            }
+                        }
+                        _ => return Err(Error::at("unknown escape", self.pos)),
+                    }
+                }
+                _ => {
+                    // Collect the full UTF-8 sequence starting at this byte.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    let end = start + len;
+                    let chunk = self
+                        .bytes
+                        .get(start..end)
+                        .and_then(|c| std::str::from_utf8(c).ok())
+                        .ok_or_else(|| Error::at("invalid UTF-8 in string", start))?;
+                    out.push_str(chunk);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::at("expected ',' or ']'", self.pos)),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            map.insert(key, self.parse_value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(Error::at("expected ',' or '}'", self.pos)),
+            }
+        }
+    }
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+/// Error type mirroring `serde_json::Error` (produced by [`from_str`]).
 #[derive(Debug)]
-pub struct Error;
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn at(msg: &str, pos: usize) -> Error {
+        Error { msg: format!("{msg} at byte {pos}") }
+    }
+}
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str("serde_json shim error")
+        write!(f, "serde_json shim error: {}", self.msg)
     }
 }
 
@@ -211,5 +496,66 @@ mod tests {
         let mut m = Map::new();
         m.insert("k".to_string(), Value::from(1u64));
         assert_eq!(to_string_pretty(&Value::Object(m)).unwrap(), "{\n  \"k\": 1\n}");
+    }
+
+    #[test]
+    fn parses_what_it_prints() {
+        let mut m = Map::new();
+        m.insert("name".to_string(), Value::from("web-search"));
+        m.insert("uipc".to_string(), Value::from(1.2345678901234567));
+        m.insert("ok".to_string(), Value::from(true));
+        m.insert("none".to_string(), Value::Null);
+        m.insert("counts".to_string(), Value::from(vec![1u64, 2, 3]));
+        let original = Value::Object(m);
+        for text in [to_string(&original).unwrap(), to_string_pretty(&original).unwrap()] {
+            let parsed = from_str(&text).expect("round-trip parse");
+            assert_eq!(parsed, original, "parse({text}) must round-trip");
+        }
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for v in [0.1, 1.0 / 3.0, 1e-300, 12345.6789, f64::MAX] {
+            let text = to_string(&Value::from(v)).unwrap();
+            let parsed = from_str(&text).unwrap();
+            assert_eq!(parsed.as_f64().unwrap().to_bits(), v.to_bits(), "{text}");
+        }
+    }
+
+    #[test]
+    fn parses_escapes_and_unicode() {
+        let v = from_str(r#""a\"b\\c\ndAé""#).unwrap();
+        assert_eq!(v.as_str().unwrap(), "a\"b\\c\ndAé");
+    }
+
+    #[test]
+    fn parses_surrogate_pairs() {
+        let v = from_str(r#""\ud83d\ude00""#).unwrap();
+        assert_eq!(v.as_str().unwrap(), "😀", "UTF-16 surrogate pair combines to one scalar");
+        let raw = from_str("\"😀\"").unwrap();
+        assert_eq!(raw.as_str().unwrap(), "😀", "raw UTF-8 passes through");
+        assert!(from_str(r#""\ud83d""#).is_err(), "unpaired high surrogate rejected");
+        assert!(from_str(r#""\ud83dx""#).is_err(), "high surrogate without \\u rejected");
+        assert!(from_str(r#""\ud83dA""#).is_err(), "bad low surrogate rejected");
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["", "{", "[1,", "{\"a\":}", "tru", "1 2", "\"unterminated"] {
+            assert!(from_str(bad).is_err(), "{bad:?} should fail to parse");
+        }
+    }
+
+    #[test]
+    fn accessors_match_variants() {
+        let v = from_str(r#"{"n": 3, "s": "x", "b": false, "a": [1]}"#).unwrap();
+        assert_eq!(v.get("n").and_then(Value::as_u64), Some(3));
+        assert_eq!(v.get("n").and_then(Value::as_f64), Some(3.0));
+        assert_eq!(v.get("s").and_then(Value::as_str), Some("x"));
+        assert_eq!(v.get("b").and_then(Value::as_bool), Some(false));
+        assert_eq!(v.get("a").and_then(Value::as_array).map(Vec::len), Some(1));
+        assert!(v.get("missing").is_none());
+        assert!(v.as_object().is_some());
+        assert_eq!(v.get("s").and_then(Value::as_u64), None);
     }
 }
