@@ -5,19 +5,38 @@
 //! batch co-runners: a latency-sensitive thread stalled on a miss clogs the
 //! shared ROB without benefiting from it.
 
-use cpu_sim::{CoreSetup, FetchPolicy, PartitionPolicy};
+use cpu_sim::{ColocationPolicy, CoreSetup, FetchPolicy, PartitionPolicy};
 use mem_sim::Sharing;
-use sim_model::CoreConfig;
+use sim_model::{CanonicalKey, CoreConfig, KeyEncoder};
 
-/// The dynamically shared ROB configuration: ICOUNT fetch, shared caches and
+/// The dynamically shared ROB policy: ICOUNT fetch, shared caches and
 /// predictor (as in the baseline), but no ROB/LSQ partitioning.
-pub fn dynamic_rob_setup(_cfg: &CoreConfig) -> CoreSetup {
-    CoreSetup {
-        partition: PartitionPolicy::Dynamic,
-        fetch_policy: FetchPolicy::ICount,
-        l1i_sharing: Sharing::Shared,
-        l1d_sharing: Sharing::Shared,
-        bp_sharing: Sharing::Shared,
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DynamicSharing;
+
+impl CanonicalKey for DynamicSharing {
+    fn encode_key(&self, enc: &mut KeyEncoder) {
+        enc.str("policy/dynamic-sharing");
+    }
+}
+
+impl ColocationPolicy for DynamicSharing {
+    fn name(&self) -> String {
+        "dynamic ROB sharing".to_string()
+    }
+
+    fn setup(&self, _cfg: &CoreConfig) -> CoreSetup {
+        CoreSetup {
+            partition: PartitionPolicy::Dynamic,
+            fetch_policy: FetchPolicy::ICount,
+            l1i_sharing: Sharing::Shared,
+            l1d_sharing: Sharing::Shared,
+            bp_sharing: Sharing::Shared,
+        }
+    }
+
+    fn clone_policy(&self) -> Box<dyn ColocationPolicy> {
+        Box::new(*self)
     }
 }
 
@@ -29,7 +48,7 @@ mod tests {
     #[test]
     fn dynamic_setup_has_full_capacity_limits() {
         let cfg = CoreConfig::default();
-        let setup = dynamic_rob_setup(&cfg);
+        let setup = DynamicSharing.setup(&cfg);
         assert_eq!(setup.partition.rob_limit(&cfg, ThreadId::T0), cfg.rob_capacity);
         assert_eq!(setup.partition.rob_limit(&cfg, ThreadId::T1), cfg.rob_capacity);
         assert!(setup.partition.enforce_total_capacity());
@@ -41,27 +60,22 @@ mod tests {
         // Functional check of the mechanism behind Figure 11: under dynamic
         // sharing a miss-bound thread grabs most of the ROB, hurting an
         // MLP-rich co-runner relative to equal partitioning.
-        use cpu_sim::{run_pair, SimLength};
-        use workloads::{batch, latency_sensitive};
+        use cpu_sim::{EqualPartition, Scenario, SimLength};
+        use workloads::profile_by_name;
 
-        let cfg = CoreConfig::default();
         let length = SimLength::quick();
-        let equal = run_pair(
-            &cfg,
-            CoreSetup::baseline(&cfg),
-            latency_sensitive::data_serving(3),
-            batch::zeusmp(3),
-            length,
-        );
-        let dynamic = run_pair(
-            &cfg,
-            dynamic_rob_setup(&cfg),
-            latency_sensitive::data_serving(3),
-            batch::zeusmp(3),
-            length,
-        );
-        let equal_batch = equal.uipc(ThreadId::T1);
-        let dynamic_batch = dynamic.uipc(ThreadId::T1);
+        let pair = || {
+            Scenario::colocate(
+                profile_by_name("data-serving").unwrap(),
+                profile_by_name("zeusmp").unwrap(),
+            )
+            .length(length)
+            .seed(3)
+        };
+        let equal = pair().policy(EqualPartition).run();
+        let dynamic = pair().policy(DynamicSharing).run();
+        let equal_batch = equal.expect_thread(ThreadId::T1).uipc;
+        let dynamic_batch = dynamic.expect_thread(ThreadId::T1).uipc;
         assert!(
             dynamic_batch < equal_batch * 1.05,
             "dynamic sharing should not beat equal partitioning for an MLP-rich batch thread \

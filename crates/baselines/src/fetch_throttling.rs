@@ -6,27 +6,61 @@
 //! the point being that admission control alone cannot keep a miss-bound
 //! thread from clogging the window.
 
-use cpu_sim::{CoreSetup, FetchPolicy, PartitionPolicy};
+use cpu_sim::{ColocationPolicy, CoreSetup, FetchPolicy, PartitionPolicy};
 use mem_sim::Sharing;
-use sim_model::{CoreConfig, ThreadId};
+use sim_model::{CanonicalKey, CoreConfig, KeyEncoder, ThreadId};
 
 /// The fetch-throttling ratios (`M` in 1:M) evaluated in Figure 12.
 pub const FETCH_THROTTLING_RATIOS: [u32; 4] = [2, 4, 8, 16];
 
-/// Builds the fetch-throttling configuration: dynamically shared ROB, shared
-/// caches/predictor, and a throttled fetch policy that gives `ls_thread` one
-/// fetch cycle for every `ratio` cycles granted to the co-runner.
-///
-/// # Panics
-///
-/// Panics if `ratio == 0`.
-pub fn fetch_throttling_setup(_cfg: &CoreConfig, ls_thread: ThreadId, ratio: u32) -> CoreSetup {
-    CoreSetup {
-        partition: PartitionPolicy::Dynamic,
-        fetch_policy: FetchPolicy::throttled(ls_thread, ratio),
-        l1i_sharing: Sharing::Shared,
-        l1d_sharing: Sharing::Shared,
-        bp_sharing: Sharing::Shared,
+/// The fetch-throttling policy: dynamically shared ROB, shared
+/// caches/predictor, and a throttled fetch policy that gives the
+/// latency-sensitive thread one fetch cycle for every `ratio` granted to the
+/// co-runner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchThrottling {
+    /// The hardware thread running the latency-sensitive (throttled) workload.
+    pub ls_thread: ThreadId,
+    /// The `M` in the 1:M fetch ratio.
+    pub ratio: u32,
+}
+
+impl FetchThrottling {
+    /// Creates the policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio == 0` (the underlying fetch policy requires 1:M with
+    /// M ≥ 1).
+    pub fn new(ls_thread: ThreadId, ratio: u32) -> FetchThrottling {
+        assert!(ratio >= 1, "fetch throttling needs a ratio of at least 1, got {ratio}");
+        FetchThrottling { ls_thread, ratio }
+    }
+}
+
+impl CanonicalKey for FetchThrottling {
+    fn encode_key(&self, enc: &mut KeyEncoder) {
+        enc.str("policy/fetch-throttling").field(&self.ls_thread).field(&self.ratio);
+    }
+}
+
+impl ColocationPolicy for FetchThrottling {
+    fn name(&self) -> String {
+        format!("fetch throttling 1:{}", self.ratio)
+    }
+
+    fn setup(&self, _cfg: &CoreConfig) -> CoreSetup {
+        CoreSetup {
+            partition: PartitionPolicy::Dynamic,
+            fetch_policy: FetchPolicy::throttled(self.ls_thread, self.ratio),
+            l1i_sharing: Sharing::Shared,
+            l1d_sharing: Sharing::Shared,
+            bp_sharing: Sharing::Shared,
+        }
+    }
+
+    fn clone_policy(&self) -> Box<dyn ColocationPolicy> {
+        Box::new(*self)
     }
 }
 
@@ -42,7 +76,7 @@ mod tests {
     #[test]
     fn setup_uses_dynamic_rob_and_throttled_fetch() {
         let cfg = CoreConfig::default();
-        let setup = fetch_throttling_setup(&cfg, ThreadId::T0, 4);
+        let setup = FetchThrottling::new(ThreadId::T0, 4).setup(&cfg);
         assert_eq!(setup.partition, PartitionPolicy::Dynamic);
         match setup.fetch_policy {
             FetchPolicy::Throttled { throttled, ratio } => {
@@ -55,36 +89,32 @@ mod tests {
 
     #[test]
     fn heavier_throttling_hurts_the_latency_sensitive_thread() {
-        use cpu_sim::{run_pair, SimLength};
-        use workloads::{batch, latency_sensitive};
+        use cpu_sim::{Scenario, SimLength};
+        use workloads::profile_by_name;
 
-        let cfg = CoreConfig::default();
-        let length = SimLength::quick();
-        let mild = run_pair(
-            &cfg,
-            fetch_throttling_setup(&cfg, ThreadId::T0, 2),
-            latency_sensitive::web_search(5),
-            batch::zeusmp(5),
-            length,
-        );
-        let harsh = run_pair(
-            &cfg,
-            fetch_throttling_setup(&cfg, ThreadId::T0, 16),
-            latency_sensitive::web_search(5),
-            batch::zeusmp(5),
-            length,
-        );
+        let pair = |ratio| {
+            Scenario::colocate(
+                profile_by_name("web-search").unwrap(),
+                profile_by_name("zeusmp").unwrap(),
+            )
+            .policy(FetchThrottling::new(ThreadId::T0, ratio))
+            .length(SimLength::quick())
+            .seed(5)
+            .run()
+        };
+        let mild = pair(2);
+        let harsh = pair(16);
         assert!(
-            harsh.uipc(ThreadId::T0) < mild.uipc(ThreadId::T0),
+            harsh.expect_thread(ThreadId::T0).uipc < mild.expect_thread(ThreadId::T0).uipc,
             "a 1:16 ratio must hurt the throttled thread more than 1:2 (1:2={:.3}, 1:16={:.3})",
-            mild.uipc(ThreadId::T0),
-            harsh.uipc(ThreadId::T0)
+            mild.expect_thread(ThreadId::T0).uipc,
+            harsh.expect_thread(ThreadId::T0).uipc
         );
     }
 
     #[test]
     #[should_panic(expected = "at least 1")]
     fn zero_ratio_rejected() {
-        let _ = fetch_throttling_setup(&CoreConfig::default(), ThreadId::T0, 0);
+        let _ = FetchThrottling::new(ThreadId::T0, 0);
     }
 }

@@ -6,46 +6,94 @@
 //! core in which *all* dynamically shared structures (L1-I, L1-D, branch
 //! predictor) are contention-free — i.e. private per thread — while the ROB
 //! and LSQ stay equally partitioned. Stretch is complementary: the combined
-//! configuration (private L1s/BP plus the asymmetric B-mode ROB split) is
-//! also provided.
+//! policy (private L1s/BP plus an asymmetric B-mode ROB split) is the
+//! "Stretch + Ideal Software Scheduling" bar of Figure 13.
 
-use cpu_sim::{CoreSetup, FetchPolicy, PartitionPolicy};
+use cpu_sim::{ColocationPolicy, CoreSetup, FetchPolicy, PartitionPolicy};
 use mem_sim::Sharing;
-use sim_model::{CoreConfig, ThreadId};
+use sim_model::{CanonicalKey, CoreConfig, KeyEncoder, ThreadId};
 
 /// Ideal software scheduling: private L1-I, L1-D and branch predictor for
-/// each thread, equally partitioned ROB/LSQ.
-pub fn ideal_scheduling_setup(cfg: &CoreConfig) -> CoreSetup {
-    CoreSetup {
-        partition: PartitionPolicy::equal(cfg),
-        fetch_policy: FetchPolicy::ICount,
-        l1i_sharing: Sharing::PrivatePerThread,
-        l1d_sharing: Sharing::PrivatePerThread,
-        bp_sharing: Sharing::PrivatePerThread,
+/// each thread. The ROB/LSQ stay equally partitioned unless a Stretch skew is
+/// layered on top ([`IdealScheduling::with_stretch`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IdealScheduling {
+    /// Optional Stretch ROB skew `(ls_thread, ls_entries, batch_entries)`
+    /// layered on top of the contention-free caches.
+    skew: Option<(ThreadId, usize, usize)>,
+}
+
+impl IdealScheduling {
+    /// The pure ideal-scheduling policy (equal ROB partitioning).
+    pub fn new() -> IdealScheduling {
+        IdealScheduling { skew: None }
+    }
+
+    /// Ideal software scheduling combined with Stretch's B-mode ROB skew
+    /// (`ls_rob`-`batch_rob` entries, latency-sensitive thread given by
+    /// `ls_thread`).
+    pub fn with_stretch(ls_thread: ThreadId, ls_rob: usize, batch_rob: usize) -> IdealScheduling {
+        IdealScheduling { skew: Some((ls_thread, ls_rob, batch_rob)) }
     }
 }
 
-/// Ideal software scheduling combined with Stretch's B-mode ROB skew
-/// (`ls_rob`-`batch_rob` entries, latency-sensitive thread given by
-/// `ls_thread`) — the "Stretch + Ideal Software Scheduling" bar of Figure 13.
-///
-/// # Panics
-///
-/// Panics if the requested skew exceeds the ROB capacity.
-pub fn ideal_scheduling_with_stretch_setup(
-    cfg: &CoreConfig,
-    ls_thread: ThreadId,
-    ls_rob: usize,
-    batch_rob: usize,
-) -> CoreSetup {
-    let (t0, t1) =
-        if ls_thread == ThreadId::T0 { (ls_rob, batch_rob) } else { (batch_rob, ls_rob) };
-    CoreSetup {
-        partition: PartitionPolicy::rob_split(cfg, t0, t1),
-        fetch_policy: FetchPolicy::ICount,
-        l1i_sharing: Sharing::PrivatePerThread,
-        l1d_sharing: Sharing::PrivatePerThread,
-        bp_sharing: Sharing::PrivatePerThread,
+impl Default for IdealScheduling {
+    fn default() -> IdealScheduling {
+        IdealScheduling::new()
+    }
+}
+
+impl CanonicalKey for IdealScheduling {
+    fn encode_key(&self, enc: &mut KeyEncoder) {
+        enc.str("policy/ideal-scheduling");
+        match self.skew {
+            None => {
+                enc.tag(0);
+            }
+            Some((t, ls, batch)) => {
+                enc.tag(1).field(&t).usize(ls).usize(batch);
+            }
+        }
+    }
+}
+
+impl ColocationPolicy for IdealScheduling {
+    fn name(&self) -> String {
+        match self.skew {
+            None => "ideal software scheduling".to_string(),
+            Some((_, ls, batch)) => format!("ideal scheduling + Stretch {ls}-{batch}"),
+        }
+    }
+
+    /// Builds the contention-free core, applying the Stretch skew if one was
+    /// provisioned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the requested skew exceeds the ROB capacity.
+    fn setup(&self, cfg: &CoreConfig) -> CoreSetup {
+        let partition = match self.skew {
+            None => PartitionPolicy::equal(cfg),
+            Some((ls_thread, ls_rob, batch_rob)) => {
+                let (t0, t1) = if ls_thread == ThreadId::T0 {
+                    (ls_rob, batch_rob)
+                } else {
+                    (batch_rob, ls_rob)
+                };
+                PartitionPolicy::rob_split(cfg, t0, t1)
+            }
+        };
+        CoreSetup {
+            partition,
+            fetch_policy: FetchPolicy::ICount,
+            l1i_sharing: Sharing::PrivatePerThread,
+            l1d_sharing: Sharing::PrivatePerThread,
+            bp_sharing: Sharing::PrivatePerThread,
+        }
+    }
+
+    fn clone_policy(&self) -> Box<dyn ColocationPolicy> {
+        Box::new(*self)
     }
 }
 
@@ -56,7 +104,7 @@ mod tests {
     #[test]
     fn ideal_scheduling_privatises_everything_but_the_window() {
         let cfg = CoreConfig::default();
-        let s = ideal_scheduling_setup(&cfg);
+        let s = IdealScheduling::new().setup(&cfg);
         assert_eq!(s.l1i_sharing, Sharing::PrivatePerThread);
         assert_eq!(s.l1d_sharing, Sharing::PrivatePerThread);
         assert_eq!(s.bp_sharing, Sharing::PrivatePerThread);
@@ -66,41 +114,53 @@ mod tests {
     #[test]
     fn combined_setup_applies_the_skew() {
         let cfg = CoreConfig::default();
-        let s = ideal_scheduling_with_stretch_setup(&cfg, ThreadId::T0, 56, 136);
+        let s = IdealScheduling::with_stretch(ThreadId::T0, 56, 136).setup(&cfg);
         assert_eq!(s.partition.rob_limit(&cfg, ThreadId::T0), 56);
         assert_eq!(s.partition.rob_limit(&cfg, ThreadId::T1), 136);
         assert_eq!(s.l1d_sharing, Sharing::PrivatePerThread);
-        let swapped = ideal_scheduling_with_stretch_setup(&cfg, ThreadId::T1, 56, 136);
+        let swapped = IdealScheduling::with_stretch(ThreadId::T1, 56, 136).setup(&cfg);
         assert_eq!(swapped.partition.rob_limit(&cfg, ThreadId::T1), 56);
     }
 
     #[test]
-    fn removing_cache_contention_helps_the_batch_thread() {
-        use cpu_sim::{run_pair, SimLength};
-        use workloads::{batch, latency_sensitive};
+    fn pure_and_combined_policies_have_distinct_keys() {
+        let digest = |p: &IdealScheduling| {
+            let mut enc = KeyEncoder::new();
+            p.encode_key(&mut enc);
+            enc.digest()
+        };
+        assert_ne!(
+            digest(&IdealScheduling::new()),
+            digest(&IdealScheduling::with_stretch(ThreadId::T0, 56, 136))
+        );
+        assert_ne!(
+            digest(&IdealScheduling::with_stretch(ThreadId::T0, 56, 136)),
+            digest(&IdealScheduling::with_stretch(ThreadId::T1, 56, 136))
+        );
+    }
 
-        let cfg = CoreConfig::default();
-        let length = SimLength::quick();
-        let shared = run_pair(
-            &cfg,
-            CoreSetup::baseline(&cfg),
-            latency_sensitive::web_serving(9),
-            batch::by_name("gcc", 9).unwrap(),
-            length,
-        );
-        let ideal = run_pair(
-            &cfg,
-            ideal_scheduling_setup(&cfg),
-            latency_sensitive::web_serving(9),
-            batch::by_name("gcc", 9).unwrap(),
-            length,
-        );
+    #[test]
+    fn removing_cache_contention_helps_the_batch_thread() {
+        use cpu_sim::{EqualPartition, Scenario, SimLength};
+        use workloads::profile_by_name;
+
+        let pair = || {
+            Scenario::colocate(
+                profile_by_name("web-serving").unwrap(),
+                profile_by_name("gcc").unwrap(),
+            )
+            .length(SimLength::quick())
+            .seed(9)
+        };
+        let shared = pair().policy(EqualPartition).run();
+        let ideal = pair().policy(IdealScheduling::new()).run();
         assert!(
-            ideal.uipc(ThreadId::T1) >= shared.uipc(ThreadId::T1) * 0.98,
+            ideal.expect_thread(ThreadId::T1).uipc
+                >= shared.expect_thread(ThreadId::T1).uipc * 0.98,
             "removing L1/BP contention should not hurt the batch thread \
              (shared={:.3}, ideal={:.3})",
-            shared.uipc(ThreadId::T1),
-            ideal.uipc(ThreadId::T1)
+            shared.expect_thread(ThreadId::T1).uipc,
+            ideal.expect_thread(ThreadId::T1).uipc
         );
     }
 }

@@ -1,20 +1,29 @@
-//! Comparison systems evaluated against Stretch.
+//! Comparison systems evaluated against Stretch — each a one-file
+//! implementation of [`cpu_sim::ColocationPolicy`].
 //!
-//! The paper compares Stretch against four alternatives, all reproduced here
-//! as [`cpu_sim::CoreSetup`] constructors plus supporting policy code:
+//! The paper's framing is that all of these mechanisms are interchangeable
+//! resource-allocation policies over the same SMT core; this crate makes
+//! them literally interchangeable values. Run any of them through
+//! [`cpu_sim::Scenario`] (`Scenario::colocate(ls, batch).policy(p).run()`) or
+//! the experiment engine's colocation matrix:
 //!
-//! * [`dynamic_sharing`] — a dynamically shared ROB (no partitioning at
-//!   all), the Figure 11 configuration;
-//! * [`fetch_throttling`] — front-end control: the latency-sensitive thread
+//! * [`DynamicSharing`] — a dynamically shared ROB (no partitioning at all),
+//!   the Figure 11 configuration;
+//! * [`FetchThrottling`] — front-end control: the latency-sensitive thread
 //!   receives one fetch cycle for every `M` given to the batch thread
 //!   (Figure 12), as on IBM POWER;
-//! * [`ideal_scheduling`] — idealised software scheduling (SMiTe-style):
+//! * [`IdealScheduling`] — idealised software scheduling (SMiTe-style):
 //!   contention in all dynamically shared structures is assumed away by
-//!   giving each thread private L1s and branch predictor (Figure 13);
-//! * [`elfen`] — Elfen-style fine-grain borrowing: the latency-sensitive
+//!   giving each thread private L1s and branch predictor (Figure 13), with
+//!   an optional Stretch skew layered on top for the combined bar;
+//! * [`Elfen`] — Elfen-style fine-grain borrowing: the latency-sensitive
 //!   thread time-shares the core with a non-contentious partner at
-//!   sub-millisecond granularity, which is how the paper modulates core
-//!   performance for the Section II slack measurement.
+//!   sub-millisecond granularity (the Section II slack-measurement
+//!   mechanism), with a duty cycle the closed-loop hook adapts to QoS
+//!   headroom;
+//! * [`HybridThrottleSkew`] — *not* a paper configuration: fetch throttling
+//!   layered on a Stretch ROB skew, added as the demonstration that a new
+//!   policy is a one-file change.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,9 +31,11 @@
 pub mod dynamic_sharing;
 pub mod elfen;
 pub mod fetch_throttling;
+pub mod hybrid;
 pub mod ideal_scheduling;
 
-pub use dynamic_sharing::dynamic_rob_setup;
-pub use elfen::{DutyCycle, ElfenSchedule};
-pub use fetch_throttling::{fetch_throttling_setup, FETCH_THROTTLING_RATIOS};
-pub use ideal_scheduling::{ideal_scheduling_setup, ideal_scheduling_with_stretch_setup};
+pub use dynamic_sharing::DynamicSharing;
+pub use elfen::{duty_cycle_grid, DutyCycle, Elfen, ElfenSchedule};
+pub use fetch_throttling::{FetchThrottling, FETCH_THROTTLING_RATIOS};
+pub use hybrid::HybridThrottleSkew;
+pub use ideal_scheduling::IdealScheduling;

@@ -1,24 +1,26 @@
-//! Criterion benches: one benchmark per table/figure of the paper.
+//! Criterion benches: one benchmark per table/figure of the paper, plus the
+//! `Scenario` dispatch-overhead comparison.
 //!
 //! Each benchmark exercises the code path that regenerates the corresponding
 //! figure, on a scaled-down input (quick sampling plan, a representative
 //! workload pair instead of the full 4 × 29 matrix) so that `cargo bench`
 //! completes in minutes on a laptop. The full-size experiments are run by the
-//! `figureNN` binaries (`cargo run --release -p stretch-bench --bin figureNN`).
+//! `figures` driver (`cargo run --release --bin figures -- --all`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use baselines::{dynamic_rob_setup, fetch_throttling_setup, ideal_scheduling_setup};
+use baselines::{DynamicSharing, FetchThrottling, IdealScheduling};
 use cluster::CaseStudy;
 use cpu_sim::{
-    run_pair, run_standalone, run_standalone_with_rob, CoreSetup, SimLength, StudiedResource,
+    run_core, ColocationPolicy, EqualPartition, PrivateCore, Scenario, SimLength, SmtCoreBuilder,
+    StudiedResource,
 };
 use qos::{latency_vs_load, slack_curve, ServiceSpec, SimParams};
 use sim_model::{CoreConfig, ThreadId};
-use stretch::{RobSkew, StretchMode};
+use stretch::{PinnedStretch, RobSkew, StretchMode};
 use stretch_bench::{figures, Engine, ExperimentConfig};
-use workloads::{batch, latency_sensitive};
+use workloads::profile_by_name;
 
 fn cfg() -> CoreConfig {
     CoreConfig::default()
@@ -26,6 +28,22 @@ fn cfg() -> CoreConfig {
 
 fn quick() -> SimLength {
     SimLength::quick()
+}
+
+/// A quick colocation scenario for `ls` × `batch` under `policy`.
+fn pair_scenario(
+    ls: &str,
+    batch: &str,
+    policy: impl ColocationPolicy + 'static,
+    seed: u64,
+) -> Scenario {
+    Scenario::colocate(
+        profile_by_name(ls).expect("known ls"),
+        profile_by_name(batch).expect("known batch"),
+    )
+    .policy(policy)
+    .length(quick())
+    .seed(seed)
 }
 
 fn bench_fig01_latency_vs_load(c: &mut Criterion) {
@@ -43,145 +61,87 @@ fn bench_fig02_slack(c: &mut Criterion) {
 }
 
 fn bench_fig03_colocation(c: &mut Criterion) {
-    let core = cfg();
     c.bench_function("fig03_colocation_baseline_pair", |b| {
-        b.iter(|| {
-            black_box(run_pair(
-                &core,
-                CoreSetup::baseline(&core),
-                latency_sensitive::web_search(3),
-                batch::zeusmp(3),
-                quick(),
-            ))
-        })
+        b.iter(|| black_box(pair_scenario("web-search", "zeusmp", EqualPartition, 3).run()))
     });
 }
 
 fn bench_fig04_resources(c: &mut Criterion) {
-    let core = cfg();
     c.bench_function("fig04_shared_rob_only_pair", |b| {
-        b.iter(|| {
-            black_box(run_pair(
-                &core,
-                StudiedResource::Rob.setup(&core),
-                latency_sensitive::web_search(4),
-                batch::zeusmp(4),
-                quick(),
-            ))
-        })
+        b.iter(|| black_box(pair_scenario("web-search", "zeusmp", StudiedResource::Rob, 4).run()))
     });
 }
 
 fn bench_fig05_resources_all(c: &mut Criterion) {
-    let core = cfg();
     c.bench_function("fig05_shared_l1d_only_pair", |b| {
-        b.iter(|| {
-            black_box(run_pair(
-                &core,
-                StudiedResource::L1D.setup(&core),
-                latency_sensitive::data_serving(5),
-                batch::lbm(5),
-                quick(),
-            ))
-        })
+        b.iter(|| black_box(pair_scenario("data-serving", "lbm", StudiedResource::L1D, 5).run()))
     });
 }
 
 fn bench_fig06_rob_sweep(c: &mut Criterion) {
-    let core = cfg();
     c.bench_function("fig06_rob_sweep_point", |b| {
-        b.iter(|| black_box(run_standalone_with_rob(&core, batch::zeusmp(6), 48, quick())))
+        b.iter(|| {
+            black_box(
+                Scenario::standalone(profile_by_name("zeusmp").expect("zeusmp exists"))
+                    .policy(PrivateCore::with_rob(48))
+                    .length(quick())
+                    .seed(6)
+                    .run_thread0(),
+            )
+        })
     });
 }
 
 fn bench_fig07_mlp(c: &mut Criterion) {
-    let core = cfg();
     c.bench_function("fig07_mlp_census", |b| {
         b.iter(|| {
-            let r = run_standalone(&core, batch::zeusmp(7), quick());
+            let r = Scenario::standalone(profile_by_name("zeusmp").expect("zeusmp exists"))
+                .length(quick())
+                .seed(7)
+                .run_thread0();
             black_box(r.mlp.fraction_at_least(2))
         })
     });
 }
 
 fn bench_fig09_skew_sweep(c: &mut Criterion) {
-    let core = cfg();
-    let mut setup = CoreSetup::baseline(&core);
-    setup.partition = StretchMode::BatchBoost(RobSkew::recommended_b_mode())
-        .partition_policy(&core, ThreadId::T0);
+    let mode = StretchMode::BatchBoost(RobSkew::recommended_b_mode());
     c.bench_function("fig09_bmode_56_136_pair", |b| {
         b.iter(|| {
-            black_box(run_pair(
-                &core,
-                setup,
-                latency_sensitive::web_search(9),
-                batch::zeusmp(9),
-                quick(),
-            ))
+            black_box(pair_scenario("web-search", "zeusmp", PinnedStretch::new(mode), 9).run())
         })
     });
 }
 
 fn bench_fig10_bmode_per_benchmark(c: &mut Criterion) {
-    let core = cfg();
-    let mut setup = CoreSetup::baseline(&core);
-    setup.partition = StretchMode::BatchBoost(RobSkew::recommended_b_mode())
-        .partition_policy(&core, ThreadId::T0);
+    let mode = StretchMode::BatchBoost(RobSkew::recommended_b_mode());
     c.bench_function("fig10_bmode_mcf_pair", |b| {
         b.iter(|| {
-            black_box(run_pair(
-                &core,
-                setup,
-                latency_sensitive::media_streaming(10),
-                batch::by_name("mcf", 10).expect("mcf exists"),
-                quick(),
-            ))
+            black_box(pair_scenario("media-streaming", "mcf", PinnedStretch::new(mode), 10).run())
         })
     });
 }
 
 fn bench_fig11_dynamic_rob(c: &mut Criterion) {
-    let core = cfg();
     c.bench_function("fig11_dynamic_rob_pair", |b| {
-        b.iter(|| {
-            black_box(run_pair(
-                &core,
-                dynamic_rob_setup(&core),
-                latency_sensitive::data_serving(11),
-                batch::zeusmp(11),
-                quick(),
-            ))
-        })
+        b.iter(|| black_box(pair_scenario("data-serving", "zeusmp", DynamicSharing, 11).run()))
     });
 }
 
 fn bench_fig12_fetch_throttling(c: &mut Criterion) {
-    let core = cfg();
     c.bench_function("fig12_fetch_throttling_1_8_pair", |b| {
         b.iter(|| {
-            black_box(run_pair(
-                &core,
-                fetch_throttling_setup(&core, ThreadId::T0, 8),
-                latency_sensitive::web_search(12),
-                batch::zeusmp(12),
-                quick(),
-            ))
+            black_box(
+                pair_scenario("web-search", "zeusmp", FetchThrottling::new(ThreadId::T0, 8), 12)
+                    .run(),
+            )
         })
     });
 }
 
 fn bench_fig13_sw_scheduling(c: &mut Criterion) {
-    let core = cfg();
     c.bench_function("fig13_ideal_scheduling_pair", |b| {
-        b.iter(|| {
-            black_box(run_pair(
-                &core,
-                ideal_scheduling_setup(&core),
-                latency_sensitive::web_serving(13),
-                batch::by_name("gcc", 13).expect("gcc exists"),
-                quick(),
-            ))
-        })
+        b.iter(|| black_box(pair_scenario("web-serving", "gcc", IdealScheduling::new(), 13).run()))
     });
 }
 
@@ -201,10 +161,9 @@ fn bench_engine_memo_hit(c: &mut Criterion) {
     // The hot path of a warm `figures` run: every cell answered from the
     // in-process memo (decode + counters, no simulation).
     let engine = Engine::new(ExperimentConfig::quick());
-    let setup = CoreSetup::baseline(&engine.cfg().core);
-    let _ = engine.pair(setup, "web-search", "zeusmp"); // populate the cell
+    let _ = engine.pair(&EqualPartition, "web-search", "zeusmp"); // populate the cell
     c.bench_function("engine_memo_hit_pair", |b| {
-        b.iter(|| black_box(engine.pair(setup, "web-search", "zeusmp")))
+        b.iter(|| black_box(engine.pair(&EqualPartition, "web-search", "zeusmp")))
     });
 }
 
@@ -215,6 +174,47 @@ fn bench_engine_figure_render_warm(c: &mut Criterion) {
     let _ = figures::figure03(&engine); // populate every cell
     c.bench_function("engine_figure03_render_warm", |b| {
         b.iter(|| black_box(figures::figure03(&engine)))
+    });
+}
+
+/// `Scenario` dispatch overhead: the same quick colocation run (a) through
+/// the builder + boxed-policy path and (b) by building the core directly and
+/// driving the shared measurement loop — the equivalent of the removed
+/// `run_pair` free function. The delta between the two is what the policy
+/// abstraction costs per run (trace spawning aside, it is one box allocation
+/// and one virtual `setup` call, invisible next to the simulation itself).
+fn bench_scenario_dispatch_overhead(c: &mut Criterion) {
+    let core = cfg();
+    let ls = profile_by_name("web-search").expect("web-search exists");
+    let batch = profile_by_name("zeusmp").expect("zeusmp exists");
+    let seed = cpu_sim::pair_seed(42, "web-search", "zeusmp");
+
+    c.bench_function("dispatch_scenario_policy_pair", |b| {
+        b.iter(|| {
+            black_box(
+                Scenario::colocate(ls.clone(), batch.clone())
+                    .config(core)
+                    .policy(EqualPartition)
+                    .length(quick())
+                    .seed(42)
+                    .run(),
+            )
+        })
+    });
+    c.bench_function("dispatch_direct_run_core_pair", |b| {
+        b.iter(|| {
+            let setup = EqualPartition.setup(&core);
+            let mut smt = setup
+                .apply(SmtCoreBuilder::new(core))
+                .thread(ThreadId::T0, ls.spawn(seed))
+                .thread(ThreadId::T1, batch.spawn(seed ^ 1))
+                .build();
+            black_box(run_core(
+                &mut smt,
+                [Some("web-search".to_string()), Some("zeusmp".to_string())],
+                quick(),
+            ))
+        })
     });
 }
 
@@ -238,5 +238,6 @@ criterion_group! {
         bench_tables_config,
         bench_engine_memo_hit,
         bench_engine_figure_render_warm,
+        bench_scenario_dispatch_overhead,
 }
 criterion_main!(figures);

@@ -14,9 +14,9 @@
 //!   instead of running the simulation twice;
 //! * **persistent caching** — with a [`ResultStore`] attached, results
 //!   survive the process, keyed by a collision-free canonical digest of the
-//!   core configuration, setup, pairing, seed and simulation length (see
-//!   [`crate::store`]); a warm-cache invocation performs zero simulation
-//!   runs, which [`CacheStats`] makes verifiable.
+//!   core configuration, *policy identity*, pairing, seed and simulation
+//!   length (see [`crate::store`]); a warm-cache invocation performs zero
+//!   simulation runs, which [`CacheStats`] makes verifiable.
 //!
 //! All matrix-shaped work is funnelled through the harness's single
 //! [`parallel_map`] pool with the configuration's worker count, so callers
@@ -27,13 +27,13 @@ use std::io;
 use std::path::PathBuf;
 use std::sync::{Condvar, Mutex};
 
-use cpu_sim::{run_standalone_with_rob, CoreSetup, ThreadRunResult};
+use cpu_sim::{ColocationPolicy, PrivateCore, Scenario, ThreadRunResult};
 use qos::{latency_vs_load, slack_curve, LoadPoint, ServiceSpec, SlackPoint};
 use serde_json::Value;
 use sim_model::KeyEncoder;
 use workloads::{batch, latency_sensitive};
 
-use crate::harness::{pair_seed, parallel_map, run_single_pair, ExperimentConfig, PairOutcome};
+use crate::harness::{parallel_map, run_single_pair, ExperimentConfig, PairOutcome};
 use crate::store::{JsonCodec, ResultStore};
 
 /// Hit/miss counters for one engine. `misses` equals the number of actual
@@ -259,35 +259,32 @@ impl Engine {
         result
     }
 
-    /// One latency-sensitive × batch colocation cell under `setup`. The
-    /// computation is [`crate::harness::run_single_pair`], so engine cells
-    /// are exactly the legacy harness results.
-    pub fn pair(&self, setup: CoreSetup, ls: &str, batch_name: &str) -> PairOutcome {
-        let mut key = self.core_key("pair/v1");
-        key.field(&setup).str(ls).str(batch_name);
+    /// One latency-sensitive × batch colocation cell under a
+    /// [`ColocationPolicy`]. The cache digest covers the *policy identity*
+    /// (its [`sim_model::CanonicalKey`]), not just the core setup it happens
+    /// to produce, so two policies can never alias onto one cell. The
+    /// computation is [`crate::harness::run_single_pair`] — a
+    /// [`cpu_sim::Scenario`].
+    pub fn pair(&self, policy: &dyn ColocationPolicy, ls: &str, batch_name: &str) -> PairOutcome {
+        let mut key = self.core_key("pair/v2");
+        policy.encode_key(&mut key);
+        key.str(ls).str(batch_name);
         self.run_cached(&key, &format!("pair {ls} x {batch_name}"), || {
-            run_single_pair(&self.cfg, setup, ls, batch_name)
+            run_single_pair(&self.cfg, policy, ls, batch_name)
         })
     }
 
     /// The full colocation matrix (engine's LS × batch lists) under one
-    /// setup, row-major like [`crate::harness::run_matrix_on`].
-    pub fn matrix(&self, setup: CoreSetup) -> Vec<PairOutcome> {
-        self.matrix_with(|_, _| setup)
-    }
-
-    /// The colocation matrix with a per-pairing setup.
-    pub fn matrix_with(
-        &self,
-        setup_for: impl Fn(&str, &str) -> CoreSetup + Sync,
-    ) -> Vec<PairOutcome> {
+    /// policy, row-major: every batch workload for the first
+    /// latency-sensitive name, then the next.
+    pub fn matrix(&self, policy: &dyn ColocationPolicy) -> Vec<PairOutcome> {
         let pairs: Vec<(String, String)> = self
             .ls
             .iter()
             .flat_map(|ls| self.batch.iter().map(move |b| (ls.clone(), b.clone())))
             .collect();
         parallel_map(pairs, self.cfg.workers(), |(ls, batch_name)| {
-            self.pair(setup_for(ls, batch_name), ls, batch_name)
+            self.pair(policy, ls, batch_name)
         })
     }
 
@@ -301,15 +298,24 @@ impl Engine {
     /// Figure 6 sensitivity sweep). With `rob_entries` equal to the full ROB
     /// capacity this is the same cell as [`Engine::standalone`] — the sweep's
     /// endpoint and the reference run share one simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload name is unknown.
     pub fn standalone_with_rob(&self, name: &str, rob_entries: usize) -> ThreadRunResult {
         let mut key = self.core_key("standalone/v1");
         key.str(name).usize(rob_entries);
         self.run_cached(&key, &format!("standalone {name} rob={rob_entries}"), || {
-            let seed = pair_seed(self.cfg.seed, name, "standalone");
-            let trace = workloads::profile_by_name(name)
-                .unwrap_or_else(|| panic!("unknown workload {name}"))
-                .spawn(seed);
-            run_standalone_with_rob(&self.cfg.core, trace, rob_entries, self.cfg.length)
+            let profile = workloads::profile_by_name(name)
+                .unwrap_or_else(|| panic!("unknown workload {name}"));
+            // At full capacity the capped window coincides with
+            // `PrivateCore::full()`, so the sweep endpoint IS the reference.
+            Scenario::standalone(profile)
+                .config(self.cfg.core)
+                .policy(PrivateCore::with_rob(rob_entries))
+                .length(self.cfg.length)
+                .seed(self.cfg.seed)
+                .run_thread0()
         })
     }
 
@@ -355,6 +361,7 @@ impl Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cpu_sim::EqualPartition;
     use std::sync::atomic::{AtomicU64, Ordering};
 
     fn quick_cfg() -> ExperimentConfig {
@@ -371,9 +378,8 @@ mod tests {
     #[test]
     fn repeated_cells_simulate_once() {
         let engine = Engine::new(quick_cfg());
-        let setup = CoreSetup::baseline(&engine.cfg().core);
-        let a = engine.pair(setup, "web-search", "zeusmp");
-        let b = engine.pair(setup, "web-search", "zeusmp");
+        let a = engine.pair(&EqualPartition, "web-search", "zeusmp");
+        let b = engine.pair(&EqualPartition, "web-search", "zeusmp");
         assert_eq!(a, b);
         let stats = engine.stats();
         assert_eq!(stats.misses, 1, "second request must be a memo hit");
@@ -383,10 +389,10 @@ mod tests {
     #[test]
     fn in_flight_duplicates_are_deduplicated() {
         let engine = Engine::new(quick_cfg());
-        let setup = CoreSetup::baseline(&engine.cfg().core);
         // Hammer the same cell from many workers at once; only one may run.
         let requests: Vec<u32> = (0..16).collect();
-        let outcomes = parallel_map(requests, 8, |_| engine.pair(setup, "web-search", "mcf"));
+        let outcomes =
+            parallel_map(requests, 8, |_| engine.pair(&EqualPartition, "web-search", "mcf"));
         assert!(outcomes.windows(2).all(|w| w[0] == w[1]));
         assert_eq!(engine.stats().misses, 1, "concurrent duplicates must not re-simulate");
         assert_eq!(engine.stats().memo_hits, 15);
@@ -395,15 +401,14 @@ mod tests {
     #[test]
     fn store_makes_results_survive_the_engine() {
         let dir = temp_dir("warm");
-        let setup = CoreSetup::baseline(&quick_cfg().core);
 
         let cold = Engine::new(quick_cfg()).with_store(&dir).expect("store opens");
-        let first = cold.pair(setup, "web-search", "zeusmp");
+        let first = cold.pair(&EqualPartition, "web-search", "zeusmp");
         let reference = cold.standalone("web-search");
         assert_eq!(cold.stats().misses, 2);
 
         let warm = Engine::new(quick_cfg()).with_store(&dir).expect("store opens");
-        let second = warm.pair(setup, "web-search", "zeusmp");
+        let second = warm.pair(&EqualPartition, "web-search", "zeusmp");
         let reference2 = warm.standalone("web-search");
         assert_eq!(warm.sim_runs(), 0, "warm engine must not simulate");
         assert_eq!(warm.stats().store_hits, 2);
@@ -419,16 +424,32 @@ mod tests {
     // through the public crate surface.
 
     #[test]
-    fn distinct_setups_are_distinct_cells() {
+    fn distinct_policies_are_distinct_cells() {
         let engine = Engine::new(quick_cfg());
-        let baseline = CoreSetup::baseline(&engine.cfg().core);
-        let private = CoreSetup::private_full(&engine.cfg().core);
-        let a = engine.pair(baseline, "web-search", "zeusmp");
-        let b = engine.pair(private, "web-search", "zeusmp");
-        assert_eq!(engine.stats().misses, 2, "different setups must not share a cell");
+        let a = engine.pair(&EqualPartition, "web-search", "zeusmp");
+        let b = engine.pair(&PrivateCore::full(), "web-search", "zeusmp");
+        assert_eq!(engine.stats().misses, 2, "different policies must not share a cell");
         // A fully private core cannot be slower than the contended baseline
         // for the batch thread.
         assert!(b.batch_uipc >= a.batch_uipc * 0.95);
+    }
+
+    #[test]
+    fn policies_with_identical_setups_are_still_distinct_cells() {
+        // PinnedStretch in Baseline mode produces the exact same CoreSetup
+        // as EqualPartition; the cache digest must still tell them apart
+        // because it covers the policy identity, not the derived setup.
+        let engine = Engine::new(quick_cfg());
+        let a = engine.pair(&EqualPartition, "web-search", "zeusmp");
+        let b = engine.pair(
+            &stretch::PinnedStretch::new(stretch::StretchMode::Baseline),
+            "web-search",
+            "zeusmp",
+        );
+        assert_eq!(engine.stats().misses, 2, "identical setups must not merge distinct policies");
+        // Same setup + same derived seed -> identical numbers.
+        assert_eq!(a.ls_uipc.to_bits(), b.ls_uipc.to_bits());
+        assert_eq!(a.batch_uipc.to_bits(), b.batch_uipc.to_bits());
     }
 
     #[test]
@@ -436,7 +457,7 @@ mod tests {
         let engine = Engine::new(quick_cfg()).with_sub_matrix(1, 2);
         assert_eq!(engine.ls_names().len(), 1);
         assert_eq!(engine.batch_names().len(), 2);
-        let matrix = engine.matrix(CoreSetup::baseline(&engine.cfg().core));
+        let matrix = engine.matrix(&EqualPartition);
         assert_eq!(matrix.len(), 2);
         assert_eq!(engine.stats().misses, 2);
         // The reference covers exactly the sub-matrix workloads.
@@ -476,18 +497,17 @@ mod tests {
     #[test]
     fn panicking_cell_releases_its_in_flight_claim() {
         let engine = Engine::new(quick_cfg());
-        let setup = CoreSetup::baseline(&engine.cfg().core);
         // An unknown workload panics inside the compute closure. The claim
         // guard must release the cell so a retry panics again (same error)
         // instead of deadlocking on a stale InFlight slot.
         for _ in 0..2 {
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                engine.pair(setup, "no-such-workload", "zeusmp")
+                engine.pair(&EqualPartition, "no-such-workload", "zeusmp")
             }));
             assert!(result.is_err(), "unknown workload must panic, not hang");
         }
         // The engine is still usable for valid cells afterwards.
-        let ok = engine.pair(setup, "web-search", "zeusmp");
+        let ok = engine.pair(&EqualPartition, "web-search", "zeusmp");
         assert!(ok.ls_uipc > 0.0);
     }
 

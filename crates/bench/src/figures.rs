@@ -14,15 +14,14 @@
 use std::fmt::Write as _;
 
 use baselines::{
-    dynamic_rob_setup, fetch_throttling_setup, ideal_scheduling_setup,
-    ideal_scheduling_with_stretch_setup, FETCH_THROTTLING_RATIOS,
+    DynamicSharing, FetchThrottling, HybridThrottleSkew, IdealScheduling, FETCH_THROTTLING_RATIOS,
 };
 use cluster::{CaseStudy, DiurnalPattern};
-use cpu_sim::{CoreSetup, StudiedResource};
+use cpu_sim::{EqualPartition, StudiedResource};
 use qos::ServiceSpec;
 use sim_model::{CoreConfig, ThreadId};
 use sim_stats::DistributionSummary;
-use stretch::{RobSkew, StretchMode};
+use stretch::{PinnedStretch, RobSkew, StretchMode};
 
 use crate::engine::Engine;
 use crate::harness::{parallel_map, ExperimentConfig, PairOutcome};
@@ -232,7 +231,7 @@ pub fn figure03(engine: &Engine) -> String {
     w!(out);
 
     let reference = engine.standalone_reference();
-    let matrix = engine.matrix(CoreSetup::baseline(&engine.cfg().core));
+    let matrix = engine.matrix(&EqualPartition);
 
     let mut all_ls = Vec::new();
     let mut all_batch = Vec::new();
@@ -281,7 +280,6 @@ pub fn figure03(engine: &Engine) -> String {
 /// one core resource is shared between the SMT threads.
 pub fn figure04(engine: &Engine) -> String {
     let ls = "web-search";
-    let core = engine.cfg().core;
 
     let mut table = TableWriter::new(
         "Figure 4: per-resource sharing slowdown for Web Search colocations",
@@ -306,7 +304,7 @@ pub fn figure04(engine: &Engine) -> String {
         .flat_map(|b| StudiedResource::ALL.iter().map(move |&r| (b.clone(), r)))
         .collect();
     let outcomes = parallel_map(cells, engine.cfg().workers(), |(batch, resource)| {
-        engine.pair(resource.setup(&core), ls, batch)
+        engine.pair(resource, ls, batch)
     });
     let ws_reference = engine.standalone(ls).uipc;
 
@@ -343,7 +341,6 @@ pub fn figure04(engine: &Engine) -> String {
 /// Figure 5: average slowdown caused by sharing each core resource, for all
 /// latency-sensitive services and their batch co-runners.
 pub fn figure05(engine: &Engine) -> String {
-    let core = engine.cfg().core;
     let reference = engine.standalone_reference();
 
     let mut table = TableWriter::new(
@@ -362,7 +359,7 @@ pub fn figure05(engine: &Engine) -> String {
         })
         .collect();
     let outcomes = parallel_map(cells.clone(), engine.cfg().workers(), |(ls, resource, batch)| {
-        engine.pair(resource.setup(&core), ls, batch)
+        engine.pair(resource, ls, batch)
     });
 
     let n_batch = engine.batch_names().len() as f64;
@@ -527,22 +524,16 @@ fn speedups(base: &[PairOutcome], other: &[PairOutcome]) -> (Vec<f64>, Vec<f64>)
     (ls, batch)
 }
 
-fn stretch_setup(core: &CoreConfig, mode: StretchMode) -> CoreSetup {
-    let mut setup = CoreSetup::baseline(core);
-    setup.partition = mode.partition_policy(core, ThreadId::T0);
-    setup
-}
-
 /// Figure 9: performance change under the Stretch B-mode and Q-mode skews,
 /// relative to the baseline equal ROB partitioning.
 pub fn figure09(engine: &Engine) -> String {
     let mut out = String::new();
     w!(out, "Figure 9: speedup over the equally partitioned baseline");
     w!(out);
-    let baseline = engine.matrix(CoreSetup::baseline(&engine.cfg().core));
+    let baseline = engine.matrix(&EqualPartition);
 
     let report_skew = |out: &mut String, mode: StretchMode| {
-        let result = engine.matrix(stretch_setup(&engine.cfg().core, mode));
+        let result = engine.matrix(&PinnedStretch::new(mode));
         let (ls, batch) = speedups(&baseline, &result);
         w!(
             out,
@@ -581,11 +572,9 @@ pub fn figure09(engine: &Engine) -> String {
 /// Figure 10: per-benchmark speedup of batch applications under B-mode
 /// 56-136, for each latency-sensitive co-runner, sorted as in the paper.
 pub fn figure10(engine: &Engine) -> String {
-    let baseline = engine.matrix(CoreSetup::baseline(&engine.cfg().core));
-    let b_mode = engine.matrix(stretch_setup(
-        &engine.cfg().core,
-        StretchMode::BatchBoost(RobSkew::recommended_b_mode()),
-    ));
+    let baseline = engine.matrix(&EqualPartition);
+    let b_mode =
+        engine.matrix(&PinnedStretch::new(StretchMode::BatchBoost(RobSkew::recommended_b_mode())));
 
     let mut out = String::new();
     w!(out, "Figure 10: batch speedup from B-mode 56-136 over the equal-partition baseline");
@@ -623,8 +612,8 @@ pub fn figure10(engine: &Engine) -> String {
 /// Figure 11: slowdown of batch applications under a dynamically shared ROB,
 /// relative to equal static partitioning.
 pub fn figure11(engine: &Engine) -> String {
-    let baseline = engine.matrix(CoreSetup::baseline(&engine.cfg().core));
-    let dynamic = engine.matrix(dynamic_rob_setup(&engine.cfg().core));
+    let baseline = engine.matrix(&EqualPartition);
+    let dynamic = engine.matrix(&DynamicSharing);
 
     let mut out = String::new();
     w!(out, "Figure 11: batch slowdown under dynamic ROB sharing vs equal partitioning");
@@ -692,19 +681,23 @@ fn per_ls_average(baseline: &[PairOutcome], other: &[PairOutcome], ls: &str) -> 
 /// Figure 12: fetch throttling (1:2 to 1:16) versus Stretch B-mode 56-136,
 /// both relative to the equally partitioned baseline.
 pub fn figure12(engine: &Engine) -> String {
-    let baseline = engine.matrix(CoreSetup::baseline(&engine.cfg().core));
+    let baseline = engine.matrix(&EqualPartition);
 
     let mut configs: Vec<(String, Vec<PairOutcome>)> = Vec::new();
     for ratio in FETCH_THROTTLING_RATIOS {
-        let matrix = engine.matrix(fetch_throttling_setup(&engine.cfg().core, ThreadId::T0, ratio));
+        let matrix = engine.matrix(&FetchThrottling::new(ThreadId::T0, ratio));
         configs.push((format!("FT 1:{ratio}"), matrix));
     }
     configs.push((
         "Stretch 56-136".to_string(),
-        engine.matrix(stretch_setup(
-            &engine.cfg().core,
-            StretchMode::BatchBoost(RobSkew::recommended_b_mode()),
-        )),
+        engine.matrix(&PinnedStretch::new(StretchMode::BatchBoost(RobSkew::recommended_b_mode()))),
+    ));
+    // Not a paper configuration: the hybrid fetch-throttle + ROB-skew policy,
+    // included to show what combining the two knobs buys (and that adding a
+    // policy to the study is a one-line change here).
+    configs.push((
+        "Hybrid 1:2+56-136 (extra)".to_string(),
+        engine.matrix(&HybridThrottleSkew::recommended()),
     ));
 
     let mut header: Vec<String> = vec!["configuration".to_string()];
@@ -746,14 +739,12 @@ fn average_batch_speedup(baseline: &[PairOutcome], other: &[PairOutcome], ls: &s
 
 /// Figure 13: ideal software scheduling versus Stretch versus both combined.
 pub fn figure13(engine: &Engine) -> String {
-    let core = engine.cfg().core;
     let skew = RobSkew::recommended_b_mode();
 
-    let baseline = engine.matrix(CoreSetup::baseline(&core));
-    let ideal = engine.matrix(ideal_scheduling_setup(&core));
-    let stretch_only = engine.matrix(stretch_setup(&core, StretchMode::BatchBoost(skew)));
-    let combined = engine.matrix(ideal_scheduling_with_stretch_setup(
-        &core,
+    let baseline = engine.matrix(&EqualPartition);
+    let ideal = engine.matrix(&IdealScheduling::new());
+    let stretch_only = engine.matrix(&PinnedStretch::new(StretchMode::BatchBoost(skew)));
+    let combined = engine.matrix(&IdealScheduling::with_stretch(
         ThreadId::T0,
         skew.ls_entries,
         skew.batch_entries,

@@ -1,11 +1,17 @@
-//! Shared experiment machinery: colocation matrices, stand-alone references
-//! and parallel execution.
+//! Shared experiment machinery: the experiment configuration, the worker
+//! pool, and the per-pairing [`Scenario`] runner the engine memoises.
+//!
+//! The old free-standing matrix runners (`run_matrix`, `run_matrix_on`, …)
+//! are gone: all matrix-shaped work goes through [`crate::Engine`], which
+//! funnels every cell into [`run_single_pair`] — one [`cpu_sim::Scenario`]
+//! under one [`ColocationPolicy`].
 
-use cpu_sim::{run_pair, run_standalone, ColocationResult, CoreSetup, SimLength};
+use cpu_sim::{ColocationPolicy, Scenario, SimLength};
 use sim_model::{CoreConfig, ThreadId};
-use std::collections::HashMap;
 use std::sync::Mutex;
 use workloads::{batch, latency_sensitive};
+
+pub use cpu_sim::pair_seed;
 
 /// Common experiment parameters.
 #[derive(Debug, Clone, Copy)]
@@ -135,136 +141,40 @@ where
     results.into_iter().map(|r| r.expect("every index was processed")).collect()
 }
 
-/// Derives a per-pair seed so that the same pairing always sees the same
-/// instruction streams across configurations (paired comparisons).
+/// Runs one latency-sensitive × batch pairing under a policy, as a
+/// [`Scenario`]. The scenario derives the pairing's seed with
+/// [`pair_seed`], so the same pairing sees identical instruction streams
+/// under every policy.
 ///
-/// Each name is length-prefixed before it enters the FNV loop, so distinct
-/// pairings can never alias onto the same byte stream (the previous bare
-/// concatenation collided for e.g. `("ab", "c")` and `("a", "bc")`, silently
-/// sharing instruction streams between different experiments).
-pub fn pair_seed(base: u64, ls: &str, batch_name: &str) -> u64 {
-    let mut h = base ^ 0x9E37_79B9_7F4A_7C15;
-    let mut mix = |byte: u8| {
-        h ^= u64::from(byte);
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    };
-    for name in [ls, batch_name] {
-        for b in (name.len() as u64).to_le_bytes() {
-            mix(b);
-        }
-        for b in name.bytes() {
-            mix(b);
-        }
-    }
-    h
-}
-
-/// Runs the full latency-sensitive × batch colocation matrix under one core
-/// setup.
-pub fn run_matrix(cfg: &ExperimentConfig, setup: CoreSetup) -> Vec<PairOutcome> {
-    run_matrix_with(cfg, |_ls, _batch| setup)
-}
-
-/// Runs the colocation matrix, letting the caller pick a setup per pairing
-/// (used by experiments whose configuration depends on the pair, e.g. fetch
-/// throttling needs to know which thread is latency-sensitive).
-pub fn run_matrix_with(
-    cfg: &ExperimentConfig,
-    setup_for: impl Fn(&str, &str) -> CoreSetup + Sync,
-) -> Vec<PairOutcome> {
-    run_matrix_on(cfg, &ls_names(), &batch_names(), setup_for)
-}
-
-/// Runs a colocation sub-matrix over explicit workload name lists.
+/// # Panics
 ///
-/// [`run_matrix_with`] delegates here with the full 4 × 29 study; tests and
-/// quick experiments pass smaller slices so the same code path can be
-/// exercised in seconds. Outcomes are ordered row-major: every batch
-/// workload for the first latency-sensitive name, then the next.
-pub fn run_matrix_on(
-    cfg: &ExperimentConfig,
-    ls: &[String],
-    batch: &[String],
-    setup_for: impl Fn(&str, &str) -> CoreSetup + Sync,
-) -> Vec<PairOutcome> {
-    let pairs: Vec<(String, String)> =
-        ls.iter().flat_map(|ls| batch.iter().map(move |b| (ls.clone(), b.clone()))).collect();
-    parallel_map(pairs, cfg.workers(), |(ls, batch_name)| {
-        let setup = setup_for(ls, batch_name);
-        run_single_pair(cfg, setup, ls, batch_name)
-    })
-}
-
-/// Runs one latency-sensitive × batch pairing under a setup.
+/// Panics if either workload name is unknown.
 pub fn run_single_pair(
     cfg: &ExperimentConfig,
-    setup: CoreSetup,
+    policy: &dyn ColocationPolicy,
     ls: &str,
     batch_name: &str,
 ) -> PairOutcome {
-    let seed = pair_seed(cfg.seed, ls, batch_name);
-    let ls_trace = latency_sensitive::by_name(ls, seed).expect("known latency-sensitive name");
-    let batch_trace = batch::by_name(batch_name, seed ^ 1).expect("known batch name");
-    let result: ColocationResult = run_pair(&cfg.core, setup, ls_trace, batch_trace, cfg.length);
+    let ls_profile = latency_sensitive::profile_by_name(ls).expect("known latency-sensitive name");
+    let batch_profile = batch::profile_by_name(batch_name).expect("known batch name");
+    let result = Scenario::colocate(ls_profile, batch_profile)
+        .config(cfg.core)
+        .boxed_policy(policy.clone_policy())
+        .length(cfg.length)
+        .seed(cfg.seed)
+        .run();
     PairOutcome {
         ls: ls.to_string(),
         batch: batch_name.to_string(),
-        ls_uipc: result.uipc(ThreadId::T0),
-        batch_uipc: result.uipc(ThreadId::T1),
+        ls_uipc: result.expect_thread(ThreadId::T0).uipc,
+        batch_uipc: result.expect_thread(ThreadId::T1).uipc,
     }
-}
-
-/// Stand-alone full-core UIPC for every workload in the study (the
-/// normalisation baseline for Figures 3–6). Results are keyed by workload
-/// name.
-pub fn standalone_reference(cfg: &ExperimentConfig) -> HashMap<String, f64> {
-    let mut names = ls_names();
-    names.extend(batch_names());
-    let outcomes = parallel_map(names.clone(), cfg.workers(), |name| {
-        let seed = pair_seed(cfg.seed, name, "standalone");
-        let trace = workloads::profile_by_name(name)
-            .unwrap_or_else(|| panic!("unknown workload {name}"))
-            .spawn(seed);
-        let r = run_standalone(&cfg.core, trace, cfg.length);
-        (name.clone(), r.uipc)
-    });
-    outcomes.into_iter().collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn pair_seed_is_stable_and_distinct() {
-        assert_eq!(pair_seed(1, "a", "b"), pair_seed(1, "a", "b"));
-        assert_ne!(pair_seed(1, "a", "b"), pair_seed(1, "a", "c"));
-        assert_ne!(pair_seed(1, "a", "b"), pair_seed(2, "a", "b"));
-    }
-
-    #[test]
-    fn pair_seed_does_not_collide_on_name_boundaries() {
-        // Regression: bare byte concatenation made these four pairings hash
-        // identically, silently sharing instruction streams across distinct
-        // experiments. Length prefixes keep every split of the same byte
-        // soup distinct.
-        let adversarial = [("ab", "c"), ("a", "bc"), ("abc", ""), ("", "abc")];
-        for (i, a) in adversarial.iter().enumerate() {
-            for b in &adversarial[i + 1..] {
-                assert_ne!(
-                    pair_seed(42, a.0, a.1),
-                    pair_seed(42, b.0, b.1),
-                    "({:?}, {:?}) must not collide with ({:?}, {:?})",
-                    a.0,
-                    a.1,
-                    b.0,
-                    b.1
-                );
-            }
-        }
-        // Swapping roles must also produce a different stream.
-        assert_ne!(pair_seed(42, "web-search", "zeusmp"), pair_seed(42, "zeusmp", "web-search"));
-    }
+    use cpu_sim::EqualPartition;
 
     #[test]
     fn parallel_map_preserves_order() {
@@ -282,8 +192,7 @@ mod tests {
     #[test]
     fn single_pair_runs_and_reports_both_threads() {
         let cfg = ExperimentConfig::quick();
-        let setup = CoreSetup::baseline(&cfg.core);
-        let out = run_single_pair(&cfg, setup, "web-search", "zeusmp");
+        let out = run_single_pair(&cfg, &EqualPartition, "web-search", "zeusmp");
         assert_eq!(out.ls, "web-search");
         assert_eq!(out.batch, "zeusmp");
         assert!(out.ls_uipc > 0.0);

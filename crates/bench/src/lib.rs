@@ -13,9 +13,11 @@
 //!   and simulation length;
 //! * [`figures`] — every figure/table of the paper as a declarative
 //!   renderer over the engine, plus the registry the binaries dispatch on;
-//! * [`harness`] — colocation-matrix runners (4 latency-sensitive × 29 batch
-//!   workloads), stand-alone full-core reference runs, and the shared
-//!   [`harness::parallel_map`] worker pool;
+//! * [`harness`] — the experiment configuration, the shared
+//!   [`harness::parallel_map`] worker pool, and the per-pairing
+//!   [`cpu_sim::Scenario`] runner the engine memoises. Every cell runs under
+//!   a [`cpu_sim::ColocationPolicy`] — Stretch and all baselines go through
+//!   one interface, and the cache digest covers the policy's identity;
 //! * [`report`] — plain-text table formatting and cache-statistics reporting
 //!   shared by the binaries.
 //!
@@ -32,9 +34,6 @@ pub mod report;
 pub mod store;
 
 pub use engine::{CacheStats, Engine};
-pub use harness::{
-    batch_names, ls_names, run_matrix, run_matrix_on, run_matrix_with, standalone_reference,
-    ExperimentConfig, PairOutcome,
-};
+pub use harness::{batch_names, ls_names, pair_seed, ExperimentConfig, PairOutcome};
 pub use report::{format_cache_stats, format_distribution_row, format_percent, TableWriter};
 pub use store::{JsonCodec, ResultStore};

@@ -11,15 +11,20 @@
 //! * [`partition::PartitionPolicy`] — the limit-register programming model
 //!   that Stretch's control register drives.
 //! * [`fetch::FetchPolicy`] — ICOUNT, round-robin and 1:M fetch throttling.
-//! * [`runner`] — warm-up + measurement window execution and the UIPC figure
-//!   of merit, for stand-alone and colocated runs.
+//! * [`policy`] — the [`ColocationPolicy`] trait every resource-allocation
+//!   scheme (Stretch and all baselines) implements, plus the static
+//!   [`EqualPartition`] / [`PrivateCore`] policies.
+//! * [`scenario`] — the [`Scenario`] builder, the single entry point for
+//!   stand-alone and colocated runs under any policy.
+//! * [`runner`] — the measurement loop ([`run_core`]) and the UIPC figure of
+//!   merit the scenario layer is built on.
 //! * [`resource_study`] — the "share exactly one resource" configurations of
-//!   Figures 4 and 5.
+//!   Figures 4 and 5, themselves policies.
 //!
 //! # Example
 //!
 //! ```
-//! use cpu_sim::{run_standalone, SimLength};
+//! use cpu_sim::{Scenario, SimLength};
 //! use sim_model::{CoreConfig, MicroOp, OpKind, TraceGenerator, WorkloadClass};
 //!
 //! struct Spin(u64);
@@ -33,8 +38,9 @@
 //!     fn reset(&mut self) { self.0 = 0; }
 //! }
 //!
-//! let cfg = CoreConfig::default();
-//! let result = run_standalone(&cfg, Box::new(Spin(0)), SimLength::quick());
+//! let result = Scenario::standalone_trace(Box::new(Spin(0)))
+//!     .length(SimLength::quick())
+//!     .run_thread0();
 //! assert!(result.uipc > 0.5);
 //! ```
 
@@ -45,15 +51,16 @@ pub mod branch;
 pub mod core;
 pub mod fetch;
 pub mod partition;
+pub mod policy;
 pub mod resource_study;
 pub mod runner;
+pub mod scenario;
 
 pub use crate::core::{SmtCore, SmtCoreBuilder, ThreadStats};
 pub use branch::{BranchPredictor, BranchStats, Prediction};
 pub use fetch::{FetchPolicy, FetchScheduler};
 pub use partition::PartitionPolicy;
+pub use policy::{ColocationPolicy, EqualPartition, PolicyAction, PrivateCore, QosObservation};
 pub use resource_study::StudiedResource;
-pub use runner::{
-    run_core, run_pair, run_setup, run_standalone, run_standalone_with_rob, ColocationResult,
-    CoreSetup, SimLength, ThreadRunResult,
-};
+pub use runner::{run_core, ColocationResult, CoreSetup, SimLength, ThreadRunResult};
+pub use scenario::{pair_seed, Scenario};

@@ -1,0 +1,278 @@
+//! The [`ColocationPolicy`] trait: one interface for every way of sharing an
+//! SMT core between a latency-sensitive and a batch thread.
+//!
+//! The paper's argument is that Stretch, dynamic ROB sharing, fetch
+//! throttling, Elfen-style duty cycling and idealised software scheduling are
+//! *interchangeable policies* over the same core. This module makes that
+//! literal: a policy
+//!
+//! * configures the core ([`ColocationPolicy::setup`] → [`CoreSetup`]),
+//! * reacts to per-interval QoS telemetry
+//!   ([`ColocationPolicy::on_sample`] over a [`QosObservation`], returning a
+//!   [`PolicyAction`] — the generalisation of Stretch's control-register /
+//!   software-monitor loop), and
+//! * identifies itself for the experiment result store
+//!   ([`sim_model::CanonicalKey`], a supertrait), so two different policies
+//!   can never alias onto one cached cell even when their core setups happen
+//!   to coincide.
+//!
+//! The [`crate::Scenario`] builder runs a policy open loop (one setup for the
+//! whole run); the `stretch` crate's orchestrator drives the closed loop,
+//! feeding observations from the request-level queueing model and
+//! reconfiguring the core when the policy asks for it.
+//!
+//! Static policies that need nothing beyond a fixed [`CoreSetup`] live here
+//! ([`EqualPartition`], [`PrivateCore`], and the Figure 4/5 resource-study
+//! configurations via [`crate::StudiedResource`]); the comparison systems
+//! live in the `baselines` crate and Stretch itself in the `stretch` crate —
+//! each is a one-file implementation of this trait.
+
+use crate::runner::CoreSetup;
+use sim_model::{CanonicalKey, CoreConfig, KeyEncoder};
+
+/// One interval's QoS telemetry, fed to a policy's closed-loop hook.
+///
+/// The fields mirror what the paper's software monitor can observe: tail
+/// latency against the service's target (the primary CPI²-style signal), the
+/// instantaneous queue depth (the Rubik-style alternative) and the measured
+/// load as a fraction of peak.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QosObservation {
+    /// Observed tail latency over the interval, in milliseconds.
+    pub tail_latency_ms: f64,
+    /// The service's QoS target, in milliseconds.
+    pub qos_target_ms: f64,
+    /// Instantaneous queue length, when the deployment exposes it.
+    pub queue_length: Option<usize>,
+    /// Offered load as a fraction of peak sustainable load.
+    pub load: f64,
+}
+
+impl QosObservation {
+    /// An observation carrying only the tail-latency signal.
+    pub fn tail_latency(tail_latency_ms: f64, qos_target_ms: f64, load: f64) -> QosObservation {
+        QosObservation { tail_latency_ms, qos_target_ms, queue_length: None, load }
+    }
+}
+
+/// What a policy wants done after an observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyAction {
+    /// Keep the current core configuration.
+    Keep,
+    /// The policy's operating point has changed: re-query
+    /// [`ColocationPolicy::setup`] and reprogram the core (a mode change,
+    /// costing a pipeline flush on real hardware). Policies whose knob lives
+    /// above the core — e.g. Elfen's scheduler duty cycle — also answer
+    /// `Reconfigure`; their setup is unchanged but the scheduler-level
+    /// parameters must be reapplied.
+    Reconfigure,
+    /// QoS violations persist at the policy's most protective configuration:
+    /// throttle the batch co-runner, as the baseline CPI² framework would.
+    ThrottleCoRunner,
+}
+
+/// A resource-allocation policy for a colocated SMT core.
+///
+/// See the [module docs](self) for the design rationale. Implementations are
+/// cheap config-carrying values: [`clone_policy`](ColocationPolicy::clone_policy)
+/// exists so `Box<dyn ColocationPolicy>` is cloneable (the experiment engine
+/// shares one policy value across its worker pool).
+pub trait ColocationPolicy: CanonicalKey + Send + Sync {
+    /// Human-readable policy name (used in logs and result labels).
+    fn name(&self) -> String;
+
+    /// The core configuration this policy currently wants.
+    fn setup(&self, cfg: &CoreConfig) -> CoreSetup;
+
+    /// Closed-loop hook: digest one interval of QoS telemetry and say what to
+    /// do. Open-loop policies keep the default (do nothing).
+    fn on_sample(&mut self, obs: &QosObservation) -> PolicyAction {
+        let _ = obs;
+        PolicyAction::Keep
+    }
+
+    /// Whether this policy models two threads sharing the core. Policies
+    /// that operate *above* the core — Elfen's scheduler-level time-sharing
+    /// — return `false`, and [`crate::Scenario::run`] rejects colocated runs
+    /// under them instead of returning plausible-looking numbers that model
+    /// no real system.
+    fn supports_colocation(&self) -> bool {
+        true
+    }
+
+    /// Clones the policy behind a box (object-safe `Clone`).
+    fn clone_policy(&self) -> Box<dyn ColocationPolicy>;
+}
+
+impl Clone for Box<dyn ColocationPolicy> {
+    fn clone(&self) -> Box<dyn ColocationPolicy> {
+        self.clone_policy()
+    }
+}
+
+/// The §V-A baseline policy: equal ROB/LSQ partitioning, ICOUNT fetch,
+/// everything shared.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EqualPartition;
+
+impl CanonicalKey for EqualPartition {
+    fn encode_key(&self, enc: &mut KeyEncoder) {
+        enc.str("policy/equal-partition");
+    }
+}
+
+impl ColocationPolicy for EqualPartition {
+    fn name(&self) -> String {
+        "equal partitioning".to_string()
+    }
+
+    fn setup(&self, cfg: &CoreConfig) -> CoreSetup {
+        CoreSetup::baseline(cfg)
+    }
+
+    fn clone_policy(&self) -> Box<dyn ColocationPolicy> {
+        Box::new(*self)
+    }
+}
+
+/// A fully private core: private caches and predictor, and (optionally
+/// capped) private window — the paper's stand-alone "full core" reference and
+/// the Figure 6 ROB-sensitivity sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrivateCore {
+    /// Per-thread ROB allocation; `None` means the full unpartitioned window.
+    pub rob_entries: Option<usize>,
+}
+
+impl PrivateCore {
+    /// The full-window private core (stand-alone reference runs).
+    pub fn full() -> PrivateCore {
+        PrivateCore { rob_entries: None }
+    }
+
+    /// A private core whose ROB is capped at `rob_entries` per thread, with
+    /// the LSQ scaled proportionally (the Figure 6 sweep).
+    pub fn with_rob(rob_entries: usize) -> PrivateCore {
+        PrivateCore { rob_entries: Some(rob_entries) }
+    }
+}
+
+impl CanonicalKey for PrivateCore {
+    fn encode_key(&self, enc: &mut KeyEncoder) {
+        enc.str("policy/private-core").field(&self.rob_entries);
+    }
+}
+
+impl ColocationPolicy for PrivateCore {
+    fn name(&self) -> String {
+        match self.rob_entries {
+            None => "private full core".to_string(),
+            Some(rob) => format!("private core, {rob}-entry ROB"),
+        }
+    }
+
+    fn setup(&self, cfg: &CoreConfig) -> CoreSetup {
+        let mut setup = CoreSetup::private_full(cfg);
+        if let Some(rob) = self.rob_entries {
+            let lsq = cfg.lsq_entries_for_rob(rob);
+            setup.partition =
+                crate::partition::PartitionPolicy::Static { rob: [rob, rob], lsq: [lsq, lsq] };
+        }
+        setup
+    }
+
+    fn clone_policy(&self) -> Box<dyn ColocationPolicy> {
+        Box::new(*self)
+    }
+}
+
+impl CanonicalKey for crate::resource_study::StudiedResource {
+    fn encode_key(&self, enc: &mut KeyEncoder) {
+        use crate::resource_study::StudiedResource::*;
+        enc.str("policy/studied-resource").tag(match self {
+            Rob => 0,
+            L1I => 1,
+            L1D => 2,
+            BtbBp => 3,
+        });
+    }
+}
+
+impl ColocationPolicy for crate::resource_study::StudiedResource {
+    fn name(&self) -> String {
+        format!("share only the {self}")
+    }
+
+    fn setup(&self, cfg: &CoreConfig) -> CoreSetup {
+        crate::resource_study::StudiedResource::setup(*self, cfg)
+    }
+
+    fn clone_policy(&self) -> Box<dyn ColocationPolicy> {
+        Box::new(*self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource_study::StudiedResource;
+    use sim_model::ThreadId;
+
+    #[test]
+    fn equal_partition_matches_the_baseline_setup() {
+        let cfg = CoreConfig::default();
+        assert_eq!(EqualPartition.setup(&cfg), CoreSetup::baseline(&cfg));
+        assert_eq!(EqualPartition.name(), "equal partitioning");
+    }
+
+    #[test]
+    fn private_core_full_and_capped_windows() {
+        let cfg = CoreConfig::default();
+        let full = PrivateCore::full().setup(&cfg);
+        assert_eq!(full, CoreSetup::private_full(&cfg));
+        let capped = PrivateCore::with_rob(64).setup(&cfg);
+        assert_eq!(capped.partition.rob_limit(&cfg, ThreadId::T0), 64);
+        assert_eq!(capped.partition.rob_limit(&cfg, ThreadId::T1), 64);
+    }
+
+    #[test]
+    fn open_loop_policies_keep_on_samples() {
+        let mut p = EqualPartition;
+        let obs = QosObservation::tail_latency(20.0, 100.0, 0.3);
+        assert_eq!(p.on_sample(&obs), PolicyAction::Keep);
+    }
+
+    #[test]
+    fn distinct_policies_have_distinct_canonical_keys() {
+        let digest = |p: &dyn ColocationPolicy| {
+            let mut enc = KeyEncoder::new();
+            p.encode_key(&mut enc);
+            enc.digest()
+        };
+        let policies: Vec<Box<dyn ColocationPolicy>> = vec![
+            Box::new(EqualPartition),
+            Box::new(PrivateCore::full()),
+            Box::new(PrivateCore::with_rob(96)),
+            Box::new(StudiedResource::Rob),
+            Box::new(StudiedResource::L1D),
+        ];
+        let digests: Vec<String> = policies.iter().map(|p| digest(p.as_ref())).collect();
+        for (i, a) in digests.iter().enumerate() {
+            for b in &digests[i + 1..] {
+                assert_ne!(a, b, "policy keys must be pairwise distinct");
+            }
+        }
+        // Boxed clones keep the identity.
+        let cloned = policies[0].clone();
+        assert_eq!(digest(cloned.as_ref()), digests[0]);
+    }
+
+    #[test]
+    fn studied_resource_policy_delegates_to_the_resource_setup() {
+        let cfg = CoreConfig::default();
+        for r in StudiedResource::ALL {
+            assert_eq!(ColocationPolicy::setup(&r, &cfg), r.setup(&cfg));
+        }
+    }
+}

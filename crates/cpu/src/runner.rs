@@ -1,12 +1,16 @@
-//! Simulation runners: warm-up + measurement windows, single-thread and
-//! colocated runs, and the per-thread UIPC figure of merit (§V-C).
+//! Run-length policy, core setups, the measurement loop and the per-thread
+//! UIPC figure of merit (§V-C).
+//!
+//! End-to-end runs are expressed through [`crate::Scenario`]; this module
+//! holds the pieces it is built from: [`SimLength`], [`CoreSetup`],
+//! [`run_core`] and the [`ColocationResult`] / [`ThreadRunResult`] outputs.
 
 use crate::core::{SmtCore, SmtCoreBuilder};
 use crate::fetch::FetchPolicy;
 use crate::partition::PartitionPolicy;
 use mem_sim::Sharing;
 use serde::{Deserialize, Serialize};
-use sim_model::{BoxedTrace, CanonicalKey, CoreConfig, KeyEncoder, ThreadId};
+use sim_model::{CanonicalKey, CoreConfig, KeyEncoder, ThreadId};
 use sim_stats::{Histogram, SamplingPlan};
 
 /// How long to simulate: per-thread warm-up and measurement instruction
@@ -83,21 +87,25 @@ pub struct ColocationResult {
 }
 
 impl ColocationResult {
-    /// UIPC of a thread.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the thread was inactive.
-    pub fn uipc(&self, thread: ThreadId) -> f64 {
-        self.threads[thread.index()]
-            .as_ref()
-            .unwrap_or_else(|| panic!("thread {thread} was not active in this run"))
-            .uipc
+    /// UIPC of a thread, if it was active. Consistent with
+    /// [`ColocationResult::thread`]: an inactive thread yields `None` rather
+    /// than panicking (the accessors used to disagree on this).
+    pub fn uipc(&self, thread: ThreadId) -> Option<f64> {
+        self.thread(thread).map(|t| t.uipc)
     }
 
     /// Result of a thread, if it was active.
     pub fn thread(&self, thread: ThreadId) -> Option<&ThreadRunResult> {
         self.threads[thread.index()].as_ref()
+    }
+
+    /// Result of a thread that is known to be active.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread was inactive.
+    pub fn expect_thread(&self, thread: ThreadId) -> &ThreadRunResult {
+        self.thread(thread).unwrap_or_else(|| panic!("thread {thread} was not active in this run"))
     }
 }
 
@@ -163,39 +171,15 @@ impl CanonicalKey for CoreSetup {
     }
 }
 
-/// Runs a core with up to two workloads under the given setup and length.
+/// Runs an already-built core to completion of the measurement windows.
 ///
 /// Measurement is per thread: a thread's window starts once it has committed
 /// its warm-up instructions and ends once it has committed the measured
 /// amount; its UIPC is measured instructions divided by the window's cycles.
-/// Statistics of the whole core are reset when the *first* thread enters its
-/// measurement window, which keeps cache/branch statistics representative.
-pub fn run_setup(
-    cfg: &CoreConfig,
-    setup: CoreSetup,
-    traces: [Option<BoxedTrace>; 2],
-    length: SimLength,
-) -> ColocationResult {
-    let names: [Option<String>; 2] = [
-        traces[0].as_ref().map(|t| t.name().to_string()),
-        traces[1].as_ref().map(|t| t.name().to_string()),
-    ];
-    let mut builder = setup.apply(SmtCoreBuilder::new(*cfg));
-    let [t0, t1] = traces;
-    if let Some(t) = t0 {
-        builder = builder.thread(ThreadId::T0, t);
-    }
-    if let Some(t) = t1 {
-        builder = builder.thread(ThreadId::T1, t);
-    }
-    let mut core = builder.build();
-    run_core(&mut core, names, length)
-}
-
-/// Runs an already-built core to completion of the measurement windows.
 ///
-/// This is also used by the closed-loop Stretch orchestrator, which changes
-/// the partitioning mid-run.
+/// This is the low-level loop behind [`crate::Scenario::run`]; it stays
+/// public for closed-loop experiments (and benches) that build and reprogram
+/// an [`SmtCore`] themselves, e.g. through the Stretch control register.
 pub fn run_core(
     core: &mut SmtCore,
     names: [Option<String>; 2],
@@ -265,70 +249,18 @@ pub fn run_core(
     ColocationResult { threads: out }
 }
 
-/// Runs a single workload alone on the core with the full (unpartitioned)
-/// instruction window and private structures — the paper's "stand-alone
-/// execution on a full core" reference point.
-pub fn run_standalone(cfg: &CoreConfig, trace: BoxedTrace, length: SimLength) -> ThreadRunResult {
-    let setup = CoreSetup::private_full(cfg);
-    let result = run_setup(cfg, setup, [Some(trace), None], length);
-    result.threads[0].clone().expect("thread 0 was active")
-}
-
-/// Runs a single workload alone but with a specific ROB partition size
-/// (the Figure 6 ROB-sensitivity sweep).
-pub fn run_standalone_with_rob(
-    cfg: &CoreConfig,
-    trace: BoxedTrace,
-    rob_entries: usize,
-    length: SimLength,
-) -> ThreadRunResult {
-    let mut setup = CoreSetup::private_full(cfg);
-    let lsq = cfg.lsq_entries_for_rob(rob_entries);
-    setup.partition = PartitionPolicy::Static { rob: [rob_entries, rob_entries], lsq: [lsq, lsq] };
-    let result = run_setup(cfg, setup, [Some(trace), None], length);
-    result.threads[0].clone().expect("thread 0 was active")
-}
-
-/// Runs a latency-sensitive / batch pair under a given setup. Thread 0 runs
-/// the first workload, thread 1 the second.
-pub fn run_pair(
-    cfg: &CoreConfig,
-    setup: CoreSetup,
-    t0: BoxedTrace,
-    t1: BoxedTrace,
-    length: SimLength,
-) -> ColocationResult {
-    run_setup(cfg, setup, [Some(t0), Some(t1)], length)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sim_model::uop::OpKind;
-    use sim_model::{MicroOp, TraceGenerator, WorkloadClass};
 
-    struct AluLoop {
-        pc: u64,
-    }
-
-    impl TraceGenerator for AluLoop {
-        fn next_op(&mut self) -> MicroOp {
-            self.pc = 0x1000 + (self.pc + 4 - 0x1000) % 512;
-            MicroOp::alu(self.pc, OpKind::IntAlu, [None, None], Some(1))
+    fn thread_result(name: &str) -> ThreadRunResult {
+        ThreadRunResult {
+            name: name.to_string(),
+            uipc: 1.5,
+            committed: 300,
+            cycles: 200,
+            mlp: Histogram::new(4),
         }
-        fn name(&self) -> &str {
-            "alu-loop"
-        }
-        fn class(&self) -> WorkloadClass {
-            WorkloadClass::Batch
-        }
-        fn reset(&mut self) {
-            self.pc = 0x1000;
-        }
-    }
-
-    fn alu() -> BoxedTrace {
-        Box::new(AluLoop { pc: 0x1000 })
     }
 
     #[test]
@@ -341,51 +273,54 @@ mod tests {
     }
 
     #[test]
-    fn standalone_run_produces_sane_uipc() {
-        let cfg = CoreConfig::default();
-        let r = run_standalone(&cfg, alu(), SimLength::quick());
-        assert!(r.uipc > 1.0 && r.uipc <= cfg.commit_width as f64, "uipc {:.2}", r.uipc);
-        assert_eq!(r.committed, SimLength::quick().measured_instructions);
-        assert_eq!(r.name, "alu-loop");
-    }
-
-    #[test]
-    fn pair_run_reports_both_threads() {
-        let cfg = CoreConfig::default();
-        let setup = CoreSetup::baseline(&cfg);
-        let r = run_pair(&cfg, setup, alu(), alu(), SimLength::quick());
-        assert!(r.thread(ThreadId::T0).is_some());
-        assert!(r.thread(ThreadId::T1).is_some());
-        assert!(r.uipc(ThreadId::T0) > 0.5);
-        assert!(r.uipc(ThreadId::T1) > 0.5);
-    }
-
-    #[test]
     fn identical_workloads_get_similar_throughput() {
-        let cfg = CoreConfig::default();
-        let setup = CoreSetup::baseline(&cfg);
-        let r = run_pair(&cfg, setup, alu(), alu(), SimLength::quick());
-        let a = r.uipc(ThreadId::T0);
-        let b = r.uipc(ThreadId::T1);
+        use crate::{EqualPartition, Scenario};
+        use sim_model::uop::OpKind;
+        use sim_model::{MicroOp, TraceGenerator, WorkloadClass};
+
+        struct AluLoop(u64);
+        impl TraceGenerator for AluLoop {
+            fn next_op(&mut self) -> MicroOp {
+                self.0 = 0x1000 + (self.0 + 4 - 0x1000) % 512;
+                MicroOp::alu(self.0, OpKind::IntAlu, [None, None], Some(1))
+            }
+            fn name(&self) -> &str {
+                "alu-loop"
+            }
+            fn class(&self) -> WorkloadClass {
+                WorkloadClass::Batch
+            }
+            fn reset(&mut self) {
+                self.0 = 0x1000;
+            }
+        }
+
+        let r = Scenario::colocate_traces(Box::new(AluLoop(0x1000)), Box::new(AluLoop(0x1000)))
+            .policy(EqualPartition)
+            .length(SimLength::quick())
+            .run();
+        let a = r.uipc(ThreadId::T0).expect("thread 0 active");
+        let b = r.uipc(ThreadId::T1).expect("thread 1 active");
         let ratio = a.max(b) / a.min(b);
         assert!(ratio < 1.3, "symmetric colocation should be roughly fair (ratio {ratio:.2})");
     }
 
     #[test]
-    fn rob_sweep_helper_respects_partition() {
-        let cfg = CoreConfig::default();
-        let small = run_standalone_with_rob(&cfg, alu(), 16, SimLength::quick());
-        let large = run_standalone_with_rob(&cfg, alu(), 192, SimLength::quick());
-        // An ALU loop is not ROB sensitive; both should be close.
-        let ratio = large.uipc / small.uipc;
-        assert!(ratio < 1.5, "ALU loop should be ROB-insensitive (ratio {ratio:.2})");
+    fn uipc_and_thread_accessors_agree_on_activity() {
+        // Regression for the old asymmetry: `uipc` panicked on an inactive
+        // thread while `thread` returned `None`. Both now answer `None`.
+        let r = ColocationResult { threads: [Some(thread_result("only")), None] };
+        assert!(r.thread(ThreadId::T0).is_some());
+        assert_eq!(r.uipc(ThreadId::T0), Some(1.5));
+        assert!(r.thread(ThreadId::T1).is_none());
+        assert_eq!(r.uipc(ThreadId::T1), None);
+        assert_eq!(r.expect_thread(ThreadId::T0).name, "only");
     }
 
     #[test]
     #[should_panic(expected = "not active")]
-    fn uipc_of_inactive_thread_panics() {
-        let cfg = CoreConfig::default();
-        let r = run_setup(&cfg, CoreSetup::baseline(&cfg), [Some(alu()), None], SimLength::quick());
-        let _ = r.uipc(ThreadId::T1);
+    fn expect_thread_panics_on_an_inactive_thread() {
+        let r = ColocationResult { threads: [Some(thread_result("only")), None] };
+        let _ = r.expect_thread(ThreadId::T1);
     }
 }

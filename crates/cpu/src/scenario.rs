@@ -1,0 +1,390 @@
+//! The [`Scenario`] builder: the single entry point for running workloads on
+//! the simulated SMT core under a [`ColocationPolicy`].
+//!
+//! A scenario names *what* runs (one workload stand-alone, or a
+//! latency-sensitive / batch pair), *how* the core is shared (the policy) and
+//! *how long / how seeded* the run is. It replaces the old
+//! `run_setup` / `run_pair` / `run_standalone` / `run_standalone_with_rob`
+//! free functions, which duplicated trace spawning and seed derivation at
+//! every call site:
+//!
+//! ```
+//! use cpu_sim::{EqualPartition, Scenario, SimLength};
+//! use workloads::profile_by_name;
+//!
+//! let ls = profile_by_name("web-search").unwrap();
+//! let batch = profile_by_name("zeusmp").unwrap();
+//! let result = Scenario::colocate(ls, batch)
+//!     .policy(EqualPartition)
+//!     .length(SimLength::quick())
+//!     .seed(42)
+//!     .run();
+//! assert!(result.uipc(sim_model::ThreadId::T0).unwrap() > 0.0);
+//! ```
+//!
+//! Workloads are given either as [`TraceSource`]s (the normal case: the
+//! scenario derives each thread's seed with [`pair_seed`], so the same
+//! pairing sees the same instruction streams under every policy — the paired
+//! comparisons every figure relies on) or as pre-spawned traces
+//! ([`Scenario::colocate_traces`]) when the caller wants full control.
+
+use crate::core::SmtCoreBuilder;
+use crate::policy::{ColocationPolicy, EqualPartition, PrivateCore};
+use crate::runner::{run_core, ColocationResult, SimLength, ThreadRunResult};
+use sim_model::{BoxedTrace, CoreConfig, ThreadId, TraceSource};
+
+/// The seed-stream label used for stand-alone runs (no co-runner name to mix
+/// into [`pair_seed`]).
+const STANDALONE_LABEL: &str = "standalone";
+
+/// Derives a per-pairing seed so that the same workload pairing always sees
+/// the same instruction streams across policies (paired comparisons).
+///
+/// Each name is length-prefixed before it enters the FNV loop, so distinct
+/// pairings can never alias onto the same byte stream (a bare concatenation
+/// would collide for e.g. `("ab", "c")` and `("a", "bc")`, silently sharing
+/// instruction streams between different experiments).
+pub fn pair_seed(base: u64, ls: &str, batch_name: &str) -> u64 {
+    let mut h = base ^ 0x9E37_79B9_7F4A_7C15;
+    let mut mix = |byte: u8| {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    };
+    for name in [ls, batch_name] {
+        for b in (name.len() as u64).to_le_bytes() {
+            mix(b);
+        }
+        for b in name.bytes() {
+            mix(b);
+        }
+    }
+    h
+}
+
+/// One thread's workload: a spawnable source (seeded by the scenario) or a
+/// pre-spawned trace (used as-is).
+enum Workload {
+    Source(Box<dyn TraceSource + Send + Sync>),
+    Trace(BoxedTrace),
+}
+
+impl Workload {
+    fn name(&self) -> String {
+        match self {
+            Workload::Source(s) => s.source_name().to_string(),
+            Workload::Trace(t) => t.name().to_string(),
+        }
+    }
+
+    fn into_trace(self, seed: u64) -> BoxedTrace {
+        match self {
+            Workload::Source(s) => s.spawn_trace(seed),
+            Workload::Trace(t) => t,
+        }
+    }
+}
+
+/// A declarative simulation run. See the [module docs](self).
+pub struct Scenario {
+    cfg: CoreConfig,
+    policy: Box<dyn ColocationPolicy>,
+    length: SimLength,
+    seed: u64,
+    threads: [Option<Workload>; 2],
+}
+
+impl Scenario {
+    fn new(threads: [Option<Workload>; 2], policy: Box<dyn ColocationPolicy>) -> Scenario {
+        Scenario {
+            cfg: CoreConfig::default(),
+            policy,
+            length: SimLength::standard(),
+            seed: 42,
+            threads,
+        }
+    }
+
+    /// A colocation: the latency-sensitive workload on thread 0, the batch
+    /// workload on thread 1. Defaults to the [`EqualPartition`] baseline
+    /// policy, the standard simulation length and base seed 42.
+    pub fn colocate(
+        ls: impl TraceSource + Send + Sync + 'static,
+        batch: impl TraceSource + Send + Sync + 'static,
+    ) -> Scenario {
+        Scenario::new(
+            [Some(Workload::Source(Box::new(ls))), Some(Workload::Source(Box::new(batch)))],
+            Box::new(EqualPartition),
+        )
+    }
+
+    /// A colocation over pre-spawned traces. The scenario's
+    /// [`seed`](Scenario::seed) is *not* applied to the traces (they carry
+    /// their own); use this when the caller manages seeding itself.
+    pub fn colocate_traces(ls: BoxedTrace, batch: BoxedTrace) -> Scenario {
+        Scenario::new(
+            [Some(Workload::Trace(ls)), Some(Workload::Trace(batch))],
+            Box::new(EqualPartition),
+        )
+    }
+
+    /// A stand-alone run on a fully private core (the paper's "stand-alone
+    /// execution on a full core" reference point). The default policy is
+    /// [`PrivateCore::full`]; cap the window with
+    /// `.policy(PrivateCore::with_rob(n))` for the Figure 6 sweep.
+    pub fn standalone(workload: impl TraceSource + Send + Sync + 'static) -> Scenario {
+        Scenario::new(
+            [Some(Workload::Source(Box::new(workload))), None],
+            Box::new(PrivateCore::full()),
+        )
+    }
+
+    /// A stand-alone run over a pre-spawned trace (seed not applied).
+    pub fn standalone_trace(trace: BoxedTrace) -> Scenario {
+        Scenario::new([Some(Workload::Trace(trace)), None], Box::new(PrivateCore::full()))
+    }
+
+    /// Sets the core configuration (default: Table II).
+    pub fn config(mut self, cfg: CoreConfig) -> Scenario {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Sets the colocation policy.
+    pub fn policy(mut self, policy: impl ColocationPolicy + 'static) -> Scenario {
+        self.policy = Box::new(policy);
+        self
+    }
+
+    /// Sets an already-boxed policy (for callers holding `dyn` policies,
+    /// e.g. the experiment engine).
+    pub fn boxed_policy(mut self, policy: Box<dyn ColocationPolicy>) -> Scenario {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the simulation length.
+    pub fn length(mut self, length: SimLength) -> Scenario {
+        self.length = length;
+        self
+    }
+
+    /// Sets the base seed. Each sourced thread derives its own stream from it
+    /// via [`pair_seed`] over the workload names, so the same pairing sees
+    /// identical instruction streams under every policy.
+    pub fn seed(mut self, seed: u64) -> Scenario {
+        self.seed = seed;
+        self
+    }
+
+    /// Runs the scenario to completion of its measurement windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no thread has a workload, or if both threads have one under
+    /// a policy whose [`ColocationPolicy::supports_colocation`] is `false`
+    /// (e.g. Elfen, whose time-sharing happens above the core model).
+    pub fn run(self) -> ColocationResult {
+        let Scenario { cfg, policy, length, seed, threads } = self;
+        let names: [Option<String>; 2] =
+            [threads[0].as_ref().map(Workload::name), threads[1].as_ref().map(Workload::name)];
+        // Seed derivation matches the historical harness exactly: colocations
+        // mix both names (batch stream gets the low bit flipped so the two
+        // threads never share a stream); stand-alone runs mix the workload
+        // name against a fixed label.
+        let (base, colocated) = match (&names[0], &names[1]) {
+            (Some(ls), Some(batch)) => (pair_seed(seed, ls, batch), true),
+            (Some(only), None) | (None, Some(only)) => {
+                (pair_seed(seed, only, STANDALONE_LABEL), false)
+            }
+            (None, None) => panic!("a scenario needs at least one workload"),
+        };
+        assert!(
+            !colocated || policy.supports_colocation(),
+            "policy '{}' does not model colocation on the core (its sharing happens above \
+             the cycle model); run it through Scenario::standalone instead",
+            policy.name()
+        );
+        let [t0, t1] = threads;
+        let setup = policy.setup(&cfg);
+        let mut builder = setup.apply(SmtCoreBuilder::new(cfg));
+        if let Some(w) = t0 {
+            builder = builder.thread(ThreadId::T0, w.into_trace(base));
+        }
+        if let Some(w) = t1 {
+            // In a colocation the batch stream gets the low bit flipped so
+            // the two threads never share a stream; a lone thread-1 workload
+            // is a stand-alone run and must see the same reference stream it
+            // would on thread 0.
+            builder =
+                builder.thread(ThreadId::T1, w.into_trace(if colocated { base ^ 1 } else { base }));
+        }
+        let mut core = builder.build();
+        run_core(&mut core, names, length)
+    }
+
+    /// Runs a stand-alone scenario and returns thread 0's result directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if thread 0 has no workload.
+    pub fn run_thread0(self) -> ThreadRunResult {
+        let mut result = self.run();
+        result.threads[0].take().expect("thread 0 was active")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{EqualPartition, PrivateCore};
+    use sim_model::uop::OpKind;
+    use sim_model::{MicroOp, TraceGenerator, WorkloadClass};
+
+    struct AluLoop {
+        pc: u64,
+    }
+
+    impl TraceGenerator for AluLoop {
+        fn next_op(&mut self) -> MicroOp {
+            self.pc = 0x1000 + (self.pc + 4 - 0x1000) % 512;
+            MicroOp::alu(self.pc, OpKind::IntAlu, [None, None], Some(1))
+        }
+        fn name(&self) -> &str {
+            "alu-loop"
+        }
+        fn class(&self) -> WorkloadClass {
+            WorkloadClass::Batch
+        }
+        fn reset(&mut self) {
+            self.pc = 0x1000;
+        }
+    }
+
+    struct AluSource;
+
+    impl TraceSource for AluSource {
+        fn source_name(&self) -> &str {
+            "alu-loop"
+        }
+        fn spawn_trace(&self, _seed: u64) -> BoxedTrace {
+            Box::new(AluLoop { pc: 0x1000 })
+        }
+    }
+
+    #[test]
+    fn standalone_scenario_produces_sane_uipc() {
+        let cfg = CoreConfig::default();
+        let r = Scenario::standalone(AluSource).length(SimLength::quick()).run_thread0();
+        assert!(r.uipc > 1.0 && r.uipc <= cfg.commit_width as f64, "uipc {:.2}", r.uipc);
+        assert_eq!(r.committed, SimLength::quick().measured_instructions);
+        assert_eq!(r.name, "alu-loop");
+    }
+
+    #[test]
+    fn colocated_scenario_reports_both_threads() {
+        let r = Scenario::colocate(AluSource, AluSource)
+            .policy(EqualPartition)
+            .length(SimLength::quick())
+            .run();
+        assert!(r.thread(ThreadId::T0).is_some());
+        assert!(r.thread(ThreadId::T1).is_some());
+        assert!(r.uipc(ThreadId::T0).unwrap() > 0.5);
+        assert!(r.uipc(ThreadId::T1).unwrap() > 0.5);
+    }
+
+    #[test]
+    fn trace_and_source_scenarios_agree_for_seed_blind_workloads() {
+        // AluSource ignores its seed, so the sourced and pre-spawned paths
+        // must produce identical runs.
+        let sourced = Scenario::colocate(AluSource, AluSource).length(SimLength::quick()).run();
+        let traced = Scenario::colocate_traces(
+            Box::new(AluLoop { pc: 0x1000 }),
+            Box::new(AluLoop { pc: 0x1000 }),
+        )
+        .length(SimLength::quick())
+        .run();
+        let bits = |r: &ColocationResult, t| r.uipc(t).unwrap().to_bits();
+        assert_eq!(bits(&sourced, ThreadId::T0), bits(&traced, ThreadId::T0));
+        assert_eq!(bits(&sourced, ThreadId::T1), bits(&traced, ThreadId::T1));
+    }
+
+    #[test]
+    fn rob_capped_private_core_is_a_policy_choice() {
+        let small = Scenario::standalone(AluSource)
+            .policy(PrivateCore::with_rob(16))
+            .length(SimLength::quick())
+            .run_thread0();
+        let large = Scenario::standalone(AluSource)
+            .policy(PrivateCore::with_rob(192))
+            .length(SimLength::quick())
+            .run_thread0();
+        // An ALU loop is not ROB sensitive; both should be close.
+        let ratio = large.uipc / small.uipc;
+        assert!(ratio < 1.5, "ALU loop should be ROB-insensitive (ratio {ratio:.2})");
+    }
+
+    #[test]
+    fn pair_seed_is_stable_and_distinct() {
+        assert_eq!(pair_seed(1, "a", "b"), pair_seed(1, "a", "b"));
+        assert_ne!(pair_seed(1, "a", "b"), pair_seed(1, "a", "c"));
+        assert_ne!(pair_seed(1, "a", "b"), pair_seed(2, "a", "b"));
+    }
+
+    #[test]
+    fn pair_seed_does_not_collide_on_name_boundaries() {
+        // Regression: bare byte concatenation made these four pairings hash
+        // identically, silently sharing instruction streams across distinct
+        // experiments. Length prefixes keep every split of the same byte
+        // soup distinct.
+        let adversarial = [("ab", "c"), ("a", "bc"), ("abc", ""), ("", "abc")];
+        for (i, a) in adversarial.iter().enumerate() {
+            for b in &adversarial[i + 1..] {
+                assert_ne!(
+                    pair_seed(42, a.0, a.1),
+                    pair_seed(42, b.0, b.1),
+                    "({:?}, {:?}) must not collide with ({:?}, {:?})",
+                    a.0,
+                    a.1,
+                    b.0,
+                    b.1
+                );
+            }
+        }
+        // Swapping roles must also produce a different stream.
+        assert_ne!(pair_seed(42, "web-search", "zeusmp"), pair_seed(42, "zeusmp", "web-search"));
+    }
+
+    #[test]
+    fn standalone_on_thread1_sees_the_thread0_reference_stream() {
+        // A lone workload must get the same derived seed whichever hardware
+        // thread it occupies — stand-alone references are thread-agnostic.
+        use std::sync::{Arc, Mutex};
+
+        struct SeedProbe(Arc<Mutex<Vec<u64>>>);
+        impl TraceSource for SeedProbe {
+            fn source_name(&self) -> &str {
+                "seed-probe"
+            }
+            fn spawn_trace(&self, seed: u64) -> BoxedTrace {
+                self.0.lock().expect("probe lock").push(seed);
+                Box::new(AluLoop { pc: 0x1000 })
+            }
+        }
+
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let _ = Scenario::standalone(SeedProbe(seen.clone())).length(SimLength::quick()).run();
+        let mut on_t1 = Scenario::standalone(SeedProbe(seen.clone())).length(SimLength::quick());
+        on_t1.threads = [None, on_t1.threads[0].take()];
+        let _ = on_t1.run();
+        let seen = seen.lock().expect("probe lock");
+        assert_eq!(seen.len(), 2);
+        assert_eq!(seen[0], seen[1], "thread placement must not change the reference seed");
+        assert_eq!(seen[0], pair_seed(42, "seed-probe", STANDALONE_LABEL));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one workload")]
+    fn empty_scenario_rejected() {
+        let _ = Scenario { threads: [None, None], ..Scenario::standalone(AluSource) }.run();
+    }
+}

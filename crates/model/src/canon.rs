@@ -119,6 +119,31 @@ pub fn fnv1a_128(bytes: &[u8]) -> u128 {
     h
 }
 
+impl<T: CanonicalKey> CanonicalKey for Option<T> {
+    fn encode_key(&self, enc: &mut KeyEncoder) {
+        match self {
+            None => {
+                enc.tag(0);
+            }
+            Some(v) => {
+                enc.tag(1).field(v);
+            }
+        }
+    }
+}
+
+impl CanonicalKey for bool {
+    fn encode_key(&self, enc: &mut KeyEncoder) {
+        enc.bool(*self);
+    }
+}
+
+impl CanonicalKey for u32 {
+    fn encode_key(&self, enc: &mut KeyEncoder) {
+        enc.u64(u64::from(*self));
+    }
+}
+
 impl CanonicalKey for f64 {
     fn encode_key(&self, enc: &mut KeyEncoder) {
         enc.f64(*self);
@@ -245,6 +270,23 @@ mod tests {
         let cfg = CoreConfig { rob_capacity: 190, ..CoreConfig::default() };
         c.field(&cfg).u64(42);
         assert_ne!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn option_encoding_is_prefix_free() {
+        // None must not collide with Some(anything), and nested Options must
+        // keep their structure (policies use Option-bearing keys).
+        let mut none = KeyEncoder::new();
+        none.field(&Option::<u64>::None);
+        let mut some_zero = KeyEncoder::new();
+        some_zero.field(&Some(0u64));
+        assert_ne!(none.digest(), some_zero.digest());
+
+        let mut a = KeyEncoder::new();
+        a.field(&Some(Option::<u64>::None));
+        let mut b = KeyEncoder::new();
+        b.field(&Option::<Option<u64>>::None);
+        assert_ne!(a.digest(), b.digest());
     }
 
     #[test]

@@ -9,7 +9,8 @@
 //! * [`rng`] — a small deterministic PRNG ([`SimRng`]) plus samplers
 //!   (exponential, Zipf, log-normal) used for reproducible workload generation.
 //! * [`ids`] — strongly-typed identifiers ([`ThreadId`], [`WorkloadClass`]).
-//! * [`trace`] — the [`TraceGenerator`] trait implemented by workload models.
+//! * [`trace`] — the [`TraceGenerator`] trait implemented by workload models,
+//!   and the [`TraceSource`] recipe trait the scenario layer spawns from.
 //!
 //! # Example
 //!
@@ -35,7 +36,7 @@ pub use canon::{CanonicalKey, KeyEncoder};
 pub use config::{BranchPredictorConfig, CacheConfig, CoreConfig, FuConfig, UncoreConfig};
 pub use ids::{ThreadId, WorkloadClass};
 pub use rng::SimRng;
-pub use trace::{BoxedTrace, TraceGenerator};
+pub use trace::{BoxedTrace, TraceGenerator, TraceSource};
 pub use uop::{MemAccess, MemKind, MicroOp, OpKind};
 
 /// A cycle count. All simulator timestamps use this type.

@@ -29,6 +29,23 @@ pub trait TraceGenerator {
 /// A boxed trace generator, convenient for heterogeneous collections.
 pub type BoxedTrace = Box<dyn TraceGenerator + Send>;
 
+/// A reusable recipe for spawning [`TraceGenerator`]s.
+///
+/// Where [`TraceGenerator`] is one live instruction stream, a `TraceSource`
+/// can mint arbitrarily many streams from different seeds — it is the
+/// scenario-level handle for "the web-search workload" as opposed to "this
+/// particular replay of web-search". The `workloads` crate implements it for
+/// `WorkloadProfile`; the `cpu-sim` `Scenario` builder consumes it so that
+/// seed derivation (paired experiments must see identical streams) lives in
+/// one place instead of at every call site.
+pub trait TraceSource {
+    /// Stable workload name, used for seed derivation and result labelling.
+    fn source_name(&self) -> &str;
+
+    /// Spawns a fresh deterministic trace for `seed`.
+    fn spawn_trace(&self, seed: u64) -> BoxedTrace;
+}
+
 impl TraceGenerator for BoxedTrace {
     fn next_op(&mut self) -> MicroOp {
         (**self).next_op()

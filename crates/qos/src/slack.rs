@@ -46,6 +46,14 @@ impl SlackPoint {
     pub fn required(&self) -> Option<f64> {
         self.feasible.then_some(self.required_performance)
     }
+
+    /// Whether a policy that delivers `performance` (a fraction of full
+    /// single-thread performance, e.g. an Elfen duty cycle or a Stretch
+    /// mode's measured `ls_performance`) still meets the QoS target at this
+    /// load point. Infeasible points are met by no delivered performance.
+    pub fn met_by(&self, performance: f64) -> bool {
+        self.feasible && performance >= self.required_performance
+    }
 }
 
 /// Computes the required-performance curve of Figure 2 for one service.
@@ -157,6 +165,16 @@ mod tests {
         let p = SlackPoint { load: 0.3, required_performance: 0.4, feasible: true };
         assert!((p.slack() - 0.6).abs() < 1e-12);
         assert_eq!(p.required(), Some(0.4));
+    }
+
+    #[test]
+    fn met_by_compares_delivered_performance_against_the_requirement() {
+        let p = SlackPoint { load: 0.3, required_performance: 0.4, feasible: true };
+        assert!(p.met_by(0.4), "delivering exactly the requirement meets the target");
+        assert!(p.met_by(0.8));
+        assert!(!p.met_by(0.35));
+        let unmet = SlackPoint { load: 1.0, required_performance: 1.0, feasible: false };
+        assert!(!unmet.met_by(1.0), "an infeasible point is met by no duty cycle");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use cpu_sim::PartitionPolicy;
 use serde::{Deserialize, Serialize};
-use sim_model::{CoreConfig, ThreadId};
+use sim_model::{CanonicalKey, CoreConfig, KeyEncoder, ThreadId};
 use std::fmt;
 
 /// An asymmetric ROB split: entries for the latency-sensitive thread and for
@@ -87,6 +87,12 @@ impl RobSkew {
     }
 }
 
+impl CanonicalKey for RobSkew {
+    fn encode_key(&self, enc: &mut KeyEncoder) {
+        enc.usize(self.ls_entries).usize(self.batch_entries);
+    }
+}
+
 impl fmt::Display for RobSkew {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}-{}", self.ls_entries, self.batch_entries)
@@ -130,6 +136,22 @@ impl StretchMode {
     /// `true` when a QoS-boost configuration is engaged.
     pub fn is_qos_boost(&self) -> bool {
         matches!(self, StretchMode::QosBoost(_))
+    }
+}
+
+impl CanonicalKey for StretchMode {
+    fn encode_key(&self, enc: &mut KeyEncoder) {
+        match self {
+            StretchMode::Baseline => {
+                enc.tag(0);
+            }
+            StretchMode::BatchBoost(skew) => {
+                enc.tag(1).field(skew);
+            }
+            StretchMode::QosBoost(skew) => {
+                enc.tag(2).field(skew);
+            }
+        }
     }
 }
 

@@ -10,8 +10,14 @@
 //! architecturally exposed control register; the policy is a CPI²-style
 //! software monitor driven by a QoS metric (tail latency or queue length).
 //!
-//! This crate implements all of it:
+//! To the rest of the repository, Stretch is just another
+//! [`cpu_sim::ColocationPolicy`] — the same interface every baseline
+//! implements — and runs through the same [`cpu_sim::Scenario`] entry point:
 //!
+//! * [`policy`] — [`PinnedStretch`] (one mode for a whole run; what the
+//!   evaluation figures sweep) and [`ClosedLoopStretch`] (the §IV-C control
+//!   loop packaged as a policy: QoS telemetry in via `on_sample`, core
+//!   reconfigurations out).
 //! * [`config`] — ROB skews ([`RobSkew`]), the provisioned configuration set
 //!   ([`StretchConfig`]) and the runtime mode ([`StretchMode`]:
 //!   Baseline / B-mode / Q-mode), plus the mapping onto the core's
@@ -21,25 +27,27 @@
 //!   simulated core (mode change + pipeline flush).
 //! * [`monitor`] — the software monitor ([`SoftwareMonitor`]): sliding-window
 //!   QoS tracking, hysteresis, B-/Q-mode engagement and the co-runner
-//!   throttling fallback.
+//!   throttling fallback. [`ClosedLoopStretch`] wraps it behind the policy
+//!   trait.
 //! * [`orchestrator`] — a closed-loop driver that replays a load trace
-//!   against the queueing model, lets the monitor pick modes and accounts
-//!   for batch throughput — the machinery behind the §VI-D case studies.
+//!   against the queueing model, lets the policy pick modes and accounts
+//!   for batch throughput — the machinery behind the §VI-D case studies. Its
+//!   per-mode performance table can hold the paper's headline numbers or
+//!   cycle-level measurements taken through the same trait
+//!   ([`orchestrator::PerformanceTable::measured`]).
 //!
 //! # Example
 //!
 //! ```
-//! use stretch::{ControlRegister, RobSkew, StretchConfig, StretchMode};
+//! use cpu_sim::ColocationPolicy;
+//! use stretch::{PinnedStretch, RobSkew, StretchMode};
 //! use sim_model::{CoreConfig, ThreadId};
 //!
 //! let cfg = CoreConfig::default();
-//! let stretch = StretchConfig::recommended();
-//! let mut reg = ControlRegister::new();
-//! reg.engage_b_mode();
-//! let mode = reg.mode(&stretch);
-//! assert_eq!(mode, StretchMode::BatchBoost(RobSkew::new(56, 136)));
-//! let policy = mode.partition_policy(&cfg, ThreadId::T0);
-//! assert_eq!(policy.rob_limit(&cfg, ThreadId::T1), 136);
+//! let policy = PinnedStretch::new(StretchMode::BatchBoost(RobSkew::recommended_b_mode()));
+//! let setup = policy.setup(&cfg);
+//! assert_eq!(setup.partition.rob_limit(&cfg, ThreadId::T0), 56);
+//! assert_eq!(setup.partition.rob_limit(&cfg, ThreadId::T1), 136);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -49,10 +57,14 @@ pub mod config;
 pub mod control;
 pub mod monitor;
 pub mod orchestrator;
+pub mod policy;
 pub mod selection;
 
 pub use config::{RobSkew, StretchConfig, StretchMode};
 pub use control::ControlRegister;
 pub use monitor::{MonitorAction, MonitorConfig, QosPolicy, SoftwareMonitor};
-pub use orchestrator::{DayReport, IntervalReport, ModePerformance, Orchestrator};
+pub use orchestrator::{
+    DayReport, IntervalReport, ModePerformance, Orchestrator, PerformanceTable,
+};
+pub use policy::{ClosedLoopStretch, PinnedStretch};
 pub use selection::{LoadBand, LoadIndexedSelector};

@@ -1,23 +1,29 @@
-//! Closed-loop orchestration: load trace → QoS measurement → monitor
+//! Closed-loop orchestration: load trace → QoS measurement → policy
 //! decision → mode change → throughput accounting.
 //!
 //! This is the machinery behind the §VI-D case studies and the
 //! `mode_controller` example: a server's diurnal load is replayed interval by
 //! interval; at each interval the queueing model produces the tail latency
 //! the service would observe given the single-thread performance the current
-//! mode leaves it, the software monitor reacts, and the batch co-runner's
+//! mode leaves it, the [`ClosedLoopStretch`] policy reacts through the
+//! shared [`cpu_sim::ColocationPolicy`] interface, and the batch co-runner's
 //! throughput is accumulated according to the engaged mode.
 //!
 //! The per-mode performance numbers (how much single-thread performance the
 //! latency-sensitive thread retains, and how much faster the batch thread
-//! runs than under the baseline partitioning) are inputs, normally measured
-//! with the `cpu-sim` crate; `ModePerformance::paper_defaults` provides the
-//! paper's headline numbers for quick experiments.
+//! runs than under the baseline partitioning) come from a
+//! [`PerformanceTable`]: either the paper's headline numbers
+//! ([`PerformanceTable::paper_defaults`]) or cycle-level measurements taken
+//! through the same policy trait ([`PerformanceTable::measured`], which runs
+//! [`cpu_sim::Scenario`]s under [`PinnedStretch`] policies).
 
 use crate::config::{StretchConfig, StretchMode};
-use crate::monitor::{MonitorAction, SoftwareMonitor};
+use crate::monitor::MonitorConfig;
+use crate::policy::{ClosedLoopStretch, PinnedStretch};
+use cpu_sim::{ColocationPolicy, PolicyAction, QosObservation, Scenario, SimLength};
 use qos::{ArrivalProcess, ServerSim, ServiceSpec, SimParams};
 use serde::{Deserialize, Serialize};
+use sim_model::ThreadId;
 
 /// Performance of one Stretch mode relative to a stand-alone full core (for
 /// the latency-sensitive thread) and to the baseline SMT partitioning (for
@@ -84,6 +90,55 @@ impl PerformanceTable {
             StretchMode::QosBoost(_) => self.q_mode,
         }
     }
+
+    /// Measures the table with the cycle-level core model, through the same
+    /// [`cpu_sim::ColocationPolicy`] interface the figures use: one
+    /// stand-alone reference run plus one colocation per mode, each a
+    /// [`Scenario`] under a [`PinnedStretch`] policy.
+    ///
+    /// `ls` / `batch` name workloads from the `workloads` registry. The
+    /// latency-sensitive thread's retained performance is its colocated UIPC
+    /// over its stand-alone full-core UIPC; the batch speedup is relative to
+    /// the equal-partition baseline colocation, exactly as the paper defines
+    /// the two axes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either workload name is unknown.
+    pub fn measured(
+        core: &sim_model::CoreConfig,
+        ls: &str,
+        batch: &str,
+        stretch: StretchConfig,
+        length: SimLength,
+        seed: u64,
+    ) -> PerformanceTable {
+        let profile = |name: &str| {
+            workloads::profile_by_name(name).unwrap_or_else(|| panic!("unknown workload {name}"))
+        };
+        let pair = |mode: StretchMode| {
+            let r = Scenario::colocate(profile(ls), profile(batch))
+                .config(*core)
+                .policy(PinnedStretch::new(mode))
+                .length(length)
+                .seed(seed)
+                .run();
+            (r.expect_thread(ThreadId::T0).uipc, r.expect_thread(ThreadId::T1).uipc)
+        };
+        let standalone =
+            Scenario::standalone(profile(ls)).config(*core).length(length).seed(seed).run_thread0();
+
+        let (base_ls, base_batch) = pair(StretchMode::Baseline);
+        let mode_perf = |(ls_uipc, batch_uipc): (f64, f64)| ModePerformance {
+            ls_performance: ls_uipc / standalone.uipc,
+            batch_speedup: batch_uipc / base_batch,
+        };
+        PerformanceTable {
+            baseline: mode_perf((base_ls, base_batch)),
+            b_mode: mode_perf(pair(stretch.low_load_mode())),
+            q_mode: mode_perf(pair(stretch.high_load_mode())),
+        }
+    }
 }
 
 /// Result of one control interval.
@@ -122,11 +177,12 @@ impl DayReport {
     }
 }
 
-/// The closed-loop orchestrator.
+/// The closed-loop orchestrator: a [`ClosedLoopStretch`] policy driven by
+/// the request-level queueing model.
 #[derive(Debug, Clone)]
 pub struct Orchestrator {
     service: ServiceSpec,
-    monitor: SoftwareMonitor,
+    policy: ClosedLoopStretch,
     table: PerformanceTable,
     params: SimParams,
     peak_rps: f64,
@@ -140,7 +196,7 @@ impl Orchestrator {
     pub fn new(
         service: ServiceSpec,
         stretch: StretchConfig,
-        monitor_cfg: crate::monitor::MonitorConfig,
+        monitor_cfg: MonitorConfig,
         table: PerformanceTable,
         params: SimParams,
     ) -> Orchestrator {
@@ -148,16 +204,21 @@ impl Orchestrator {
         let peak_rps = sim.find_peak_load_rps(params);
         Orchestrator {
             service,
-            monitor: SoftwareMonitor::new(stretch, monitor_cfg),
+            policy: ClosedLoopStretch::new(stretch, monitor_cfg),
             table,
             params,
             peak_rps,
         }
     }
 
-    /// The monitor's currently engaged mode.
+    /// The policy's currently engaged mode.
     pub fn mode(&self) -> StretchMode {
-        self.monitor.mode()
+        self.policy.mode()
+    }
+
+    /// The closed-loop policy being orchestrated.
+    pub fn policy(&self) -> &ClosedLoopStretch {
+        &self.policy
     }
 
     /// Replays a load trace (one entry per control interval, each a fraction
@@ -169,7 +230,7 @@ impl Orchestrator {
         let mut violations = 0;
         let mut b_intervals = 0;
         for (i, &load) in loads.iter().enumerate() {
-            let mode = self.monitor.mode();
+            let mode = self.policy.mode();
             let perf = self.table.for_mode(mode);
             let load = load.clamp(0.02, 1.0);
             let params = SimParams { seed: self.params.seed.wrapping_add(i as u64), ..self.params }
@@ -191,10 +252,11 @@ impl Orchestrator {
                 qos_violated: violated,
                 batch_throughput: perf.batch_speedup,
             });
-            // Feed the observation to the monitor; the decision applies from
-            // the next interval (control acts on measured history).
-            let _action: MonitorAction =
-                self.monitor.observe_tail_latency(tail, self.service.qos_target_ms);
+            // Feed the observation to the policy through the shared trait;
+            // the decision applies from the next interval (control acts on
+            // measured history).
+            let obs = QosObservation::tail_latency(tail, self.service.qos_target_ms, load);
+            let _action: PolicyAction = self.policy.on_sample(&obs);
         }
         DayReport {
             average_batch_throughput: if loads.is_empty() {
@@ -212,7 +274,6 @@ impl Orchestrator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::monitor::MonitorConfig;
 
     fn orchestrator() -> Orchestrator {
         Orchestrator::new(
@@ -285,5 +346,44 @@ mod tests {
         let report = orch.run_trace(&[]);
         assert_eq!(report.intervals.len(), 0);
         assert_eq!(report.average_batch_throughput, 1.0);
+    }
+
+    #[test]
+    fn measured_table_agrees_qualitatively_with_the_paper() {
+        // Cycle-level measurement through the policy trait: B-mode must buy
+        // batch throughput at some LS cost, Q-mode the reverse, and the
+        // baseline batch speedup is 1.0 by construction.
+        let table = PerformanceTable::measured(
+            &sim_model::CoreConfig::default(),
+            "web-search",
+            "zeusmp",
+            StretchConfig::recommended(),
+            SimLength::quick(),
+            42,
+        );
+        assert!((table.baseline.batch_speedup - 1.0).abs() < 1e-12);
+        assert!(table.baseline.ls_performance < 1.0, "colocation must cost the LS thread");
+        assert!(
+            table.b_mode.batch_speedup > table.q_mode.batch_speedup,
+            "B-mode must out-throughput Q-mode for the batch thread ({:.3} vs {:.3})",
+            table.b_mode.batch_speedup,
+            table.q_mode.batch_speedup
+        );
+        assert!(
+            table.q_mode.ls_performance >= table.b_mode.ls_performance,
+            "Q-mode must retain at least B-mode's LS performance"
+        );
+
+        // A measured table drives the orchestrator exactly like the
+        // analytical one.
+        let mut orch = Orchestrator::new(
+            ServiceSpec::web_search(),
+            StretchConfig::recommended(),
+            MonitorConfig { engage_after: 2, ..MonitorConfig::default() },
+            table,
+            SimParams::quick(5),
+        );
+        let report = orch.run_trace(&[0.2; 6]);
+        assert_eq!(report.intervals.len(), 6);
     }
 }

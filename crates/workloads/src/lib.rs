@@ -37,7 +37,7 @@ pub mod profile;
 pub use generator::SyntheticWorkload;
 pub use profile::WorkloadProfile;
 
-use sim_model::BoxedTrace;
+use sim_model::{BoxedTrace, TraceSource};
 
 impl WorkloadProfile {
     /// Builds a boxed trace generator for this profile.
@@ -47,6 +47,16 @@ impl WorkloadProfile {
     /// Panics if the profile fails validation.
     pub fn spawn(&self, seed: u64) -> BoxedTrace {
         Box::new(SyntheticWorkload::new(self.clone(), seed))
+    }
+}
+
+impl TraceSource for WorkloadProfile {
+    fn source_name(&self) -> &str {
+        &self.name
+    }
+
+    fn spawn_trace(&self, seed: u64) -> BoxedTrace {
+        self.spawn(seed)
     }
 }
 

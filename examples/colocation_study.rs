@@ -1,13 +1,14 @@
 //! Colocation study: measure how much each side of an SMT colocation loses
-//! relative to running alone on a full core (a miniature of Figures 3 and 6).
+//! relative to running alone on a full core (a miniature of Figures 3 and 6),
+//! entirely through the `Scenario` API.
 //!
 //! Run with: `cargo run --release --example colocation_study [ls-workload]`
 //! where `ls-workload` is one of `data-serving`, `web-serving`, `web-search`
 //! (default) or `media-streaming`.
 
-use stretch_repro::cpu::{run_pair, run_standalone, run_standalone_with_rob, CoreSetup, SimLength};
+use stretch_repro::cpu::{EqualPartition, PrivateCore, Scenario, SimLength};
 use stretch_repro::model::{CoreConfig, ThreadId};
-use stretch_repro::workloads::{batch, latency_sensitive, profile_by_name};
+use stretch_repro::workloads::{latency_sensitive, profile_by_name, WorkloadProfile};
 
 fn main() {
     let ls_name = std::env::args().nth(1).unwrap_or_else(|| "web-search".to_string());
@@ -19,27 +20,39 @@ fn main() {
     let seed = 11;
     let batch_subset = ["zeusmp", "mcf", "lbm", "gcc", "gamess", "povray"];
 
+    let standalone = |profile: WorkloadProfile| {
+        Scenario::standalone(profile).config(cfg).length(length).seed(seed).run_thread0().uipc
+    };
+    let standalone_with_rob = |profile: WorkloadProfile, rob: usize| {
+        Scenario::standalone(profile)
+            .config(cfg)
+            .policy(PrivateCore::with_rob(rob))
+            .length(length)
+            .seed(seed)
+            .run_thread0()
+            .uipc
+    };
+
     println!("Colocation study: {ls_name} against a spread of batch co-runners");
     println!();
 
     // Stand-alone references on a full private core.
-    let ls_alone = run_standalone(&cfg, ls_profile.spawn(seed), length).uipc;
+    let ls_alone = standalone(ls_profile.clone());
     println!("{ls_name:>16} stand-alone UIPC: {ls_alone:.3}");
     println!();
     println!("  batch co-runner   LS slowdown   batch slowdown");
 
     for name in batch_subset {
         let batch_profile = profile_by_name(name).expect("known batch workload");
-        let batch_alone = run_standalone(&cfg, batch_profile.spawn(seed ^ 1), length).uipc;
-        let pair = run_pair(
-            &cfg,
-            CoreSetup::baseline(&cfg),
-            ls_profile.spawn(seed),
-            batch_profile.spawn(seed ^ 1),
-            length,
-        );
-        let ls_slow = 1.0 - pair.uipc(ThreadId::T0) / ls_alone;
-        let batch_slow = 1.0 - pair.uipc(ThreadId::T1) / batch_alone;
+        let batch_alone = standalone(batch_profile.clone());
+        let pair = Scenario::colocate(ls_profile.clone(), batch_profile)
+            .config(cfg)
+            .policy(EqualPartition)
+            .length(length)
+            .seed(seed)
+            .run();
+        let ls_slow = 1.0 - pair.expect_thread(ThreadId::T0).uipc / ls_alone;
+        let batch_slow = 1.0 - pair.expect_thread(ThreadId::T1).uipc / batch_alone;
         println!("  {name:<16}  {:>9.1}%   {:>12.1}%", ls_slow * 100.0, batch_slow * 100.0);
     }
 
@@ -47,11 +60,12 @@ fn main() {
     println!();
     println!("ROB sensitivity (stand-alone, normalised to a 192-entry ROB):");
     println!("  ROB entries     {ls_name:<16} zeusmp");
-    let ls_full = run_standalone_with_rob(&cfg, ls_profile.spawn(seed), 192, length).uipc;
-    let zeusmp_full = run_standalone_with_rob(&cfg, batch::zeusmp(seed ^ 2), 192, length).uipc;
+    let zeusmp = profile_by_name("zeusmp").expect("zeusmp exists");
+    let ls_full = standalone_with_rob(ls_profile.clone(), 192);
+    let zeusmp_full = standalone_with_rob(zeusmp.clone(), 192);
     for rob in [32usize, 48, 96, 144, 192] {
-        let ls = run_standalone_with_rob(&cfg, ls_profile.spawn(seed), rob, length).uipc;
-        let z = run_standalone_with_rob(&cfg, batch::zeusmp(seed ^ 2), rob, length).uipc;
+        let ls = standalone_with_rob(ls_profile.clone(), rob);
+        let z = standalone_with_rob(zeusmp.clone(), rob);
         println!(
             "  {rob:>11}     {:>15.1}% {:>7.1}%",
             ls / ls_full * 100.0,

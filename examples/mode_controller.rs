@@ -1,10 +1,17 @@
 //! Closed-loop mode control: replay a diurnal day against the queueing model
-//! and let the Stretch software monitor decide, interval by interval, whether
-//! to engage B-mode, fall back to the baseline, or boost QoS.
+//! and let the Stretch policy decide, interval by interval, whether to
+//! engage B-mode, fall back to the baseline, or boost QoS.
+//!
+//! The orchestrator drives a `ClosedLoopStretch` policy through the same
+//! `ColocationPolicy` interface the figures use, and its per-mode
+//! performance table can come from the paper's headline numbers *or* from
+//! cycle-level `Scenario` measurements — both are shown here.
 //!
 //! Run with: `cargo run --release --example mode_controller`
 
 use stretch_repro::cluster::DiurnalPattern;
+use stretch_repro::cpu::SimLength;
+use stretch_repro::model::CoreConfig;
 use stretch_repro::qos::{ServiceSpec, SimParams};
 use stretch_repro::stretch::orchestrator::PerformanceTable;
 use stretch_repro::stretch::{MonitorConfig, Orchestrator, StretchConfig};
@@ -45,5 +52,38 @@ fn main() {
         report.intervals.len(),
         report.batch_gain() * 100.0,
         report.violations
+    );
+
+    // The same loop, but with the per-mode performance MEASURED by the
+    // cycle-level core model through the policy trait (quick length keeps
+    // the example fast; the figure binaries use the standard length).
+    let measured = PerformanceTable::measured(
+        &CoreConfig::default(),
+        "web-search",
+        "zeusmp",
+        StretchConfig::recommended(),
+        SimLength::quick(),
+        31,
+    );
+    let mut measured_orchestrator = Orchestrator::new(
+        service,
+        StretchConfig::recommended(),
+        MonitorConfig::default(),
+        measured,
+        SimParams::standard(31),
+    );
+    let measured_report = measured_orchestrator.run_trace(&loads);
+    println!();
+    println!(
+        "With a cycle-measured table (web-search + zeusmp at quick length): LS retains \
+         {:.0}% / {:.0}% / {:.0}% of full-core performance in baseline / B-mode / Q-mode;",
+        measured.baseline.ls_performance * 100.0,
+        measured.b_mode.ls_performance * 100.0,
+        measured.q_mode.ls_performance * 100.0,
+    );
+    println!(
+        "the same day yields {:+.1}% batch throughput with {} violation(s).",
+        measured_report.batch_gain() * 100.0,
+        measured_report.violations
     );
 }

@@ -1,38 +1,38 @@
 //! Quickstart: colocate Web Search with zeusmp on the simulated SMT core and
-//! compare the baseline equal ROB partitioning against Stretch's B-mode.
+//! compare the baseline equal ROB partitioning against Stretch's B-mode —
+//! two policies behind the same `Scenario` entry point.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use stretch_repro::cpu::{run_pair, CoreSetup, SimLength};
+use stretch_repro::cpu::{EqualPartition, Scenario, SimLength};
 use stretch_repro::model::{CoreConfig, ThreadId};
-use stretch_repro::stretch::{RobSkew, StretchMode};
-use stretch_repro::workloads::{batch, latency_sensitive};
+use stretch_repro::stretch::{PinnedStretch, RobSkew, StretchMode};
+use stretch_repro::workloads::profile_by_name;
 
 fn main() {
     let cfg = CoreConfig::default();
-    let length = SimLength::standard();
-    let seed = 7;
+    let pair = || {
+        Scenario::colocate(
+            profile_by_name("web-search").expect("web-search exists"),
+            profile_by_name("zeusmp").expect("zeusmp exists"),
+        )
+        .config(cfg)
+        .length(SimLength::standard())
+        .seed(7)
+    };
 
     // Baseline: equal 96/96 ROB partitioning, everything shared.
-    let baseline = run_pair(
-        &cfg,
-        CoreSetup::baseline(&cfg),
-        latency_sensitive::web_search(seed),
-        batch::zeusmp(seed),
-        length,
-    );
+    let baseline = pair().policy(EqualPartition).run();
 
-    // Stretch B-mode 56-136: shift ROB capacity to the batch thread.
+    // Stretch B-mode 56-136: shift ROB capacity to the batch thread. Only
+    // the policy changes; the scenario (workloads, seed, length) is shared.
     let b_mode = StretchMode::BatchBoost(RobSkew::recommended_b_mode());
-    let mut setup = CoreSetup::baseline(&cfg);
-    setup.partition = b_mode.partition_policy(&cfg, ThreadId::T0);
-    let stretched =
-        run_pair(&cfg, setup, latency_sensitive::web_search(seed), batch::zeusmp(seed), length);
+    let stretched = pair().policy(PinnedStretch::new(b_mode)).run();
 
-    let ls_base = baseline.uipc(ThreadId::T0);
-    let batch_base = baseline.uipc(ThreadId::T1);
-    let ls_stretch = stretched.uipc(ThreadId::T0);
-    let batch_stretch = stretched.uipc(ThreadId::T1);
+    let ls_base = baseline.expect_thread(ThreadId::T0).uipc;
+    let batch_base = baseline.expect_thread(ThreadId::T1).uipc;
+    let ls_stretch = stretched.expect_thread(ThreadId::T0).uipc;
+    let batch_stretch = stretched.expect_thread(ThreadId::T1).uipc;
 
     println!("Stretch quickstart: web-search (latency-sensitive) + zeusmp (batch)");
     println!(

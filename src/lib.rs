@@ -35,10 +35,14 @@ pub use workloads;
 
 /// Commonly used items, suitable for glob import in examples.
 pub mod prelude {
+    pub use baselines::{
+        DynamicSharing, Elfen, FetchThrottling, HybridThrottleSkew, IdealScheduling,
+    };
     pub use cpu_sim::{
-        run_pair, run_standalone, ColocationResult, CoreSetup, SimLength, SmtCore, SmtCoreBuilder,
+        ColocationPolicy, ColocationResult, CoreSetup, EqualPartition, PrivateCore, Scenario,
+        SimLength, SmtCore, SmtCoreBuilder,
     };
     pub use sim_model::{CoreConfig, ThreadId, WorkloadClass};
-    pub use stretch::{RobSkew, SoftwareMonitor, StretchConfig, StretchMode};
+    pub use stretch::{PinnedStretch, RobSkew, SoftwareMonitor, StretchConfig, StretchMode};
     pub use workloads::{batch, latency_sensitive, WorkloadProfile};
 }

@@ -1,16 +1,15 @@
 //! Cross-crate integration tests: the full Stretch stack working together —
-//! workloads on the SMT core, mode changes through the control register,
-//! the software monitor reacting to the queueing model, and the cluster
-//! accounting on top.
+//! workloads on the SMT core through the `Scenario`/`ColocationPolicy` API,
+//! mode changes through the control register, the closed-loop policy
+//! reacting to the queueing model, and the cluster accounting on top.
 
-use stretch_repro::cpu::{run_pair, run_standalone, CoreSetup, SimLength, SmtCoreBuilder};
+use stretch_repro::cpu::SmtCoreBuilder;
 use stretch_repro::model::{CoreConfig, ThreadId};
+use stretch_repro::prelude::*;
 use stretch_repro::qos::{ServiceSpec, SimParams};
 use stretch_repro::stretch::orchestrator::PerformanceTable;
-use stretch_repro::stretch::{
-    ControlRegister, MonitorConfig, Orchestrator, RobSkew, StretchConfig, StretchMode,
-};
-use stretch_repro::workloads::{batch, latency_sensitive};
+use stretch_repro::stretch::{ControlRegister, MonitorConfig, Orchestrator};
+use stretch_repro::workloads::{batch, latency_sensitive, profile_by_name};
 
 fn quick() -> SimLength {
     SimLength::quick()
@@ -22,26 +21,38 @@ fn medium() -> SimLength {
     SimLength { warmup_instructions: 5_000, measured_instructions: 25_000, max_cycles: 3_000_000 }
 }
 
+fn ws_zeusmp(
+    seed: u64,
+    length: SimLength,
+    policy: impl ColocationPolicy + 'static,
+) -> ColocationResult {
+    Scenario::colocate(
+        profile_by_name("web-search").expect("web-search exists"),
+        profile_by_name("zeusmp").expect("zeusmp exists"),
+    )
+    .policy(policy)
+    .length(length)
+    .seed(seed)
+    .run()
+}
+
 #[test]
 fn b_mode_boosts_a_rob_hungry_batch_corunner() {
     // The headline mechanism end to end: colocate Web Search with zeusmp,
-    // switch from the baseline partitioning to B-mode 56-136 and observe a
-    // batch speedup at a modest latency-sensitive cost.
-    let cfg = CoreConfig::default();
-    let baseline = run_pair(
-        &cfg,
-        CoreSetup::baseline(&cfg),
-        latency_sensitive::web_search(101),
-        batch::zeusmp(101),
+    // switch from the baseline policy to B-mode 56-136 and observe a batch
+    // speedup at a modest latency-sensitive cost. Only the policy changes
+    // between the two scenarios.
+    let baseline = ws_zeusmp(101, medium(), EqualPartition);
+    let stretched = ws_zeusmp(
+        101,
         medium(),
+        PinnedStretch::new(StretchMode::BatchBoost(RobSkew::recommended_b_mode())),
     );
-    let mut setup = CoreSetup::baseline(&cfg);
-    setup.partition =
-        StretchMode::BatchBoost(RobSkew::recommended_b_mode()).partition_policy(&cfg, ThreadId::T0);
-    let stretched =
-        run_pair(&cfg, setup, latency_sensitive::web_search(101), batch::zeusmp(101), medium());
-    let batch_speedup = stretched.uipc(ThreadId::T1) / baseline.uipc(ThreadId::T1) - 1.0;
-    let ls_slowdown = 1.0 - stretched.uipc(ThreadId::T0) / baseline.uipc(ThreadId::T0);
+    let batch_speedup = stretched.expect_thread(ThreadId::T1).uipc
+        / baseline.expect_thread(ThreadId::T1).uipc
+        - 1.0;
+    let ls_slowdown = 1.0
+        - stretched.expect_thread(ThreadId::T0).uipc / baseline.expect_thread(ThreadId::T0).uipc;
     assert!(
         batch_speedup > 0.03,
         "B-mode should visibly speed up zeusmp (got {:.1}%)",
@@ -62,27 +73,24 @@ fn b_mode_boosts_a_rob_hungry_batch_corunner() {
 
 #[test]
 fn q_mode_shifts_performance_back_to_the_latency_sensitive_thread() {
-    let cfg = CoreConfig::default();
-    let b_mode_policy =
-        StretchMode::BatchBoost(RobSkew::recommended_b_mode()).partition_policy(&cfg, ThreadId::T0);
-    let q_mode_policy =
-        StretchMode::QosBoost(RobSkew::recommended_q_mode()).partition_policy(&cfg, ThreadId::T0);
-
-    let mut b_setup = CoreSetup::baseline(&cfg);
-    b_setup.partition = b_mode_policy;
-    let mut q_setup = CoreSetup::baseline(&cfg);
-    q_setup.partition = q_mode_policy;
-
-    let b =
-        run_pair(&cfg, b_setup, latency_sensitive::data_serving(55), batch::zeusmp(55), quick());
-    let q =
-        run_pair(&cfg, q_setup, latency_sensitive::data_serving(55), batch::zeusmp(55), quick());
+    let pair = |mode| {
+        Scenario::colocate(
+            profile_by_name("data-serving").expect("data-serving exists"),
+            profile_by_name("zeusmp").expect("zeusmp exists"),
+        )
+        .policy(PinnedStretch::new(mode))
+        .length(quick())
+        .seed(55)
+        .run()
+    };
+    let b = pair(StretchMode::BatchBoost(RobSkew::recommended_b_mode()));
+    let q = pair(StretchMode::QosBoost(RobSkew::recommended_q_mode()));
     assert!(
-        q.uipc(ThreadId::T0) >= b.uipc(ThreadId::T0),
+        q.expect_thread(ThreadId::T0).uipc >= b.expect_thread(ThreadId::T0).uipc,
         "Q-mode should not be worse than B-mode for the latency-sensitive thread"
     );
     assert!(
-        q.uipc(ThreadId::T1) < b.uipc(ThreadId::T1),
+        q.expect_thread(ThreadId::T1).uipc < b.expect_thread(ThreadId::T1).uipc,
         "Q-mode should cost the batch thread relative to B-mode"
     );
 }
@@ -126,10 +134,10 @@ fn control_register_drives_mode_changes_on_a_live_core() {
 
 #[test]
 fn monitor_keeps_qos_while_harvesting_throughput_over_a_day() {
-    // Diurnal closed loop: the monitor should engage B-mode during the night
+    // Diurnal closed loop: the policy should engage B-mode during the night
     // hours, back off during the peak, and never violate QoS during the
     // low-load part of the day.
-    // Provision only a B-mode: at high load the monitor falls back to the
+    // Provision only a B-mode: at high load the policy falls back to the
     // baseline, so any engaged interval is a pure throughput gain.
     let mut orch = Orchestrator::new(
         ServiceSpec::web_search(),
@@ -161,21 +169,64 @@ fn monitor_keeps_qos_while_harvesting_throughput_over_a_day() {
 
 #[test]
 fn standalone_beats_any_colocation_for_the_same_workload() {
-    let cfg = CoreConfig::default();
-    let alone = run_standalone(&cfg, batch::zeusmp(77), quick()).uipc;
-    let colocated = run_pair(
-        &cfg,
-        CoreSetup::baseline(&cfg),
-        latency_sensitive::data_serving(77),
-        batch::zeusmp(77),
-        quick(),
-    )
-    .uipc(ThreadId::T1);
+    // Pre-spawned traces pin both runs to the *same* zeusmp instruction
+    // stream, so the comparison isolates the colocation effect.
+    let alone = Scenario::standalone_trace(batch::zeusmp(77)).length(quick()).run_thread0().uipc;
+    let colocated =
+        Scenario::colocate_traces(latency_sensitive::data_serving(77), batch::zeusmp(77))
+            .policy(EqualPartition)
+            .length(quick())
+            .run()
+            .expect_thread(ThreadId::T1)
+            .uipc;
     assert!(
         alone >= colocated,
         "a full private core must be at least as fast as a colocated half \
          (alone={alone:.3}, colocated={colocated:.3})"
     );
+}
+
+#[test]
+fn every_policy_runs_through_the_same_scenario_entry_point() {
+    // The tentpole guarantee: Stretch, the baselines and the hybrid
+    // demonstration policy are interchangeable values behind one trait; the
+    // same scenario accepts each of them and produces a two-thread result.
+    let policies: Vec<Box<dyn ColocationPolicy>> = vec![
+        Box::new(EqualPartition),
+        Box::new(DynamicSharing),
+        Box::new(FetchThrottling::new(ThreadId::T0, 4)),
+        Box::new(IdealScheduling::new()),
+        Box::new(PinnedStretch::new(StretchMode::BatchBoost(RobSkew::recommended_b_mode()))),
+        Box::new(HybridThrottleSkew::recommended()),
+    ];
+    for policy in policies {
+        let label = policy.name();
+        let r = Scenario::colocate(
+            profile_by_name("web-search").expect("web-search exists"),
+            profile_by_name("zeusmp").expect("zeusmp exists"),
+        )
+        .boxed_policy(policy)
+        .length(quick())
+        .seed(13)
+        .run();
+        assert!(
+            r.uipc(ThreadId::T0).expect("LS thread active") > 0.0
+                && r.uipc(ThreadId::T1).expect("batch thread active") > 0.0,
+            "policy '{label}' must produce progress on both threads"
+        );
+    }
+
+    // Elfen time-shares the core at the scheduler level, so its cycle-level
+    // scenario is the stand-alone on-core fraction; delivered performance is
+    // the duty-cycle scaling applied above the core model.
+    let elfen = Elfen::new(stretch_repro::baselines::DutyCycle::new(0.5));
+    let owned = Scenario::standalone(profile_by_name("web-search").expect("web-search exists"))
+        .boxed_policy(elfen.clone_policy())
+        .length(quick())
+        .seed(13)
+        .run_thread0();
+    let delivered = owned.uipc * elfen.delivered_performance();
+    assert!(delivered > 0.0 && delivered < owned.uipc);
 }
 
 #[test]

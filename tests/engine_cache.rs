@@ -46,15 +46,14 @@ fn result_store_round_trips_identical_pair_outcomes() {
 #[test]
 fn engine_results_survive_restart_and_invalidate_on_key_changes() {
     let dir = temp_dir("invalidate");
-    let setup = CoreSetup::baseline(&ExperimentConfig::quick().core);
 
     let cold = Engine::new(ExperimentConfig::quick()).with_store(&dir).expect("store opens");
-    let first = cold.pair(setup, "web-search", "zeusmp");
+    let first = cold.pair(&EqualPartition, "web-search", "zeusmp");
     assert_eq!(cold.sim_runs(), 1);
 
     // Same key, new process (modelled by a new engine): served from disk.
     let warm = Engine::new(ExperimentConfig::quick()).with_store(&dir).expect("store opens");
-    let second = warm.pair(setup, "web-search", "zeusmp");
+    let second = warm.pair(&EqualPartition, "web-search", "zeusmp");
     assert_eq!(warm.sim_runs(), 0, "identical request must be a pure cache hit");
     assert_eq!(first, second);
     assert_eq!(first.ls_uipc.to_bits(), second.ls_uipc.to_bits());
@@ -63,20 +62,49 @@ fn engine_results_survive_restart_and_invalidate_on_key_changes() {
     let reseeded = Engine::new(ExperimentConfig { seed: 1234, ..ExperimentConfig::quick() })
         .with_store(&dir)
         .expect("store opens");
-    let _ = reseeded.pair(setup, "web-search", "zeusmp");
+    let _ = reseeded.pair(&EqualPartition, "web-search", "zeusmp");
     assert_eq!(reseeded.sim_runs(), 1, "seed change must recompute");
 
     let mut longer = ExperimentConfig::quick();
     longer.length.measured_instructions *= 2;
     let relength = Engine::new(longer).with_store(&dir).expect("store opens");
-    let _ = relength.pair(setup, "web-search", "zeusmp");
+    let _ = relength.pair(&EqualPartition, "web-search", "zeusmp");
     assert_eq!(relength.sim_runs(), 1, "length change must recompute");
 
     let mut reconfigured = ExperimentConfig::quick();
     reconfigured.core.lsq_capacity = 48;
     let recore = Engine::new(reconfigured).with_store(&dir).expect("store opens");
-    let _ = recore.pair(CoreSetup::baseline(&reconfigured.core), "web-search", "zeusmp");
+    let _ = recore.pair(&EqualPartition, "web-search", "zeusmp");
     assert_eq!(recore.sim_runs(), 1, "core config change must recompute");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn store_digests_distinguish_policies_not_just_setups() {
+    // Regression for the policy-keyed cache scheme: the persistent store
+    // must keep separate entries for different policies even when they
+    // derive the *same* core setup (EqualPartition vs Stretch pinned to its
+    // Baseline mode), and a policy-parameter change must invalidate.
+    let dir = temp_dir("policy-keys");
+
+    let cold = Engine::new(ExperimentConfig::quick()).with_store(&dir).expect("store opens");
+    let _ = cold.pair(&EqualPartition, "web-search", "zeusmp");
+    let _ = cold.pair(&PinnedStretch::new(StretchMode::Baseline), "web-search", "zeusmp");
+    assert_eq!(cold.sim_runs(), 2, "identical setups must still be distinct store entries");
+
+    // A fresh engine finds BOTH entries warm — they were stored under
+    // distinct digests, not overwriting each other.
+    let warm = Engine::new(ExperimentConfig::quick()).with_store(&dir).expect("store opens");
+    let _ = warm.pair(&EqualPartition, "web-search", "zeusmp");
+    let _ = warm.pair(&PinnedStretch::new(StretchMode::Baseline), "web-search", "zeusmp");
+    assert_eq!(warm.sim_runs(), 0, "both policy cells must be served from disk");
+
+    // Changing a policy parameter (the fetch ratio) is a different identity.
+    let _ = warm.pair(&FetchThrottling::new(ThreadId::T0, 4), "web-search", "zeusmp");
+    assert_eq!(warm.sim_runs(), 1);
+    let _ = warm.pair(&FetchThrottling::new(ThreadId::T0, 8), "web-search", "zeusmp");
+    assert_eq!(warm.sim_runs(), 2, "a policy-parameter change must recompute");
 
     let _ = std::fs::remove_dir_all(&dir);
 }

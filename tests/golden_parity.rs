@@ -1,0 +1,136 @@
+//! Golden-parity tests: every baseline and Stretch mode run through the new
+//! `Scenario` / `ColocationPolicy` API reproduces the exact numbers the old
+//! `run_pair` / `run_standalone` / `run_standalone_with_rob` free functions
+//! produced at `SimLength::quick()`.
+//!
+//! The fixtures below were pinned by running the pre-refactor API (seed 42,
+//! web-search × zeusmp, quick length) immediately before it was deleted; the
+//! simulator is deterministic and uses no platform-dependent arithmetic, so
+//! the comparison is bit-exact. If a simulator change legitimately moves
+//! these numbers, re-pin the fixtures in the same commit and say so — a
+//! silent update would defeat the test.
+
+use stretch_repro::prelude::*;
+use stretch_repro::workloads::profile_by_name;
+
+const LS: &str = "web-search";
+const BATCH: &str = "zeusmp";
+const SEED: u64 = 42;
+
+/// `(ls_uipc, batch_uipc)` produced by the old `run_pair` for each policy.
+const BASELINE: (f64, f64) = (0.025265571120009093, 0.11707888189667788);
+const DYNAMIC: (f64, f64) = (0.024612781665769436, 0.121300339640951);
+const FETCH_THROTTLING_1_4: (f64, f64) = (0.024482489557993297, 0.12130769697337296);
+const IDEAL_SCHEDULING: (f64, f64) = (0.025433103404431164, 0.11835194910866188);
+const IDEAL_PLUS_STRETCH: (f64, f64) = (0.025417050618029298, 0.12150668286755771);
+const B_MODE_56_136: (f64, f64) = (0.025254246917788763, 0.12092081198325247);
+const Q_MODE_136_56: (f64, f64) = (0.02527906175850771, 0.10905422721448241);
+
+/// UIPC produced by the old `run_standalone` / `run_standalone_with_rob`.
+const STANDALONE_WS: f64 = 0.026711006938184054;
+const STANDALONE_WS_ROB64: f64 = 0.026558925957034296;
+const STANDALONE_ZEUSMP: f64 = 0.10917203362078376;
+
+fn pair(policy: impl ColocationPolicy + 'static) -> (f64, f64) {
+    let r = Scenario::colocate(
+        profile_by_name(LS).expect("known ls"),
+        profile_by_name(BATCH).expect("known batch"),
+    )
+    .policy(policy)
+    .length(SimLength::quick())
+    .seed(SEED)
+    .run();
+    (r.expect_thread(ThreadId::T0).uipc, r.expect_thread(ThreadId::T1).uipc)
+}
+
+fn assert_pair(label: &str, got: (f64, f64), want: (f64, f64)) {
+    assert_eq!(
+        got.0.to_bits(),
+        want.0.to_bits(),
+        "{label}: LS uipc drifted from the pinned fixture (got {}, want {})",
+        got.0,
+        want.0
+    );
+    assert_eq!(
+        got.1.to_bits(),
+        want.1.to_bits(),
+        "{label}: batch uipc drifted from the pinned fixture (got {}, want {})",
+        got.1,
+        want.1
+    );
+}
+
+#[test]
+fn baseline_policy_matches_the_old_run_pair() {
+    assert_pair("equal partitioning", pair(EqualPartition), BASELINE);
+}
+
+#[test]
+fn dynamic_sharing_matches_the_old_run_pair() {
+    assert_pair("dynamic sharing", pair(DynamicSharing), DYNAMIC);
+}
+
+#[test]
+fn fetch_throttling_matches_the_old_run_pair() {
+    assert_pair(
+        "fetch throttling 1:4",
+        pair(FetchThrottling::new(ThreadId::T0, 4)),
+        FETCH_THROTTLING_1_4,
+    );
+}
+
+#[test]
+fn ideal_scheduling_matches_the_old_run_pair() {
+    assert_pair("ideal scheduling", pair(IdealScheduling::new()), IDEAL_SCHEDULING);
+    assert_pair(
+        "ideal scheduling + Stretch 56-136",
+        pair(IdealScheduling::with_stretch(ThreadId::T0, 56, 136)),
+        IDEAL_PLUS_STRETCH,
+    );
+}
+
+#[test]
+fn stretch_modes_match_the_old_run_pair() {
+    assert_pair(
+        "B-mode 56-136",
+        pair(PinnedStretch::new(StretchMode::BatchBoost(RobSkew::recommended_b_mode()))),
+        B_MODE_56_136,
+    );
+    assert_pair(
+        "Q-mode 136-56",
+        pair(PinnedStretch::new(StretchMode::QosBoost(RobSkew::recommended_q_mode()))),
+        Q_MODE_136_56,
+    );
+}
+
+#[test]
+fn standalone_scenarios_match_the_old_run_standalone() {
+    let standalone = |name: &str| {
+        Scenario::standalone(profile_by_name(name).expect("known workload"))
+            .length(SimLength::quick())
+            .seed(SEED)
+            .run_thread0()
+            .uipc
+    };
+    assert_eq!(standalone(LS).to_bits(), STANDALONE_WS.to_bits());
+    assert_eq!(standalone(BATCH).to_bits(), STANDALONE_ZEUSMP.to_bits());
+
+    let capped = Scenario::standalone(profile_by_name(LS).expect("known workload"))
+        .policy(PrivateCore::with_rob(64))
+        .length(SimLength::quick())
+        .seed(SEED)
+        .run_thread0();
+    assert_eq!(capped.uipc.to_bits(), STANDALONE_WS_ROB64.to_bits());
+}
+
+#[test]
+fn elfen_keeps_its_analytical_performance_mapping() {
+    // Elfen never ran through the cycle-level `run_*` functions; its
+    // contract is the duty-cycle → delivered-performance mapping the §II
+    // slack measurement uses. The policy must preserve it and run on a
+    // contention-free core.
+    let elfen = Elfen::new(stretch_repro::baselines::DutyCycle::new(0.3));
+    assert!((elfen.delivered_performance() - 0.3).abs() < 1e-12);
+    let cfg = CoreConfig::default();
+    assert_eq!(elfen.setup(&cfg), PrivateCore::full().setup(&cfg));
+}

@@ -1,23 +1,18 @@
-//! Smoke test for the figure harness: drives `stretch_bench`'s colocation
-//! matrix machinery (the code path behind every `figureNN` binary) on a
-//! `SimLength::quick()` 2 × 2 sub-matrix, so `cargo test` exercises the
-//! harness without paying for the full 4 × 29 study.
+//! Smoke test for the figure harness: drives `stretch_bench`'s engine — the
+//! code path behind every `figureNN` binary — on a `SimLength::quick()`
+//! 2 × 2 sub-matrix, so `cargo test` exercises the harness without paying
+//! for the full 4 × 29 study.
 
-use stretch_bench::harness::{run_matrix_on, ExperimentConfig, PairOutcome};
+use stretch_bench::{Engine, ExperimentConfig, PairOutcome};
 use stretch_repro::prelude::*;
 
 #[test]
 fn quick_2x2_sub_matrix_exercises_the_figure_harness() {
-    let cfg = ExperimentConfig { length: SimLength::quick(), ..ExperimentConfig::quick() };
-    let ls = ["web-search".to_string(), "data-serving".to_string()];
-    let batch = ["zeusmp".to_string(), "mcf".to_string()];
-
-    // `run_matrix_with` delegates to `run_matrix_on` with the full study;
-    // the sub-matrix keeps the identical code path at test-friendly cost.
-    let outcomes = run_matrix_on(&cfg, &ls, &batch, |_ls, _batch| CoreSetup::baseline(&cfg.core));
+    let engine = Engine::new(ExperimentConfig::quick()).with_sub_matrix(2, 2);
+    let outcomes = engine.matrix(&EqualPartition);
 
     assert_eq!(outcomes.len(), 4, "2x2 matrix yields one outcome per pairing");
-    let commit_width = cfg.core.commit_width as f64;
+    let commit_width = engine.cfg().core.commit_width as f64;
     for PairOutcome { ls, batch, ls_uipc, batch_uipc } in &outcomes {
         assert!(
             *ls_uipc > 0.0 && *batch_uipc > 0.0,
@@ -31,27 +26,24 @@ fn quick_2x2_sub_matrix_exercises_the_figure_harness() {
     // Row-major ordering contract: first LS name first, batch order preserved.
     let order: Vec<(&str, &str)> =
         outcomes.iter().map(|o| (o.ls.as_str(), o.batch.as_str())).collect();
-    assert_eq!(
-        order,
-        [
-            ("web-search", "zeusmp"),
-            ("web-search", "mcf"),
-            ("data-serving", "zeusmp"),
-            ("data-serving", "mcf"),
-        ]
-    );
+    let expected: Vec<(&str, &str)> = engine
+        .ls_names()
+        .iter()
+        .flat_map(|ls| engine.batch_names().iter().map(move |b| (ls.as_str(), b.as_str())))
+        .collect();
+    assert_eq!(order, expected);
 }
 
 #[test]
 fn harness_matrix_runs_are_deterministic() {
     // Paired comparisons across figures rely on the harness producing the
-    // exact same numbers for the same (seed, pairing, setup); worker-thread
-    // scheduling must not leak into results.
-    let cfg = ExperimentConfig::quick();
-    let ls = ["web-search".to_string()];
-    let batch = ["zeusmp".to_string()];
-    let first = run_matrix_on(&cfg, &ls, &batch, |_, _| CoreSetup::baseline(&cfg.core));
-    let second = run_matrix_on(&cfg, &ls, &batch, |_, _| CoreSetup::baseline(&cfg.core));
+    // exact same numbers for the same (seed, pairing, policy); worker-thread
+    // scheduling must not leak into results. Two *fresh* engines guarantee
+    // the second run is a genuine recomputation, not a memo hit.
+    let run =
+        || Engine::new(ExperimentConfig::quick()).with_sub_matrix(1, 1).matrix(&EqualPartition);
+    let first = run();
+    let second = run();
     assert_eq!(first.len(), 1);
     assert_eq!(first[0].ls_uipc.to_bits(), second[0].ls_uipc.to_bits());
     assert_eq!(first[0].batch_uipc.to_bits(), second[0].batch_uipc.to_bits());
@@ -60,12 +52,13 @@ fn harness_matrix_runs_are_deterministic() {
     // latency-sensitive thread throughput; at quick() length the effect can
     // drown in warm-up noise, so only bound it loosely here (the full-length
     // figure binaries make the real comparison).
-    let core = CoreConfig::default();
-    let standalone = stretch_repro::cpu::run_standalone(
-        &core,
-        stretch_repro::workloads::latency_sensitive::web_search(42),
-        SimLength::quick(),
-    );
+    let ls = first[0].ls.clone();
+    let standalone = Scenario::standalone(
+        stretch_repro::workloads::profile_by_name(&ls).expect("known workload"),
+    )
+    .length(SimLength::quick())
+    .seed(42)
+    .run_thread0();
     assert!(
         first[0].ls_uipc < standalone.uipc * 1.25,
         "colocated UIPC {} should not exceed standalone {} by more than noise",
