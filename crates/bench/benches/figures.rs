@@ -11,13 +11,13 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use baselines::{DynamicSharing, FetchThrottling, IdealScheduling};
-use cluster::CaseStudy;
+use cluster_sim::CaseStudy;
 use cpu_sim::{
     run_core, ColocationPolicy, EqualPartition, PrivateCore, Scenario, SimLength, SmtCoreBuilder,
     StudiedResource,
 };
-use qos::{latency_vs_load, slack_curve, ServiceSpec, SimParams};
 use sim_model::{CoreConfig, ThreadId};
+use sim_qos::{latency_vs_load, slack_curve, ServiceSpec, SimParams};
 use stretch::{PinnedStretch, RobSkew, StretchMode};
 use stretch_bench::{figures, Engine, ExperimentConfig};
 use workloads::profile_by_name;

@@ -1,0 +1,11 @@
+//! Thin wrapper: renders the measured (fleet-simulated) variant of the
+//! paper's §VI-D cluster case studies via the shared figure registry
+//! (`stretch_bench::figures`), so its output is identical to the `figures`
+//! driver's.
+//!
+//! Run with:
+//! `cargo run --release -p stretch-bench --bin figure14_measured [--quick]`
+
+fn main() {
+    stretch_bench::figures::run_standalone_binary("figure14_measured");
+}

@@ -27,10 +27,11 @@ use std::io;
 use std::path::PathBuf;
 use std::sync::{Condvar, Mutex};
 
+use cluster_sim::{CaseStudy, Fleet, FleetConfig, FleetReport, FleetScale, LoadBalancer};
 use cpu_sim::{ColocationPolicy, PrivateCore, Scenario, ThreadRunResult};
-use qos::{latency_vs_load, slack_curve, LoadPoint, ServiceSpec, SlackPoint};
 use serde_json::Value;
 use sim_model::KeyEncoder;
+use sim_qos::{latency_vs_load, slack_curve, LoadPoint, ServiceSpec, SlackPoint};
 use workloads::{batch, latency_sensitive};
 
 use crate::harness::{parallel_map, run_single_pair, ExperimentConfig, PairOutcome};
@@ -354,6 +355,38 @@ impl Engine {
         key.str("slack-curve/v2").field(spec).field(&params).list(loads);
         self.run_cached(&key, &format!("slack curve {}", spec.name), || {
             slack_curve(spec, params, loads)
+        })
+    }
+
+    /// A 24-hour fleet simulation under an explicit [`FleetConfig`] (the
+    /// measured §VI-D datacenter run). The cell's digest is the complete
+    /// canonical config identity, so any knob change — balancer, scale,
+    /// thresholds, table, seed — recomputes.
+    pub fn fleet(&self, cfg: &FleetConfig) -> FleetReport {
+        let mut key = KeyEncoder::new();
+        key.str("fleet/v1").field(cfg);
+        self.run_cached(
+            &key,
+            &format!("fleet {} x{} {}", cfg.service.name, cfg.servers, cfg.balancer),
+            || Fleet::new(cfg.clone()).run(),
+        )
+    }
+
+    /// A measured cluster case study as ONE cached cell: the study's
+    /// engagement-threshold calibration *and* the 24-hour fleet run both
+    /// happen inside the cell, keyed by the study parameters, balancer and
+    /// scale — so a warm rerun of a fleet figure performs zero simulation
+    /// work of any kind.
+    pub fn fleet_study(
+        &self,
+        study: &CaseStudy,
+        balancer: LoadBalancer,
+        scale: FleetScale,
+    ) -> FleetReport {
+        let mut key = KeyEncoder::new();
+        key.str("fleet-study/v1").field(study).field(&balancer).field(&scale);
+        self.run_cached(&key, &format!("fleet study {} {}", study.service().name, balancer), || {
+            study.run_fleet(balancer, scale)
         })
     }
 }

@@ -56,13 +56,18 @@ impl ExperimentConfig {
         }
     }
 
+    /// Whether this is the reduced (test/CI) scale.
+    pub fn is_quick(&self) -> bool {
+        self.length == SimLength::quick()
+    }
+
     /// Queueing-simulation parameters matching this configuration's scale:
     /// quick core simulations pair with quick request-level simulations.
-    pub fn qos_params(&self, seed: u64) -> qos::SimParams {
-        if self.length == SimLength::quick() {
-            qos::SimParams::quick(seed)
+    pub fn qos_params(&self, seed: u64) -> sim_qos::SimParams {
+        if self.is_quick() {
+            sim_qos::SimParams::quick(seed)
         } else {
-            qos::SimParams::standard(seed)
+            sim_qos::SimParams::standard(seed)
         }
     }
 }

@@ -22,9 +22,10 @@
 //! the identical bits — a warm-cache figure run renders byte-identical
 //! tables.
 
+use cluster_sim::{FleetIntervalReport, FleetReport, ServerSummary};
 use cpu_sim::ThreadRunResult;
-use qos::{LoadPoint, SlackPoint};
 use serde_json::Value;
+use sim_qos::{LoadPoint, SlackPoint};
 use sim_stats::Histogram;
 use std::fs;
 use std::io;
@@ -144,7 +145,7 @@ impl JsonCodec for LoadPoint {
     fn from_json(value: &Value) -> Option<LoadPoint> {
         Some(LoadPoint {
             load: value.get("load")?.as_f64()?,
-            latency: qos::LatencySummary {
+            latency: sim_qos::LatencySummary {
                 mean_ms: value.get("mean_ms")?.as_f64()?,
                 p95_ms: value.get("p95_ms")?.as_f64()?,
                 p99_ms: value.get("p99_ms")?.as_f64()?,
@@ -169,6 +170,79 @@ impl JsonCodec for SlackPoint {
             load: value.get("load")?.as_f64()?,
             required_performance: value.get("required_performance")?.as_f64()?,
             feasible: value.get("feasible")?.as_bool()?,
+        })
+    }
+}
+
+impl JsonCodec for FleetIntervalReport {
+    fn to_json(&self) -> Value {
+        obj(vec![
+            ("hour", Value::from(self.hour)),
+            ("load", Value::from(self.load)),
+            ("engaged_servers", Value::from(self.engaged_servers)),
+            ("p99_ms", Value::from(self.p99_ms)),
+            ("batch_throughput", Value::from(self.batch_throughput)),
+        ])
+    }
+    fn from_json(value: &Value) -> Option<FleetIntervalReport> {
+        Some(FleetIntervalReport {
+            hour: value.get("hour")?.as_f64()?,
+            load: value.get("load")?.as_f64()?,
+            engaged_servers: value.get("engaged_servers")?.as_u64()? as usize,
+            p99_ms: value.get("p99_ms")?.as_f64()?,
+            batch_throughput: value.get("batch_throughput")?.as_f64()?,
+        })
+    }
+}
+
+impl JsonCodec for ServerSummary {
+    fn to_json(&self) -> Value {
+        obj(vec![
+            ("engaged_intervals", Value::from(self.engaged_intervals)),
+            ("p99_ms", Value::from(self.p99_ms)),
+            ("requests", Value::from(self.requests)),
+            ("mode_changes", Value::from(self.mode_changes)),
+            ("throttle_events", Value::from(self.throttle_events)),
+        ])
+    }
+    fn from_json(value: &Value) -> Option<ServerSummary> {
+        Some(ServerSummary {
+            engaged_intervals: value.get("engaged_intervals")?.as_u64()? as usize,
+            p99_ms: value.get("p99_ms")?.as_f64()?,
+            requests: value.get("requests")?.as_u64()? as usize,
+            mode_changes: value.get("mode_changes")?.as_u64()?,
+            throttle_events: value.get("throttle_events")?.as_u64()?,
+        })
+    }
+}
+
+impl JsonCodec for FleetReport {
+    fn to_json(&self) -> Value {
+        obj(vec![
+            ("intervals", self.intervals.to_json()),
+            ("servers", self.servers.to_json()),
+            ("average_batch_throughput", Value::from(self.average_batch_throughput)),
+            ("fraction_engaged", Value::from(self.fraction_engaged)),
+            ("hours_engaged", Value::from(self.hours_engaged)),
+            ("violation_fraction", Value::from(self.violation_fraction)),
+            ("p50_ms", Value::from(self.p50_ms)),
+            ("p95_ms", Value::from(self.p95_ms)),
+            ("p99_ms", Value::from(self.p99_ms)),
+            ("requests", Value::from(self.requests)),
+        ])
+    }
+    fn from_json(value: &Value) -> Option<FleetReport> {
+        Some(FleetReport {
+            intervals: Vec::from_json(value.get("intervals")?)?,
+            servers: Vec::from_json(value.get("servers")?)?,
+            average_batch_throughput: value.get("average_batch_throughput")?.as_f64()?,
+            fraction_engaged: value.get("fraction_engaged")?.as_f64()?,
+            hours_engaged: value.get("hours_engaged")?.as_f64()?,
+            violation_fraction: value.get("violation_fraction")?.as_f64()?,
+            p50_ms: value.get("p50_ms")?.as_f64()?,
+            p95_ms: value.get("p95_ms")?.as_f64()?,
+            p99_ms: value.get("p99_ms")?.as_f64()?,
+            requests: value.get("requests")?.as_u64()? as usize,
         })
     }
 }
@@ -359,5 +433,41 @@ mod tests {
         let restored = SlackPoint::from_json(&p.to_json()).unwrap();
         assert_eq!(restored, p);
         assert!(!restored.feasible);
+    }
+
+    #[test]
+    fn fleet_report_codec_round_trips_bit_exactly() {
+        let report = FleetReport {
+            intervals: vec![FleetIntervalReport {
+                hour: 0.25,
+                load: 0.424242424242,
+                engaged_servers: 7,
+                p99_ms: 81.52007759784479,
+                batch_throughput: 1.0962499999999,
+            }],
+            servers: vec![ServerSummary {
+                engaged_intervals: 39,
+                p99_ms: 77.123456789,
+                requests: 14_400,
+                mode_changes: 4,
+                throttle_events: 1,
+            }],
+            average_batch_throughput: 1.044973958333333,
+            fraction_engaged: 0.408854166666,
+            hours_engaged: 9.8125,
+            violation_fraction: 0.0182291666,
+            p50_ms: 16.25,
+            p95_ms: 55.5,
+            p99_ms: 81.52007759784479,
+            requests: 115_200,
+        };
+        let restored = FleetReport::from_json(&report.to_json()).expect("decodes");
+        assert_eq!(restored, report);
+        assert_eq!(restored.p99_ms.to_bits(), report.p99_ms.to_bits());
+        assert_eq!(
+            restored.intervals[0].batch_throughput.to_bits(),
+            report.intervals[0].batch_throughput.to_bits()
+        );
+        assert_eq!(restored.servers[0].mode_changes, 4);
     }
 }

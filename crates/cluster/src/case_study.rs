@@ -7,7 +7,12 @@
 //! cluster" numbers.
 
 use crate::diurnal::DiurnalPattern;
+use crate::fleet::{self, Fleet, FleetConfig, FleetReport, FleetScale, LoadBalancer};
 use serde::{Deserialize, Serialize};
+use sim_model::{CanonicalKey, KeyEncoder};
+use sim_qos::{ArrivalProcess, ServiceSpec};
+use stretch::orchestrator::{ModePerformance, PerformanceTable};
+use stretch::{MonitorConfig, RobSkew, StretchConfig, StretchMode};
 
 /// One cluster case study.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -54,7 +59,10 @@ impl CaseStudy {
         CaseStudy { pattern, engage_below: 0.85, b_mode_batch_speedup, interval_hours: 0.25 }
     }
 
-    /// Runs the 24-hour accounting.
+    /// Runs the 24-hour accounting — the *analytical* route: count sampled
+    /// intervals below the engagement threshold and credit each with the
+    /// hand-fed B-mode speedup. [`CaseStudy::run_fleet`] measures the same
+    /// quantity with the load-balanced fleet simulation instead.
     ///
     /// # Panics
     ///
@@ -64,6 +72,7 @@ impl CaseStudy {
         assert!(self.engage_below > 0.0 && self.engage_below <= 1.0, "threshold out of range");
         assert!(self.b_mode_batch_speedup > 0.0, "speedup must be positive");
         assert!(self.interval_hours > 0.0, "interval must be positive");
+        // `sample` guarantees at least one point, so the division is safe.
         let samples = self.pattern.sample(self.interval_hours);
         let mut engaged = 0usize;
         let mut throughput_sum = 0.0;
@@ -75,12 +84,90 @@ impl CaseStudy {
                 throughput_sum += 1.0;
             }
         }
-        let total = samples.len().max(1);
+        let total = samples.len();
         CaseStudyReport {
             hours_engaged: engaged as f64 * self.interval_hours,
             fraction_engaged: engaged as f64 / total as f64,
             average_batch_throughput: throughput_sum / total as f64,
         }
+    }
+
+    /// The latency-sensitive service this study's diurnal pattern stands
+    /// for: Web Search traffic maps to the Web Search service, the YouTube
+    /// edge curve to Media Streaming, custom patterns default to Web Search.
+    pub fn service(&self) -> ServiceSpec {
+        match self.pattern {
+            DiurnalPattern::YouTube => ServiceSpec::media_streaming(),
+            DiurnalPattern::WebSearch | DiurnalPattern::Custom { .. } => ServiceSpec::web_search(),
+        }
+    }
+
+    /// Lowers this study onto the measured fleet simulation: N servers
+    /// behind a load balancer, per-server closed-loop Stretch monitors whose
+    /// engage/disengage thresholds are calibrated (on the fleet itself) to
+    /// the study's load threshold, and a performance table whose B-mode
+    /// batch speedup is this study's speedup. Only a B-mode is provisioned,
+    /// matching the accounting's assumption that disengaged intervals run
+    /// at baseline throughput.
+    pub fn fleet_config(&self, balancer: LoadBalancer, scale: FleetScale) -> FleetConfig {
+        self.fleet(balancer, scale).cfg().clone()
+    }
+
+    /// The study's fleet configuration before threshold calibration (the
+    /// monitor field is a placeholder default).
+    fn base_fleet_config(&self, balancer: LoadBalancer, scale: FleetScale) -> FleetConfig {
+        let service = self.service();
+        let arrivals = ArrivalProcess::bursty(100.0);
+        let table = PerformanceTable {
+            baseline: ModePerformance::paper_defaults(StretchMode::Baseline),
+            b_mode: ModePerformance {
+                ls_performance: ModePerformance::paper_defaults(StretchMode::BatchBoost(
+                    RobSkew::recommended_b_mode(),
+                ))
+                .ls_performance,
+                batch_speedup: self.b_mode_batch_speedup,
+            },
+            q_mode: ModePerformance::paper_defaults(StretchMode::QosBoost(
+                RobSkew::recommended_q_mode(),
+            )),
+        };
+        FleetConfig {
+            servers: scale.servers,
+            service,
+            arrivals,
+            pattern: self.pattern,
+            balancer,
+            interval_hours: self.interval_hours,
+            requests_per_server: scale.requests_per_server,
+            stretch: StretchConfig::b_mode_only(RobSkew::recommended_b_mode()),
+            monitor: MonitorConfig::default(),
+            table,
+            seed: scale.seed,
+        }
+    }
+
+    /// Builds the measured fleet for this study, running the peak bisection
+    /// once and reusing it for both the threshold calibration and the day's
+    /// run (the peak does not depend on the monitor being derived).
+    pub fn fleet(&self, balancer: LoadBalancer, scale: FleetScale) -> Fleet {
+        let mut cfg = self.base_fleet_config(balancer, scale);
+        let peak_rps = fleet::measured_peak_rps(&cfg);
+        cfg.monitor = fleet::calibrated_monitor_with_peak(&cfg, self.engage_below, peak_rps);
+        Fleet::with_peak(cfg, peak_rps)
+    }
+
+    /// Convenience: build and run the measured fleet for this study.
+    pub fn run_fleet(&self, balancer: LoadBalancer, scale: FleetScale) -> FleetReport {
+        self.fleet(balancer, scale).run()
+    }
+}
+
+impl CanonicalKey for CaseStudy {
+    fn encode_key(&self, enc: &mut KeyEncoder) {
+        enc.field(&self.pattern)
+            .f64(self.engage_below)
+            .f64(self.b_mode_batch_speedup)
+            .f64(self.interval_hours);
     }
 }
 

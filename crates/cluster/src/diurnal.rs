@@ -7,6 +7,7 @@
 //! cluster ≈17 hours of the day below 85% of peak load.
 
 use serde::{Deserialize, Serialize};
+use sim_model::{CanonicalKey, KeyEncoder};
 use std::f64::consts::PI;
 
 /// One sampled point of a diurnal curve.
@@ -39,6 +40,15 @@ pub enum DiurnalPattern {
         /// Width of the daytime bump in hours.
         width: f64,
     },
+}
+
+/// Number of `interval_hours`-sized control intervals in a 24-hour day, as
+/// used by both the analytical sampling ([`DiurnalPattern::sample`]) and the
+/// fleet simulation — one shared formula, so the two routes always count
+/// the same number of intervals. Never returns zero.
+pub fn day_steps(interval_hours: f64) -> usize {
+    assert!(interval_hours > 0.0, "interval must be positive");
+    (24.0 / interval_hours).round().max(1.0) as usize
 }
 
 impl DiurnalPattern {
@@ -78,14 +88,15 @@ impl DiurnalPattern {
         }
     }
 
-    /// Samples the curve once per `interval_hours` over 24 hours.
+    /// Samples the curve once per `interval_hours` over 24 hours. Always
+    /// returns at least one sample (the midnight point), even when the
+    /// interval exceeds the day — so callers never divide by zero.
     ///
     /// # Panics
     ///
     /// Panics if `interval_hours` is not positive.
     pub fn sample(&self, interval_hours: f64) -> Vec<LoadSample> {
-        assert!(interval_hours > 0.0, "interval must be positive");
-        let steps = (24.0 / interval_hours).round() as usize;
+        let steps = day_steps(interval_hours);
         (0..steps)
             .map(|i| {
                 let hour = i as f64 * interval_hours;
@@ -101,6 +112,22 @@ impl DiurnalPattern {
         let below =
             (0..grid).filter(|i| self.load_at(*i as f64 * 24.0 / grid as f64) < threshold).count();
         below as f64 * 24.0 / grid as f64
+    }
+}
+
+impl CanonicalKey for DiurnalPattern {
+    fn encode_key(&self, enc: &mut KeyEncoder) {
+        match *self {
+            DiurnalPattern::WebSearch => {
+                enc.tag(0);
+            }
+            DiurnalPattern::YouTube => {
+                enc.tag(1);
+            }
+            DiurnalPattern::Custom { base, amplitude, peak_hour, width } => {
+                enc.tag(2).f64(base).f64(amplitude).f64(peak_hour).f64(width);
+            }
+        }
     }
 }
 

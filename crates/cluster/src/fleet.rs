@@ -1,0 +1,862 @@
+//! A measured, load-balanced datacenter fleet (§VI-D, done by simulation
+//! instead of accounting).
+//!
+//! [`crate::CaseStudy`] reproduces the paper's cluster numbers analytically:
+//! a diurnal curve, a load threshold and a hand-fed B-mode speedup. This
+//! module *measures* them instead. A [`Fleet`] is N servers — each an SMT
+//! core pair whose mode is picked by its own
+//! [`stretch::ClosedLoopStretch`] controller — fed by one diurnal-modulated
+//! open-loop arrival stream that a pluggable [`LoadBalancer`] spreads across
+//! the machines. Requests queue per server exactly as in
+//! [`sim_qos::ServerSim`] (FCFS over the service's worker threads,
+//! log-normal service times whose CPU-bound part stretches with the engaged
+//! mode's delivered performance), and queues persist across control
+//! intervals on a continuous clock, so tails near saturation reflect real
+//! backlog build-up rather than a freshly reset queue. Each control
+//! interval every server computes its own tail latency from its own
+//! requests and feeds it to its monitor through the
+//! [`cpu_sim::ColocationPolicy`] closed-loop hook, so B-mode engagement is
+//! a *measured* decision with hysteresis, not a load threshold applied by
+//! fiat.
+//!
+//! The engagement thresholds are calibrated against the fleet itself
+//! ([`calibrated_monitor`]): short pinned-mode runs at the paper's
+//! 85%-of-peak engagement load measure the tail-to-target ratio servers
+//! actually show there — once under the baseline mode's delivered
+//! performance (the engage threshold) and once stretched (the disengage
+//! threshold). Calibrating on the fleet rather than on a lone server makes
+//! the thresholds account for whatever smoothing the load balancer
+//! provides. The analytical [`crate::CaseStudy`] stays available as a
+//! cross-check, and `tests/fleet.rs` pins the two within two percentage
+//! points of each other.
+//!
+//! Everything is deterministic: arrivals, balancer choices and every
+//! server's service times come from independent [`sim_model::SimRng`]
+//! streams forked from the fleet seed ([`server_seed`]), so a fixed-seed
+//! fleet run is bit-identical across processes and servers never share a
+//! random stream.
+
+use crate::diurnal::DiurnalPattern;
+use cpu_sim::{ColocationPolicy, QosObservation};
+use serde::{Deserialize, Serialize};
+use sim_model::{CanonicalKey, KeyEncoder, SimRng};
+use sim_qos::{ArrivalGenerator, ArrivalProcess, ServiceSpec};
+use sim_stats::{percentile, Percentiles};
+use stretch::orchestrator::PerformanceTable;
+use stretch::{ClosedLoopStretch, MonitorConfig, QosPolicy, StretchConfig};
+
+/// How the fleet's front end spreads arriving requests over the servers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LoadBalancer {
+    /// Cycle through the servers in order, ignoring their state.
+    RoundRobin,
+    /// Send each request to the server with the least queued work (an
+    /// idealised omniscient dispatcher; O(N) per request).
+    LeastLoaded,
+    /// Sample two distinct servers uniformly and pick the less loaded — the
+    /// classic "power of two choices" dispatcher, nearly as good as
+    /// least-loaded at O(1) state inspection.
+    PowerOfTwoChoices,
+}
+
+impl LoadBalancer {
+    /// All balancers, in documentation order.
+    pub const ALL: [LoadBalancer; 3] =
+        [LoadBalancer::RoundRobin, LoadBalancer::LeastLoaded, LoadBalancer::PowerOfTwoChoices];
+
+    /// Short human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LoadBalancer::RoundRobin => "round-robin",
+            LoadBalancer::LeastLoaded => "least-loaded",
+            LoadBalancer::PowerOfTwoChoices => "power-of-two-choices",
+        }
+    }
+}
+
+impl std::fmt::Display for LoadBalancer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl CanonicalKey for LoadBalancer {
+    fn encode_key(&self, enc: &mut KeyEncoder) {
+        enc.tag(match self {
+            LoadBalancer::RoundRobin => 0,
+            LoadBalancer::LeastLoaded => 1,
+            LoadBalancer::PowerOfTwoChoices => 2,
+        });
+    }
+}
+
+/// Scale knobs for a fleet run: how many machines and how many measured
+/// requests per server per control interval (the measurement budget — the
+/// simulated slice of each interval, exactly as [`sim_qos::SimParams::quick`] is a
+/// slice of a single-server run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FleetScale {
+    /// Number of servers in the fleet.
+    pub servers: usize,
+    /// Measured requests per server per control interval.
+    pub requests_per_server: usize,
+    /// Fleet seed; every RNG stream in the run forks from it.
+    pub seed: u64,
+}
+
+impl FleetScale {
+    /// CI/test scale: 8 servers, 150 requests per server-interval.
+    pub fn quick(seed: u64) -> FleetScale {
+        FleetScale { servers: 8, requests_per_server: 150, seed }
+    }
+
+    /// Figure scale: 24 servers, 400 requests per server-interval.
+    pub fn standard(seed: u64) -> FleetScale {
+        FleetScale { servers: 24, requests_per_server: 400, seed }
+    }
+}
+
+impl CanonicalKey for FleetScale {
+    fn encode_key(&self, enc: &mut KeyEncoder) {
+        enc.usize(self.servers).usize(self.requests_per_server).u64(self.seed);
+    }
+}
+
+/// Full configuration of a fleet run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Number of servers.
+    pub servers: usize,
+    /// The latency-sensitive service every server runs.
+    pub service: ServiceSpec,
+    /// Shape of the open-loop arrival stream; its rate is overridden each
+    /// interval by the diurnal pattern.
+    pub arrivals: ArrivalProcess,
+    /// Diurnal load pattern modulating the fleet-wide arrival rate.
+    pub pattern: DiurnalPattern,
+    /// Dispatcher spreading requests over the servers.
+    pub balancer: LoadBalancer,
+    /// Control interval in hours (how often each server's monitor acts).
+    pub interval_hours: f64,
+    /// Measured requests per server per interval.
+    pub requests_per_server: usize,
+    /// Provisioned Stretch configurations on every core.
+    pub stretch: StretchConfig,
+    /// Per-server software-monitor tuning.
+    pub monitor: MonitorConfig,
+    /// Per-mode delivered performance and batch speedup.
+    pub table: PerformanceTable,
+    /// Fleet seed.
+    pub seed: u64,
+}
+
+impl FleetConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.servers == 0 {
+            return Err("a fleet needs at least one server".into());
+        }
+        self.service.validate()?;
+        self.arrivals.validate()?;
+        self.monitor.policy.validate()?;
+        if !(self.interval_hours > 0.0 && self.interval_hours <= 24.0) {
+            return Err(format!("control interval {} h must be in (0, 24]", self.interval_hours));
+        }
+        // The day accounting (hours_engaged, hour-of-day wrap) assumes the
+        // control interval tiles the 24-hour day exactly.
+        let day_fraction = 24.0 / self.interval_hours;
+        if (day_fraction - day_fraction.round()).abs() > 1e-9 {
+            return Err(format!(
+                "control interval {} h must divide the 24-hour day evenly",
+                self.interval_hours
+            ));
+        }
+        if self.requests_per_server < 20 {
+            return Err(format!(
+                "{} requests per server-interval cannot resolve a tail percentile (need >= 20)",
+                self.requests_per_server
+            ));
+        }
+        for (what, perf) in [
+            ("baseline", self.table.baseline),
+            ("B-mode", self.table.b_mode),
+            ("Q-mode", self.table.q_mode),
+        ] {
+            if !(perf.ls_performance > 0.0 && perf.ls_performance <= 1.0) {
+                return Err(format!(
+                    "{what} LS performance {} must be in (0, 1]",
+                    perf.ls_performance
+                ));
+            }
+            if !(perf.batch_speedup > 0.0 && perf.batch_speedup.is_finite()) {
+                return Err(format!(
+                    "{what} batch speedup {} must be positive and finite",
+                    perf.batch_speedup
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of control intervals in the 24-hour run.
+    pub fn intervals(&self) -> usize {
+        crate::diurnal::day_steps(self.interval_hours)
+    }
+}
+
+impl CanonicalKey for FleetConfig {
+    fn encode_key(&self, enc: &mut KeyEncoder) {
+        enc.usize(self.servers)
+            .field(&self.service)
+            .field(&self.arrivals)
+            .field(&self.pattern)
+            .field(&self.balancer)
+            .f64(self.interval_hours)
+            .usize(self.requests_per_server)
+            .field(&self.stretch)
+            .field(&self.monitor)
+            .field(&self.table)
+            .u64(self.seed);
+    }
+}
+
+/// The seed of one server's private service-time stream. Derived from the
+/// fleet seed and the server index only, so adding servers to a fleet never
+/// perturbs the streams of the existing ones and no two servers share one.
+pub fn server_seed(fleet_seed: u64, server: usize) -> u64 {
+    // A dedicated root (fleet seed xor a fixed tag) forked once per server;
+    // forks are functions of (root state, stream id) only, and the stream id
+    // keeps them pairwise distinct.
+    SimRng::new(fleet_seed ^ 0x5e72_76f1_ee75_ca1e).fork(server as u64 + 1).next_u64()
+}
+
+/// The per-server peak sustainable rate (requests/second), measured *on the
+/// fleet itself* at its real operating point — every core colocated, the
+/// baseline mode's delivered performance: the highest per-server rate at
+/// which the fleet, through its own load balancer and with its own
+/// measurement budget, still meets the tail target on the median
+/// server-interval. Determined by bisection over pinned-mode mini-runs,
+/// mirroring how [`sim_qos::ServerSim::find_peak_load_rps`] establishes a lone
+/// server's peak. The result does not depend on `cfg.monitor` (the runs are
+/// pinned-mode), so one measurement serves both threshold calibration and
+/// the day's run — [`Fleet::with_peak`] accepts it precomputed.
+///
+/// Calibrating on the fleet matters twice over: a queue-aware balancer
+/// pools the servers' capacity (so the fleet peak can sit well above
+/// `servers ×` the single-server peak), and calibrating at the *colocated*
+/// operating point keeps "load 1.0" QoS-sustainable in baseline mode — a
+/// peak taken at full dedicated-core performance would make the colocated
+/// fleet supercritical at its own rated peak, piling up hours of backlog
+/// that poisons the tail signal long after the peak passes.
+pub fn measured_peak_rps(cfg: &FleetConfig) -> f64 {
+    let spec = &cfg.service;
+    let baseline_perf = cfg.table.baseline.ls_performance.clamp(0.05, 1.0);
+    // Hard ceiling: the no-queueing throughput of one server's workers.
+    let capacity_rps = spec.workers as f64 * 1000.0 / spec.mean_service_ms(baseline_perf);
+    let meets = |per_server_rps: f64| -> bool {
+        let mut state = DispatchState::new(cfg, cfg.seed ^ 0x9ea4);
+        let slowdowns = vec![spec.slowdown(baseline_perf); cfg.servers];
+        let metric = spec.tail_metric.percentile();
+        let mut tails = Vec::new();
+        for t in 0..6u64 {
+            let (per_server, _) =
+                run_interval(cfg, &mut state, per_server_rps * cfg.servers as f64, &slowdowns, t);
+            if t >= 2 {
+                for stats in &per_server {
+                    tails.push(stats.percentile(metric).unwrap_or(0.0));
+                }
+            }
+        }
+        percentile(&tails, 50.0).expect("peak calibration produced samples") <= spec.qos_target_ms
+    };
+    let mut lo = capacity_rps * 0.05;
+    let mut hi = capacity_rps;
+    if !meets(lo) {
+        return lo; // the target is hopeless; keep a positive rate for the run
+    }
+    for _ in 0..12 {
+        let mid = 0.5 * (lo + hi);
+        if meets(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Dispatch state shared by every interval of one fleet run: per-server
+/// worker availability (queues persist across intervals), per-server
+/// service-time streams, the balancer's round-robin cursor and RNG, the
+/// arrival-stream root and the continuous clock.
+struct DispatchState {
+    workers: Vec<Vec<f64>>,
+    service_rngs: Vec<SimRng>,
+    rr_next: usize,
+    balancer_rng: SimRng,
+    arrival_root: SimRng,
+    clock_ms: f64,
+}
+
+impl DispatchState {
+    fn new(cfg: &FleetConfig, seed: u64) -> DispatchState {
+        let mut root = SimRng::new(seed);
+        let arrival_root = root.fork(1);
+        let balancer_rng = root.fork(2);
+        DispatchState {
+            workers: vec![vec![0.0; cfg.service.workers]; cfg.servers],
+            service_rngs: (0..cfg.servers).map(|s| SimRng::new(server_seed(seed, s))).collect(),
+            rr_next: 0,
+            balancer_rng,
+            arrival_root,
+            clock_ms: 0.0,
+        }
+    }
+}
+
+/// Simulates one control interval's measurement slice: `servers ×
+/// requests_per_server` arrivals at `rate_rps`, dispatched through the
+/// balancer onto the persistent per-server queues. Returns per-server and
+/// fleet-wide sojourn collections.
+fn run_interval(
+    cfg: &FleetConfig,
+    state: &mut DispatchState,
+    rate_rps: f64,
+    slowdowns: &[f64],
+    interval_idx: u64,
+) -> (Vec<Percentiles>, Percentiles) {
+    let n = cfg.servers;
+    let spec = &cfg.service;
+    let mut arrivals = ArrivalGenerator::new(
+        cfg.arrivals.with_rate(rate_rps),
+        state.arrival_root.fork(interval_idx),
+    );
+    let mut per_server: Vec<Percentiles> = vec![Percentiles::new(); n];
+    let mut fleet = Percentiles::new();
+    let mut last_arrival = state.clock_ms;
+    for _ in 0..n * cfg.requests_per_server {
+        let arrival = state.clock_ms + arrivals.next_arrival_ms();
+        last_arrival = arrival;
+        let s = match cfg.balancer {
+            LoadBalancer::RoundRobin => {
+                let s = state.rr_next;
+                state.rr_next = (state.rr_next + 1) % n;
+                s
+            }
+            LoadBalancer::LeastLoaded => (0..n)
+                .min_by(|&a, &b| {
+                    backlog(&state.workers[a], arrival)
+                        .partial_cmp(&backlog(&state.workers[b], arrival))
+                        .expect("no NaN backlogs")
+                })
+                .expect("at least one server"),
+            LoadBalancer::PowerOfTwoChoices => {
+                let a = state.balancer_rng.below(n as u64) as usize;
+                let b = if n > 1 {
+                    let mut b = state.balancer_rng.below(n as u64 - 1) as usize;
+                    if b >= a {
+                        b += 1;
+                    }
+                    b
+                } else {
+                    a
+                };
+                if backlog(&state.workers[a], arrival) <= backlog(&state.workers[b], arrival) {
+                    a
+                } else {
+                    b
+                }
+            }
+        };
+        // Earliest-available worker on the chosen server (FCFS with greedy
+        // assignment, as in `sim_qos::ServerSim`).
+        let (widx, avail) = state.workers[s]
+            .iter()
+            .copied()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN worker times"))
+            .expect("at least one worker");
+        let start = arrival.max(avail);
+        let service_time = state.service_rngs[s]
+            .log_normal(spec.service_median_ms * slowdowns[s], spec.service_sigma);
+        state.workers[s][widx] = start + service_time;
+        let sojourn = start + service_time - arrival;
+        per_server[s].record(sojourn);
+        fleet.record(sojourn);
+    }
+    state.clock_ms = last_arrival;
+    (per_server, fleet)
+}
+
+/// Total queued work (ms) ahead of a request arriving `now` on one server.
+fn backlog(workers: &[f64], now: f64) -> f64 {
+    workers.iter().map(|&avail| (avail - now).max(0.0)).sum()
+}
+
+/// Calibrates tail-latency monitor thresholds so the measured control loop
+/// mirrors the paper's load rule "engage B-mode below `engage_below_load` of
+/// peak" — by measurement, on the fleet itself. Two short pinned-mode runs
+/// at exactly that load record the tail-to-target ratio every server shows
+/// per interval: under the baseline mode's delivered performance (its
+/// *median* becomes the engage threshold) and under B-mode performance (the
+/// disengage threshold). Because the calibration runs through the same
+/// balancer, budget and queues as the real day, the thresholds
+/// automatically absorb the smoothing a queue-aware dispatcher provides.
+///
+/// The two thresholds are read off the calibration distribution
+/// asymmetrically on purpose. Engagement is protected by hysteresis (two
+/// consecutive slack observations), so its threshold can sit at the median.
+/// Disengagement fires on a *single* pressure sample — the paper wants the
+/// monitor to back off promptly when QoS is at risk — so its threshold is
+/// the 90th percentile of the stretched-mode distribution: high enough that
+/// ordinary measurement noise at sub-threshold load does not flap a server
+/// out of B-mode, low enough that genuinely rising load still disengages
+/// within an interval or two.
+///
+/// The `monitor` field of `cfg` is ignored (that is what is being derived).
+///
+/// # Panics
+///
+/// Panics if `engage_below_load` is not in `(0, 1]` or `cfg` is invalid.
+pub fn calibrated_monitor(cfg: &FleetConfig, engage_below_load: f64) -> MonitorConfig {
+    calibrated_monitor_with_peak(cfg, engage_below_load, measured_peak_rps(cfg))
+}
+
+/// [`calibrated_monitor`] with the per-server peak already measured (via
+/// [`measured_peak_rps`]), so callers that also construct the fleet can run
+/// the peak bisection once instead of twice.
+///
+/// # Panics
+///
+/// Panics if `engage_below_load` is not in `(0, 1]`, the peak is not
+/// positive, or `cfg` is invalid.
+pub fn calibrated_monitor_with_peak(
+    cfg: &FleetConfig,
+    engage_below_load: f64,
+    peak_rps: f64,
+) -> MonitorConfig {
+    assert!(
+        engage_below_load > 0.0 && engage_below_load <= 1.0,
+        "engagement load {engage_below_load} must be a fraction of peak"
+    );
+    assert!(peak_rps > 0.0, "peak rate must be positive");
+    cfg.validate().expect("invalid fleet configuration");
+    let rate = engage_below_load * cfg.servers as f64 * peak_rps;
+    let metric = cfg.service.tail_metric.percentile();
+    let discard = 2usize; // queue warm-up intervals
+    let measure = 6usize;
+    let ratios_for = |perf: f64, tag: u64| -> Vec<f64> {
+        let mut state = DispatchState::new(cfg, cfg.seed ^ tag);
+        let slowdowns = vec![cfg.service.slowdown(perf.clamp(0.05, 1.0)); cfg.servers];
+        let mut ratios = Vec::new();
+        for t in 0..(discard + measure) as u64 {
+            let (per_server, _) = run_interval(cfg, &mut state, rate, &slowdowns, t);
+            if t >= discard as u64 {
+                for stats in &per_server {
+                    ratios
+                        .push(stats.percentile(metric).unwrap_or(0.0) / cfg.service.qos_target_ms);
+                }
+            }
+        }
+        ratios
+    };
+    let baseline = ratios_for(cfg.table.baseline.ls_performance, 0xca1b_0001);
+    let stretched = ratios_for(cfg.table.b_mode.ls_performance, 0xca1b_0002);
+    let engage_below =
+        percentile(&baseline, 50.0).expect("calibration produced samples").clamp(0.05, 1.40);
+    let disengage_above = percentile(&stretched, 90.0)
+        .expect("calibration produced samples")
+        .clamp(engage_below + 0.02, 1.45);
+    MonitorConfig {
+        policy: QosPolicy::TailLatency { engage_below, disengage_above },
+        engage_after: 2,
+        violations_before_throttle: 4,
+    }
+}
+
+/// Per-interval fleet telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetIntervalReport {
+    /// Hour of day at the interval start.
+    pub hour: f64,
+    /// Offered load (fraction of fleet peak).
+    pub load: f64,
+    /// Servers whose monitor had B-mode engaged during the interval.
+    pub engaged_servers: usize,
+    /// Fleet-wide 99th-percentile sojourn time over the interval (ms).
+    pub p99_ms: f64,
+    /// Fleet batch throughput during the interval, relative to baseline.
+    pub batch_throughput: f64,
+}
+
+/// Per-server summary over the whole day.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerSummary {
+    /// Intervals this server spent in B-mode.
+    pub engaged_intervals: usize,
+    /// The server's own p99 sojourn time over the day (ms).
+    pub p99_ms: f64,
+    /// Requests this server processed (measured only).
+    pub requests: usize,
+    /// Mode changes its monitor decided.
+    pub mode_changes: u64,
+    /// CPI²-style co-runner throttling escalations.
+    pub throttle_events: u64,
+}
+
+/// Result of a 24-hour fleet run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Per-interval telemetry, in time order.
+    pub intervals: Vec<FleetIntervalReport>,
+    /// Per-server summaries, in server order.
+    pub servers: Vec<ServerSummary>,
+    /// Mean batch throughput relative to baseline over all server-intervals.
+    pub average_batch_throughput: f64,
+    /// Fraction of server-intervals with B-mode engaged.
+    pub fraction_engaged: f64,
+    /// Average hours per day each server spent in B-mode.
+    pub hours_engaged: f64,
+    /// Fraction of server-intervals whose measured tail violated the target.
+    pub violation_fraction: f64,
+    /// Fleet-wide median sojourn time over the day (ms).
+    pub p50_ms: f64,
+    /// Fleet-wide 95th-percentile sojourn time over the day (ms).
+    pub p95_ms: f64,
+    /// Fleet-wide 99th-percentile sojourn time over the day (ms).
+    pub p99_ms: f64,
+    /// Measured requests across the fleet and day.
+    pub requests: usize,
+}
+
+impl FleetReport {
+    /// The 24-hour batch throughput gain, e.g. 0.05 for +5%.
+    pub fn gain(&self) -> f64 {
+        self.average_batch_throughput - 1.0
+    }
+}
+
+/// The fleet simulator. Construction measures the per-server peak rate on
+/// the fleet at its colocated baseline operating point (see
+/// [`measured_peak_rps`]); [`Fleet::run`] replays a 24-hour day.
+#[derive(Debug, Clone)]
+pub struct Fleet {
+    cfg: FleetConfig,
+    peak_rps: f64,
+}
+
+impl Fleet {
+    /// Builds a fleet, validating the configuration and measuring the
+    /// per-server peak sustainable rate (as [`measured_peak_rps`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(cfg: FleetConfig) -> Fleet {
+        cfg.validate().expect("invalid fleet configuration");
+        let peak_rps = measured_peak_rps(&cfg);
+        Fleet { cfg, peak_rps }
+    }
+
+    /// Builds a fleet around an already-measured per-server peak (from
+    /// [`measured_peak_rps`]), skipping the bisection — the peak does not
+    /// depend on `cfg.monitor`, so callers that calibrate thresholds first
+    /// reuse one measurement for both.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or the peak is not positive.
+    pub fn with_peak(cfg: FleetConfig, peak_rps: f64) -> Fleet {
+        cfg.validate().expect("invalid fleet configuration");
+        assert!(peak_rps > 0.0, "peak rate must be positive");
+        Fleet { cfg, peak_rps }
+    }
+
+    /// The configuration this fleet runs.
+    pub fn cfg(&self) -> &FleetConfig {
+        &self.cfg
+    }
+
+    /// Per-server peak sustainable arrival rate (requests/second), measured
+    /// at the colocated baseline operating point; the fleet peak is
+    /// `servers` times this.
+    pub fn peak_rps(&self) -> f64 {
+        self.peak_rps
+    }
+
+    /// Runs the 24-hour fleet simulation.
+    pub fn run(&self) -> FleetReport {
+        let cfg = &self.cfg;
+        let n = cfg.servers;
+        let spec = &cfg.service;
+        let steps = cfg.intervals();
+        let metric_percentile = spec.tail_metric.percentile();
+
+        let mut state = DispatchState::new(cfg, cfg.seed);
+        let mut controllers: Vec<ClosedLoopStretch> =
+            (0..n).map(|_| ClosedLoopStretch::new(cfg.stretch, cfg.monitor)).collect();
+
+        let mut day_stats: Vec<Percentiles> = vec![Percentiles::new(); n];
+        let mut engaged_counts = vec![0usize; n];
+        let mut intervals = Vec::with_capacity(steps);
+        let mut throughput_sum = 0.0;
+        let mut engaged_total = 0usize;
+        let mut violations = 0usize;
+        let mut fleet_stats = Percentiles::new();
+
+        for t in 0..steps {
+            let hour = (t as f64 * cfg.interval_hours) % 24.0;
+            let load = cfg.pattern.load_at(hour);
+            let rate = (load * n as f64 * self.peak_rps).max(1e-3);
+
+            // Mode for the interval is whatever each monitor decided from
+            // the *previous* interval's measurement (control acts on
+            // history, as on real hardware).
+            let modes: Vec<_> = controllers.iter().map(|c| c.mode()).collect();
+            let slowdowns: Vec<f64> = modes
+                .iter()
+                .map(|m| spec.slowdown(cfg.table.for_mode(*m).ls_performance.clamp(0.05, 1.0)))
+                .collect();
+            let engaged = modes.iter().filter(|m| m.is_batch_boost()).count();
+            engaged_total += engaged;
+            for (s, m) in modes.iter().enumerate() {
+                if m.is_batch_boost() {
+                    engaged_counts[s] += 1;
+                }
+            }
+            let interval_throughput =
+                modes.iter().map(|m| cfg.table.for_mode(*m).batch_speedup).sum::<f64>() / n as f64;
+            throughput_sum += interval_throughput;
+
+            let (per_server, interval_fleet) =
+                run_interval(cfg, &mut state, rate, &slowdowns, t as u64);
+
+            // Every server observes its own tail from its own requests and
+            // feeds its monitor through the policy trait.
+            for (s, controller) in controllers.iter_mut().enumerate() {
+                let tail = per_server[s].percentile(metric_percentile).unwrap_or(0.0);
+                if tail > spec.qos_target_ms {
+                    violations += 1;
+                }
+                day_stats[s].extend(per_server[s].samples().iter().copied());
+                let _ = controller.on_sample(&QosObservation::tail_latency(
+                    tail,
+                    spec.qos_target_ms,
+                    load,
+                ));
+            }
+            fleet_stats.extend(interval_fleet.samples().iter().copied());
+
+            intervals.push(FleetIntervalReport {
+                hour,
+                load,
+                engaged_servers: engaged,
+                p99_ms: interval_fleet.p99().unwrap_or(0.0),
+                batch_throughput: interval_throughput,
+            });
+        }
+
+        let servers: Vec<ServerSummary> = (0..n)
+            .map(|s| ServerSummary {
+                engaged_intervals: engaged_counts[s],
+                p99_ms: day_stats[s].p99().unwrap_or(0.0),
+                requests: day_stats[s].len(),
+                mode_changes: controllers[s].mode_changes(),
+                throttle_events: controllers[s].throttle_events(),
+            })
+            .collect();
+        let server_intervals = (n * steps) as f64;
+        FleetReport {
+            intervals,
+            servers,
+            average_batch_throughput: throughput_sum / steps as f64,
+            fraction_engaged: engaged_total as f64 / server_intervals,
+            hours_engaged: engaged_total as f64 / n as f64 * cfg.interval_hours,
+            violation_fraction: violations as f64 / server_intervals,
+            p50_ms: fleet_stats.percentile(50.0).unwrap_or(0.0),
+            p95_ms: fleet_stats.p95().unwrap_or(0.0),
+            p99_ms: fleet_stats.p99().unwrap_or(0.0),
+            requests: fleet_stats.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CaseStudy;
+
+    fn quick_fleet(balancer: LoadBalancer) -> FleetConfig {
+        CaseStudy::web_search().fleet_config(balancer, FleetScale::quick(7))
+    }
+
+    #[test]
+    fn fixed_seed_runs_are_bit_identical() {
+        let cfg = quick_fleet(LoadBalancer::PowerOfTwoChoices);
+        let a = Fleet::new(cfg.clone()).run();
+        let b = Fleet::new(cfg).run();
+        assert_eq!(a, b, "same seed and config must reproduce the identical report");
+        assert_eq!(a.p99_ms.to_bits(), b.p99_ms.to_bits());
+    }
+
+    #[test]
+    fn server_seeds_are_pairwise_distinct_and_stable() {
+        let mut seen = std::collections::HashSet::new();
+        for s in 0..64 {
+            assert!(seen.insert(server_seed(42, s)), "server {s} repeats another server's seed");
+        }
+        // Stable across calls and independent of fleet size by construction.
+        assert_eq!(server_seed(42, 3), server_seed(42, 3));
+        assert_ne!(server_seed(42, 3), server_seed(43, 3));
+    }
+
+    #[test]
+    fn engagement_tracks_the_diurnal_trough() {
+        let report = Fleet::new(quick_fleet(LoadBalancer::LeastLoaded)).run();
+        // Night intervals (deep trough) must be almost fully engaged, the
+        // daily peak (almost) fully disengaged. Skip the first two intervals:
+        // the controllers start in Baseline and need the hysteresis streak.
+        let trough: Vec<f64> = report
+            .intervals
+            .iter()
+            .skip(2)
+            .filter(|iv| iv.load < 0.6)
+            .map(|iv| iv.engaged_servers as f64 / report.servers.len() as f64)
+            .collect();
+        let trough_avg = trough.iter().sum::<f64>() / trough.len() as f64;
+        assert!(trough_avg > 0.8, "trough engagement {trough_avg:.2} should be near 1");
+        let peak: Vec<f64> = report
+            .intervals
+            .iter()
+            .filter(|iv| iv.load > 0.97)
+            .map(|iv| iv.engaged_servers as f64 / report.servers.len() as f64)
+            .collect();
+        let peak_avg = peak.iter().sum::<f64>() / peak.len() as f64;
+        assert!(peak_avg < 0.1, "peak engagement {peak_avg:.2} should be near 0");
+        assert!(report.gain() > 0.0, "a diurnal day must buy some batch throughput");
+    }
+
+    #[test]
+    fn every_balancer_produces_a_sane_measured_day() {
+        for balancer in LoadBalancer::ALL {
+            let report = Fleet::new(quick_fleet(balancer)).run();
+            assert_eq!(report.intervals.len(), 96);
+            assert_eq!(report.servers.len(), 8);
+            assert!(report.requests > 0);
+            assert!(report.p50_ms <= report.p95_ms && report.p95_ms <= report.p99_ms);
+            assert!(
+                report.gain() > 0.0 && report.gain() < 0.11,
+                "{balancer}: gain {:.3} outside the plausible band",
+                report.gain()
+            );
+            for s in &report.servers {
+                assert!(s.requests > 0, "{balancer}: an idle server got no traffic");
+            }
+        }
+    }
+
+    #[test]
+    fn better_balancers_tame_the_tail() {
+        // Round-robin ignores queue state, so its fleet-wide p99 must not
+        // beat the queue-aware dispatchers.
+        let rr = Fleet::new(quick_fleet(LoadBalancer::RoundRobin)).run();
+        let ll = Fleet::new(quick_fleet(LoadBalancer::LeastLoaded)).run();
+        let p2c = Fleet::new(quick_fleet(LoadBalancer::PowerOfTwoChoices)).run();
+        assert!(
+            ll.p99_ms <= rr.p99_ms,
+            "least-loaded p99 {:.1} must not exceed round-robin {:.1}",
+            ll.p99_ms,
+            rr.p99_ms
+        );
+        assert!(
+            p2c.p99_ms <= rr.p99_ms * 1.05,
+            "power-of-two p99 {:.1} should be near least-loaded, not round-robin {:.1}",
+            p2c.p99_ms,
+            rr.p99_ms
+        );
+    }
+
+    #[test]
+    fn interval_count_and_engagement_accounting_are_consistent() {
+        let report = Fleet::new(quick_fleet(LoadBalancer::LeastLoaded)).run();
+        let engaged_total: usize = report.intervals.iter().map(|iv| iv.engaged_servers).sum();
+        let per_server_total: usize = report.servers.iter().map(|s| s.engaged_intervals).sum();
+        assert_eq!(engaged_total, per_server_total);
+        let expected_fraction =
+            engaged_total as f64 / (report.intervals.len() * report.servers.len()) as f64;
+        assert!((report.fraction_engaged - expected_fraction).abs() < 1e-12);
+        assert!((report.hours_engaged - report.fraction_engaged * 24.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fleet configuration")]
+    fn zero_servers_rejected() {
+        let mut cfg = quick_fleet(LoadBalancer::RoundRobin);
+        cfg.servers = 0;
+        let _ = Fleet::new(cfg);
+    }
+
+    #[test]
+    fn non_divisor_control_interval_rejected() {
+        let mut cfg = quick_fleet(LoadBalancer::RoundRobin);
+        cfg.interval_hours = 0.9; // 26.67 intervals would overrun the day
+        assert!(cfg.validate().is_err());
+        cfg.interval_hours = 0.5;
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot resolve a tail percentile")]
+    fn starved_measurement_budget_rejected() {
+        let mut cfg = quick_fleet(LoadBalancer::RoundRobin);
+        cfg.requests_per_server = 5;
+        cfg.validate().map_err(|e| panic!("invalid fleet configuration: {e}")).unwrap();
+    }
+
+    #[test]
+    fn calibrated_thresholds_are_ordered_and_in_range() {
+        let cfg = quick_fleet(LoadBalancer::RoundRobin);
+        match cfg.monitor.policy {
+            QosPolicy::TailLatency { engage_below, disengage_above } => {
+                assert!(engage_below > 0.0);
+                assert!(engage_below < disengage_above);
+                assert!(disengage_above <= 1.45);
+            }
+            other => panic!("calibration must produce a tail-latency policy, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fleet_config_canonical_keys_separate_every_knob() {
+        let digest = |cfg: &FleetConfig| {
+            let mut enc = KeyEncoder::new();
+            cfg.encode_key(&mut enc);
+            enc.digest()
+        };
+        let base = quick_fleet(LoadBalancer::LeastLoaded);
+        let mut variants = vec![base.clone()];
+        let mut v = base.clone();
+        v.balancer = LoadBalancer::RoundRobin;
+        variants.push(v);
+        let mut v = base.clone();
+        v.servers += 1;
+        variants.push(v);
+        let mut v = base.clone();
+        v.seed ^= 1;
+        variants.push(v);
+        let mut v = base.clone();
+        v.table.b_mode.batch_speedup += 0.01;
+        variants.push(v);
+        let digests: Vec<String> = variants.iter().map(digest).collect();
+        for (i, a) in digests.iter().enumerate() {
+            for (j, b) in digests.iter().enumerate().skip(i + 1) {
+                assert_ne!(a, b, "variants {i} and {j} must have distinct cache identities");
+            }
+        }
+        assert_eq!(digest(&base), digests[0], "identity must be stable");
+    }
+}

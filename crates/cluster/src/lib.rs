@@ -1,4 +1,5 @@
-//! Cluster-level impact model (§VI-D, Figure 14).
+//! Cluster-level impact of Stretch (§VI-D, Figure 14) — analytical *and*
+//! measured.
 //!
 //! The paper closes with two deployment case studies: a Web Search cluster
 //! whose load stays below 85% of peak for about 11 hours a day, and a
@@ -7,17 +8,32 @@
 //! jobs run ~11–13% faster; averaged over 24 hours this yields ~5% and ~11%
 //! cluster throughput gains respectively.
 //!
-//! * [`diurnal`] — parametric diurnal load curves matching the shapes of
-//!   Figure 14 (taken from Meisner et al. and Gill et al.).
-//! * [`case_study`] — the throughput accounting that turns "hours below the
-//!   engagement threshold" plus "B-mode batch speedup" into a 24-hour
-//!   cluster gain.
+//! This crate reproduces those numbers twice, by two independent routes:
+//!
+//! * [`case_study`] — the paper's own *accounting*: hours below the
+//!   engagement threshold × B-mode batch speedup
+//!   ([`CaseStudy`], the analytical cross-check).
+//! * [`fleet`] — a *measured* datacenter run: [`Fleet`] simulates N servers
+//!   behind a pluggable [`LoadBalancer`], each running a
+//!   [`stretch::ClosedLoopStretch`] mode controller fed by the tail latency
+//!   of its own requests, under a diurnal-modulated open-loop arrival
+//!   stream. Engagement is decided by measurement and hysteresis, the fleet
+//!   reports measured tail percentiles, and the resulting 24-hour batch
+//!   gain lands within two percentage points of the accounting
+//!   (`tests/fleet.rs` pins this).
+//! * [`diurnal`] — the parametric diurnal load curves of Figure 14 shared
+//!   by both routes (shapes from Meisner et al. and Gill et al.).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod case_study;
 pub mod diurnal;
+pub mod fleet;
 
 pub use case_study::{CaseStudy, CaseStudyReport};
-pub use diurnal::{DiurnalPattern, LoadSample};
+pub use diurnal::{day_steps, DiurnalPattern, LoadSample};
+pub use fleet::{
+    calibrated_monitor, calibrated_monitor_with_peak, measured_peak_rps, server_seed, Fleet,
+    FleetConfig, FleetIntervalReport, FleetReport, FleetScale, LoadBalancer, ServerSummary,
+};

@@ -8,7 +8,7 @@
 //! bursty state; a plain Poisson process is also available.
 
 use serde::{Deserialize, Serialize};
-use sim_model::SimRng;
+use sim_model::{CanonicalKey, KeyEncoder, SimRng};
 
 /// An open-loop arrival process generating inter-arrival gaps (milliseconds).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -42,6 +42,37 @@ impl ArrivalProcess {
         ArrivalProcess::Bursty { rate_rps, burst_prob: 0.08, burst_factor: 8.0, burst_length: 12.0 }
     }
 
+    /// Validates the process parameters.
+    ///
+    /// A non-positive (or non-finite) rate would hang the generator's clock;
+    /// a `burst_factor` below 1 would make "bursts" *slower* than the calm
+    /// stream and push the rate correction negative; a burst probability
+    /// outside `[0, 1]` or a burst length below 1 silently degenerates.
+    /// These used to surface as NaN timestamps or an unbounded simulation —
+    /// now they are rejected at construction time.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistent parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        let rate = self.rate_rps();
+        if !(rate > 0.0 && rate.is_finite()) {
+            return Err(format!("arrival rate {rate} must be positive and finite"));
+        }
+        if let ArrivalProcess::Bursty { burst_prob, burst_factor, burst_length, .. } = *self {
+            if !(0.0..=1.0).contains(&burst_prob) {
+                return Err(format!("burst probability {burst_prob} must be in [0, 1]"));
+            }
+            if !(burst_factor >= 1.0 && burst_factor.is_finite()) {
+                return Err(format!("burst factor {burst_factor} must be >= 1 and finite"));
+            }
+            if !(burst_length >= 1.0 && burst_length.is_finite()) {
+                return Err(format!("burst length {burst_length} must be >= 1 and finite"));
+            }
+        }
+        Ok(())
+    }
+
     /// Average arrival rate in requests per second.
     pub fn rate_rps(&self) -> f64 {
         match self {
@@ -71,14 +102,27 @@ pub struct ArrivalGenerator {
     burst_remaining: u64,
 }
 
+impl CanonicalKey for ArrivalProcess {
+    fn encode_key(&self, enc: &mut KeyEncoder) {
+        match *self {
+            ArrivalProcess::Poisson { rate_rps } => {
+                enc.tag(0).f64(rate_rps);
+            }
+            ArrivalProcess::Bursty { rate_rps, burst_prob, burst_factor, burst_length } => {
+                enc.tag(1).f64(rate_rps).f64(burst_prob).f64(burst_factor).f64(burst_length);
+            }
+        }
+    }
+}
+
 impl ArrivalGenerator {
     /// Creates a generator.
     ///
     /// # Panics
     ///
-    /// Panics if the average rate is not positive.
+    /// Panics if [`ArrivalProcess::validate`] rejects the process.
     pub fn new(process: ArrivalProcess, rng: SimRng) -> ArrivalGenerator {
-        assert!(process.rate_rps() > 0.0, "arrival rate must be positive");
+        process.validate().expect("invalid arrival process");
         ArrivalGenerator { process, rng, now_ms: 0.0, burst_remaining: 0 }
     }
 
@@ -167,5 +211,70 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_rate_rejected() {
         let _ = ArrivalGenerator::new(ArrivalProcess::Poisson { rate_rps: 0.0 }, SimRng::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "burst factor")]
+    fn sub_unit_burst_factor_rejected() {
+        // A burst factor below 1 would make the calm-gap correction negative
+        // (silent NaN timestamps before validation existed).
+        let p = ArrivalProcess::Bursty {
+            rate_rps: 100.0,
+            burst_prob: 0.1,
+            burst_factor: 0.5,
+            burst_length: 8.0,
+        };
+        let _ = ArrivalGenerator::new(p, SimRng::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "burst probability")]
+    fn out_of_range_burst_probability_rejected() {
+        let p = ArrivalProcess::Bursty {
+            rate_rps: 100.0,
+            burst_prob: 1.5,
+            burst_factor: 8.0,
+            burst_length: 8.0,
+        };
+        let _ = ArrivalGenerator::new(p, SimRng::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_rate_rejected() {
+        let _ =
+            ArrivalGenerator::new(ArrivalProcess::Poisson { rate_rps: f64::NAN }, SimRng::new(1));
+    }
+
+    #[test]
+    fn default_processes_validate() {
+        assert!(ArrivalProcess::bursty(100.0).validate().is_ok());
+        assert!(ArrivalProcess::Poisson { rate_rps: 1.0 }.validate().is_ok());
+        assert!(
+            ArrivalProcess::Bursty {
+                rate_rps: 100.0,
+                burst_prob: 0.1,
+                burst_factor: 8.0,
+                burst_length: 0.5,
+            }
+            .validate()
+            .is_err(),
+            "burst length below one request must be rejected"
+        );
+    }
+
+    #[test]
+    fn canonical_keys_distinguish_shape_and_rate() {
+        use sim_model::KeyEncoder;
+        let digest = |p: &ArrivalProcess| {
+            let mut enc = KeyEncoder::new();
+            p.encode_key(&mut enc);
+            enc.digest()
+        };
+        let poisson = ArrivalProcess::Poisson { rate_rps: 100.0 };
+        let bursty = ArrivalProcess::bursty(100.0);
+        assert_ne!(digest(&poisson), digest(&bursty));
+        assert_ne!(digest(&bursty), digest(&ArrivalProcess::bursty(200.0)));
+        assert_eq!(digest(&bursty), digest(&ArrivalProcess::bursty(100.0)));
     }
 }

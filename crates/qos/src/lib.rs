@@ -15,11 +15,20 @@
 //! B-mode trades away.
 //!
 //! * [`service::ServiceSpec`] — the four latency-sensitive services of
-//!   Table I (QoS target, tail metric, service-time distribution).
-//! * [`arrival`] — Poisson and bursty (two-state MMPP) open-loop arrivals.
+//!   Table I (QoS target, tail metric, service-time distribution, and the
+//!   [`service::ServiceSpec::slowdown`] mapping from delivered performance
+//!   to service-time stretch shared with the fleet simulation).
+//! * [`arrival`] — Poisson and bursty (two-state MMPP) open-loop arrivals,
+//!   validated at construction ([`arrival::ArrivalProcess::validate`]).
 //! * [`server::ServerSim`] — FCFS multi-worker queue, percentile collection.
 //! * [`sweep`] — latency-versus-load curves (Figure 1).
 //! * [`slack`] — minimum performance meeting QoS per load level (Figure 2).
+//!
+//! The `cluster_sim` crate scales this single-server model to a datacenter:
+//! its fleet simulation dispatches one arrival stream over N servers whose
+//! per-request queueing follows the same FCFS/worker mechanics modelled
+//! here, and calibrates Stretch's engagement thresholds from the tails the
+//! queueing model produces.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,7 +39,7 @@ pub mod service;
 pub mod slack;
 pub mod sweep;
 
-pub use arrival::ArrivalProcess;
+pub use arrival::{ArrivalGenerator, ArrivalProcess};
 pub use server::{LatencySummary, ServerSim, SimParams};
 pub use service::{ServiceSpec, TailMetric};
 pub use slack::{slack_curve, SlackPoint};

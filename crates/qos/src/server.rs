@@ -113,9 +113,10 @@ impl ServerSim {
     ///
     /// # Panics
     ///
-    /// Panics if the service specification is invalid.
+    /// Panics if the service specification or the arrival process is invalid.
     pub fn new(spec: ServiceSpec, arrivals: ArrivalProcess) -> ServerSim {
         spec.validate().expect("invalid service spec");
+        arrivals.validate().expect("invalid arrival process");
         ServerSim { spec, arrivals }
     }
 
@@ -130,11 +131,7 @@ impl ServerSim {
     /// how the paper establishes each service's peak load empirically.
     pub fn find_peak_load_rps(&self, params: SimParams) -> f64 {
         // Upper bound: the no-queueing throughput of all workers.
-        let slowdown =
-            self.spec.cpu_fraction / params.performance_fraction + (1.0 - self.spec.cpu_fraction);
-        let mean_service_ms = self.spec.service_median_ms
-            * (self.spec.service_sigma * self.spec.service_sigma / 2.0).exp()
-            * slowdown;
+        let mean_service_ms = self.spec.mean_service_ms(params.performance_fraction);
         let capacity_rps = self.spec.workers as f64 * 1000.0 / mean_service_ms;
         let mut lo = capacity_rps * 0.05;
         let mut hi = capacity_rps;
@@ -169,8 +166,7 @@ impl ServerSim {
         let mut arrivals = ArrivalGenerator::new(self.arrivals.with_rate(rate_rps), arrival_rng);
         // Only the CPU-bound portion of the service time stretches when the
         // core delivers less single-thread performance.
-        let slowdown =
-            self.spec.cpu_fraction / params.performance_fraction + (1.0 - self.spec.cpu_fraction);
+        let slowdown = self.spec.slowdown(params.performance_fraction);
         let mut service = ServiceTimes {
             rng: service_rng,
             median_ms: self.spec.service_median_ms * slowdown,

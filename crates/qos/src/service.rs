@@ -144,21 +144,60 @@ impl ServiceSpec {
         ServiceSpec::all().into_iter().find(|s| s.name == name)
     }
 
+    /// The factor by which a request's service time stretches when the core
+    /// delivers only `performance_fraction` of full single-thread
+    /// performance: only the CPU-bound portion of the service time scales,
+    /// the rest (I/O, network, lock waits) is unaffected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `performance_fraction` is not in `(0, 1]`.
+    pub fn slowdown(&self, performance_fraction: f64) -> f64 {
+        assert!(
+            performance_fraction > 0.0 && performance_fraction <= 1.0,
+            "{}: performance fraction {performance_fraction} must be in (0, 1]",
+            self.name
+        );
+        self.cpu_fraction / performance_fraction + (1.0 - self.cpu_fraction)
+    }
+
+    /// Mean per-request service time (ms) at the given delivered
+    /// performance: the log-normal mean `median · exp(σ²/2)` scaled by
+    /// [`ServiceSpec::slowdown`]. This is the quantity capacity ceilings are
+    /// computed from (a server's no-queueing throughput is
+    /// `workers / mean`), shared by the single-server peak finder and the
+    /// fleet's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `performance_fraction` is not in `(0, 1]`.
+    pub fn mean_service_ms(&self, performance_fraction: f64) -> f64 {
+        self.service_median_ms
+            * (self.service_sigma * self.service_sigma / 2.0).exp()
+            * self.slowdown(performance_fraction)
+    }
+
     /// Validates the specification.
     ///
     /// # Errors
     ///
-    /// Returns a description of the first inconsistency (non-positive times,
-    /// zero workers, or a target below the bare service median).
+    /// Returns a description of the first inconsistency (non-positive or
+    /// non-finite times, zero workers, or a target below the bare service
+    /// median). The comparisons are written so NaN parameters fail too
+    /// instead of slipping through and poisoning every percentile.
     pub fn validate(&self) -> Result<(), String> {
-        if self.qos_target_ms <= 0.0 || self.service_median_ms <= 0.0 {
-            return Err(format!("{}: latencies must be positive", self.name));
+        if !(self.qos_target_ms > 0.0
+            && self.qos_target_ms.is_finite()
+            && self.service_median_ms > 0.0
+            && self.service_median_ms.is_finite())
+        {
+            return Err(format!("{}: latencies must be positive and finite", self.name));
         }
         if self.workers == 0 {
             return Err(format!("{}: need at least one worker", self.name));
         }
-        if self.service_sigma < 0.0 {
-            return Err(format!("{}: sigma must be non-negative", self.name));
+        if !(self.service_sigma >= 0.0 && self.service_sigma.is_finite()) {
+            return Err(format!("{}: sigma must be non-negative and finite", self.name));
         }
         if !(self.cpu_fraction > 0.0 && self.cpu_fraction <= 1.0) {
             return Err(format!(
@@ -216,6 +255,36 @@ mod tests {
         let mut s = ServiceSpec::web_search();
         s.service_median_ms = 200.0;
         assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn nan_parameters_no_longer_slip_through_validation() {
+        for field in 0..3 {
+            let mut s = ServiceSpec::web_search();
+            match field {
+                0 => s.qos_target_ms = f64::NAN,
+                1 => s.service_median_ms = f64::NAN,
+                _ => s.service_sigma = f64::NAN,
+            }
+            assert!(s.validate().is_err(), "NaN field {field} must be rejected");
+        }
+        let mut s = ServiceSpec::web_search();
+        s.service_median_ms = f64::INFINITY;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn slowdown_scales_only_the_cpu_bound_fraction() {
+        let s = ServiceSpec::web_search(); // cpu_fraction 0.5
+        assert!((s.slowdown(1.0) - 1.0).abs() < 1e-12);
+        // Halving performance doubles the CPU part: 0.5*2 + 0.5 = 1.5.
+        assert!((s.slowdown(0.5) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "performance fraction")]
+    fn slowdown_rejects_zero_performance() {
+        let _ = ServiceSpec::web_search().slowdown(0.0);
     }
 
     #[test]

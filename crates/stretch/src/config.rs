@@ -217,6 +217,12 @@ impl StretchConfig {
     }
 }
 
+impl CanonicalKey for StretchConfig {
+    fn encode_key(&self, enc: &mut KeyEncoder) {
+        enc.field(&self.b_mode).field(&self.q_mode);
+    }
+}
+
 impl Default for StretchConfig {
     fn default() -> StretchConfig {
         StretchConfig::recommended()

@@ -17,6 +17,7 @@
 
 use crate::config::{StretchConfig, StretchMode};
 use serde::{Deserialize, Serialize};
+use sim_model::{CanonicalKey, KeyEncoder};
 
 /// Which QoS signal the monitor consumes.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -85,6 +86,19 @@ impl QosPolicy {
     }
 }
 
+impl CanonicalKey for QosPolicy {
+    fn encode_key(&self, enc: &mut KeyEncoder) {
+        match *self {
+            QosPolicy::TailLatency { engage_below, disengage_above } => {
+                enc.tag(0).f64(engage_below).f64(disengage_above);
+            }
+            QosPolicy::QueueLength { engage_at_or_below, disengage_above } => {
+                enc.tag(1).usize(engage_at_or_below).usize(disengage_above);
+            }
+        }
+    }
+}
+
 /// Monitor tuning knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MonitorConfig {
@@ -96,6 +110,12 @@ pub struct MonitorConfig {
     /// Consecutive QoS violations (metric above the target itself) tolerated
     /// before the monitor escalates to throttling the co-runner.
     pub violations_before_throttle: usize,
+}
+
+impl CanonicalKey for MonitorConfig {
+    fn encode_key(&self, enc: &mut KeyEncoder) {
+        enc.field(&self.policy).usize(self.engage_after).usize(self.violations_before_throttle);
+    }
 }
 
 impl Default for MonitorConfig {

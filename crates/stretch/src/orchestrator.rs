@@ -21,9 +21,9 @@ use crate::config::{StretchConfig, StretchMode};
 use crate::monitor::MonitorConfig;
 use crate::policy::{ClosedLoopStretch, PinnedStretch};
 use cpu_sim::{ColocationPolicy, PolicyAction, QosObservation, Scenario, SimLength};
-use qos::{ArrivalProcess, ServerSim, ServiceSpec, SimParams};
 use serde::{Deserialize, Serialize};
-use sim_model::ThreadId;
+use sim_model::{CanonicalKey, KeyEncoder, ThreadId};
+use sim_qos::{ArrivalProcess, ServerSim, ServiceSpec, SimParams};
 
 /// Performance of one Stretch mode relative to a stand-alone full core (for
 /// the latency-sensitive thread) and to the baseline SMT partitioning (for
@@ -54,6 +54,12 @@ impl ModePerformance {
                 ModePerformance { ls_performance: 0.93, batch_speedup: 0.79 }
             }
         }
+    }
+}
+
+impl CanonicalKey for ModePerformance {
+    fn encode_key(&self, enc: &mut KeyEncoder) {
+        enc.f64(self.ls_performance).f64(self.batch_speedup);
     }
 }
 
@@ -138,6 +144,12 @@ impl PerformanceTable {
             b_mode: mode_perf(pair(stretch.low_load_mode())),
             q_mode: mode_perf(pair(stretch.high_load_mode())),
         }
+    }
+}
+
+impl CanonicalKey for PerformanceTable {
+    fn encode_key(&self, enc: &mut KeyEncoder) {
+        enc.field(&self.baseline).field(&self.b_mode).field(&self.q_mode);
     }
 }
 

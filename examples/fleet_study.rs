@@ -1,0 +1,72 @@
+//! Fleet study: the §VI-D cluster case studies *measured* by a
+//! load-balanced datacenter simulation instead of reproduced by accounting.
+//!
+//! A `Fleet` is N servers, each an SMT core pair whose Stretch mode is
+//! picked by its own closed-loop monitor from the tail latency of its own
+//! requests; one diurnal-modulated open-loop arrival stream feeds the fleet
+//! through a pluggable load balancer. The analytical `CaseStudy` numbers
+//! are printed alongside as the cross-check.
+//!
+//! Run with: `cargo run --release --example fleet_study`
+
+use stretch_repro::cluster::{CaseStudy, FleetScale, LoadBalancer};
+
+fn main() {
+    let scale = FleetScale::quick(42);
+    println!(
+        "Fleet: {} servers, {} measured requests per server-interval, seed {}",
+        scale.servers, scale.requests_per_server, scale.seed
+    );
+    println!();
+
+    for (name, study) in
+        [("Web Search cluster", CaseStudy::web_search()), ("YouTube cluster", CaseStudy::youtube())]
+    {
+        let analytical = study.run();
+        println!("{name} (paper: {})", if name.starts_with("Web") { "+5%" } else { "+11%" });
+        println!(
+            "  analytical accounting: engaged {:>4.1} h/day -> {:+.1}% 24-hour batch throughput",
+            analytical.hours_engaged,
+            analytical.gain() * 100.0
+        );
+        for balancer in LoadBalancer::ALL {
+            // `CaseStudy::fleet` measures the peak once and reuses it for
+            // both the threshold calibration and the day's run.
+            let report = study.fleet(balancer, scale).run();
+            println!(
+                "  measured, {:<22}  engaged {:>4.1} h/day -> {:+.1}%   \
+                 p50 {:>4.0} ms  p99 {:>5.0} ms  violations {:>4.1}%",
+                format!("{balancer}:"),
+                report.hours_engaged,
+                report.gain() * 100.0,
+                report.p50_ms,
+                report.p99_ms,
+                report.violation_fraction * 100.0
+            );
+        }
+        println!();
+    }
+
+    // A peek at the control loop itself: one measured day, hour by hour.
+    let study = CaseStudy::web_search();
+    let report = study.run_fleet(LoadBalancer::PowerOfTwoChoices, scale);
+    println!("Web Search day under power-of-two-choices dispatch (every 2 hours):");
+    println!("  hour   load   engaged servers   interval p99");
+    for iv in report.intervals.iter().step_by(8) {
+        println!(
+            "  {:>4.0}   {:>3.0}%   {:>7} of {}      {:>6.1} ms",
+            iv.hour,
+            iv.load * 100.0,
+            iv.engaged_servers,
+            report.servers.len(),
+            iv.p99_ms
+        );
+    }
+    let changes: u64 = report.servers.iter().map(|s| s.mode_changes).sum();
+    println!();
+    println!(
+        "{} requests measured; {} mode changes across the fleet; every engagement was a \
+         measured decision.",
+        report.requests, changes
+    );
+}

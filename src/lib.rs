@@ -19,16 +19,18 @@
 //! * [`workloads`] — synthetic latency-sensitive and batch workload generators.
 //! * [`stretch`] — the paper's contribution: asymmetric ROB/LSQ partitioning,
 //!   the architectural control register and the software QoS monitor.
-//! * [`qos`] — request-level queueing simulation, latency percentiles, slack analysis.
+//! * [`qos`] — request-level queueing simulation, latency percentiles, slack
+//!   analysis (package `sim_qos`).
 //! * [`baselines`] — fetch throttling, dynamic sharing, ideal software scheduling, Elfen.
-//! * [`cluster`] — diurnal load models and cluster-level case studies.
+//! * [`cluster`] — diurnal load models, the analytical cluster case studies
+//!   and the measured load-balanced fleet simulation (package `cluster_sim`).
 
 pub use baselines;
-pub use cluster;
+pub use cluster_sim as cluster;
 pub use cpu_sim as cpu;
 pub use mem_sim as mem;
-pub use qos;
 pub use sim_model as model;
+pub use sim_qos as qos;
 pub use sim_stats as stats;
 pub use stretch;
 pub use workloads;
@@ -38,6 +40,7 @@ pub mod prelude {
     pub use baselines::{
         DynamicSharing, Elfen, FetchThrottling, HybridThrottleSkew, IdealScheduling,
     };
+    pub use cluster_sim::{CaseStudy, Fleet, FleetConfig, FleetScale, LoadBalancer};
     pub use cpu_sim::{
         ColocationPolicy, ColocationResult, CoreSetup, EqualPartition, PrivateCore, Scenario,
         SimLength, SmtCore, SmtCoreBuilder,

@@ -1,0 +1,147 @@
+//! Integration tests for the measured fleet simulation: determinism,
+//! per-server stream independence, warm-cache fleet cells through the
+//! engine, and agreement between the measured and analytical §VI-D cluster
+//! case studies.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use stretch_bench::{Engine, ExperimentConfig};
+use stretch_repro::cluster::{server_seed, CaseStudy, Fleet, FleetScale, LoadBalancer};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let unique = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("stretch-fleet-{tag}-{}-{unique}", std::process::id()))
+}
+
+#[test]
+fn same_seed_fleet_runs_are_bit_identical() {
+    let cfg = CaseStudy::web_search().fleet_config(LoadBalancer::LeastLoaded, FleetScale::quick(3));
+    let a = Fleet::new(cfg.clone()).run();
+    let b = Fleet::new(cfg).run();
+    assert_eq!(a, b, "identical config and seed must reproduce the identical report");
+    // Bit-exact on the floats, not just approximately equal: the simulator
+    // uses no platform-dependent arithmetic, so cross-process runs pin too
+    // (tests/golden_parity.rs holds the cross-process fixture).
+    assert_eq!(a.p99_ms.to_bits(), b.p99_ms.to_bits());
+    assert_eq!(a.average_batch_throughput.to_bits(), b.average_batch_throughput.to_bits());
+    for (x, y) in a.servers.iter().zip(&b.servers) {
+        assert_eq!(x.p99_ms.to_bits(), y.p99_ms.to_bits());
+    }
+}
+
+#[test]
+fn per_server_streams_are_independent() {
+    // Seed derivation: pairwise distinct, stable, and a function of (fleet
+    // seed, server index) only — growing the fleet never re-seeds the
+    // existing servers, which is what "no shared-RNG coupling" means here.
+    let mut seen = std::collections::HashSet::new();
+    for s in 0..256 {
+        assert!(seen.insert(server_seed(99, s)), "server {s} shares another server's stream");
+    }
+    for s in 0..8 {
+        assert_eq!(server_seed(99, s), server_seed(99, s));
+    }
+
+    // Behavioural check: under round-robin every server sees statistically
+    // identical traffic, so only the private service-time streams separate
+    // them — their measured tails must not collapse onto one value.
+    let cfg = CaseStudy::web_search().fleet_config(LoadBalancer::RoundRobin, FleetScale::quick(5));
+    let report = Fleet::new(cfg).run();
+    let p99s: Vec<u64> = report.servers.iter().map(|s| s.p99_ms.to_bits()).collect();
+    let distinct: std::collections::HashSet<&u64> = p99s.iter().collect();
+    assert!(
+        distinct.len() == p99s.len(),
+        "every server must draw its own service times (p99s: {:?})",
+        report.servers.iter().map(|s| s.p99_ms).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn warm_engine_rerun_of_a_fleet_study_is_pure_cache_hits() {
+    let dir = temp_dir("warm");
+    let study = CaseStudy::web_search();
+    let scale = FleetScale::quick(11);
+
+    let cold = Engine::new(ExperimentConfig::quick()).with_store(&dir).expect("store opens");
+    let first = cold.fleet_study(&study, LoadBalancer::PowerOfTwoChoices, scale);
+    assert_eq!(cold.sim_runs(), 1, "cold fleet study must simulate exactly once");
+
+    let warm = Engine::new(ExperimentConfig::quick()).with_store(&dir).expect("store opens");
+    let second = warm.fleet_study(&study, LoadBalancer::PowerOfTwoChoices, scale);
+    assert_eq!(warm.sim_runs(), 0, "warm rerun must perform zero simulations");
+    assert!((warm.stats().hit_rate() - 1.0).abs() < 1e-12, "warm rerun must be 100% cache hits");
+    assert_eq!(first, second, "cached fleet reports must decode to the identical value");
+    assert_eq!(first.p99_ms.to_bits(), second.p99_ms.to_bits());
+
+    // A different balancer or scale is a different cell.
+    let _ = warm.fleet_study(&study, LoadBalancer::RoundRobin, scale);
+    assert_eq!(warm.sim_runs(), 1);
+    let _ = warm.fleet_study(&study, LoadBalancer::PowerOfTwoChoices, FleetScale::quick(12));
+    assert_eq!(warm.sim_runs(), 2);
+
+    // The raw-config cell (`Engine::fleet`) is keyed by the full
+    // `FleetConfig` identity and memoises like any other cell.
+    let cfg = study.fleet_config(LoadBalancer::PowerOfTwoChoices, scale);
+    let direct = warm.fleet(&cfg);
+    assert_eq!(warm.sim_runs(), 3);
+    let again = warm.fleet(&cfg);
+    assert_eq!(warm.sim_runs(), 3, "repeated raw-config cell must be a memo hit");
+    assert_eq!(direct, again);
+    assert_eq!(
+        direct, first,
+        "a study cell and the equivalent raw-config cell must measure the same day"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn measured_gains_land_within_two_points_of_the_analytical_accounting() {
+    for (study, paper) in [(CaseStudy::web_search(), 0.05), (CaseStudy::youtube(), 0.11)] {
+        let analytical = study.run();
+        let measured = study.run_fleet(LoadBalancer::LeastLoaded, FleetScale::quick(42));
+        let delta = (measured.gain() - analytical.gain()).abs();
+        assert!(
+            delta < 0.02,
+            "{}: measured gain {:+.2}% vs analytical {:+.2}% differ by {:.2}pp",
+            study.service().name,
+            measured.gain() * 100.0,
+            analytical.gain() * 100.0,
+            delta * 100.0
+        );
+        assert!(
+            (measured.gain() - paper).abs() < 0.02,
+            "{}: measured gain {:+.2}% vs paper {:+.0}%",
+            study.service().name,
+            measured.gain() * 100.0,
+            paper * 100.0
+        );
+    }
+}
+
+#[test]
+fn engagement_is_a_measured_decision_not_a_load_rule() {
+    // The measured fleet must show what the analytical accounting cannot:
+    // hysteresis lag around the threshold crossings and (near-)full
+    // engagement only after the monitors have seen sustained slack.
+    let report =
+        CaseStudy::web_search().run_fleet(LoadBalancer::LeastLoaded, FleetScale::quick(42));
+    let n = report.servers.len();
+    // The very first interval starts in Baseline: no engagement yet even
+    // though the load is deep in the trough.
+    assert_eq!(report.intervals[0].engaged_servers, 0, "controllers must start disengaged");
+    // Within a few intervals the monitors engage nearly the whole fleet.
+    assert!(
+        report.intervals[4].engaged_servers >= n - 1,
+        "sustained slack must engage the fleet (got {}/{})",
+        report.intervals[4].engaged_servers,
+        n
+    );
+    // Mode changes happened on every server, and every server saw traffic.
+    for s in &report.servers {
+        assert!(s.mode_changes >= 2, "each server's monitor must have acted");
+        assert!(s.requests > 0);
+    }
+}

@@ -123,6 +123,42 @@ fn standalone_scenarios_match_the_old_run_standalone() {
     assert_eq!(capped.uipc.to_bits(), STANDALONE_WS_ROB64.to_bits());
 }
 
+/// Pinned quick-length fleet fixtures: the measured §VI-D case studies
+/// (`CaseStudy::run_fleet`, least-loaded dispatch, `FleetScale::quick(42)`)
+/// as first produced by the fleet simulator. The fleet uses the same
+/// platform-independent arithmetic as the core model, so the comparison is
+/// bit-exact; re-pin consciously (and say so in the commit) if the fleet
+/// simulation legitimately changes.
+const FLEET_WS_GAIN: f64 = 0.044973958333333064;
+const FLEET_WS_P99_MS: f64 = 81.52007759784479;
+const FLEET_WS_HOURS: f64 = 9.8125;
+const FLEET_YT_GAIN: f64 = 0.0942513020833331;
+const FLEET_YT_P99_MS: f64 = 1362.1626893133298;
+const FLEET_YT_HOURS: f64 = 14.59375;
+
+#[test]
+fn fleet_case_studies_match_the_pinned_quick_fixtures() {
+    use stretch_repro::cluster::{CaseStudy, FleetScale, LoadBalancer};
+    let fixture = |study: CaseStudy, gain: f64, p99: f64, hours: f64| {
+        let report = study.run_fleet(LoadBalancer::LeastLoaded, FleetScale::quick(42));
+        assert_eq!(
+            report.gain().to_bits(),
+            gain.to_bits(),
+            "fleet gain drifted from the pinned fixture (got {}, want {gain})",
+            report.gain()
+        );
+        assert_eq!(
+            report.p99_ms.to_bits(),
+            p99.to_bits(),
+            "fleet p99 drifted from the pinned fixture (got {}, want {p99})",
+            report.p99_ms
+        );
+        assert_eq!(report.hours_engaged.to_bits(), hours.to_bits());
+    };
+    fixture(CaseStudy::web_search(), FLEET_WS_GAIN, FLEET_WS_P99_MS, FLEET_WS_HOURS);
+    fixture(CaseStudy::youtube(), FLEET_YT_GAIN, FLEET_YT_P99_MS, FLEET_YT_HOURS);
+}
+
 #[test]
 fn elfen_keeps_its_analytical_performance_mapping() {
     // Elfen never ran through the cycle-level `run_*` functions; its

@@ -84,6 +84,73 @@ proptest! {
     }
 
     #[test]
+    fn tail_percentiles_are_ordered(xs in prop::collection::vec(0.0f64..1e6, 1..300)) {
+        // The fleet report's invariant: p50 <= p95 <= p99 on any sample set.
+        let p50 = percentile(&xs, 50.0).unwrap();
+        let p95 = percentile(&xs, 95.0).unwrap();
+        let p99 = percentile(&xs, 99.0).unwrap();
+        prop_assert!(p50 <= p95 + 1e-9, "p50 {p50} above p95 {p95}");
+        prop_assert!(p95 <= p99 + 1e-9, "p95 {p95} above p99 {p99}");
+    }
+
+    #[test]
+    fn percentiles_are_invariant_under_sample_permutation(
+        xs in prop::collection::vec(-1e4f64..1e4, 2..200),
+        perm_seed in any::<u64>(),
+        p in 0.0f64..100.0,
+    ) {
+        // Deterministic Fisher–Yates permutation of the sample order.
+        let mut shuffled = xs.clone();
+        let mut rng = SimRng::new(perm_seed);
+        for i in (1..shuffled.len()).rev() {
+            let j = rng.below(i as u64 + 1) as usize;
+            shuffled.swap(i, j);
+        }
+        let original = percentile(&xs, p).unwrap();
+        let permuted = percentile(&shuffled, p).unwrap();
+        prop_assert_eq!(
+            original.to_bits(),
+            permuted.to_bits(),
+            "percentile {} changed under permutation: {} vs {}",
+            p,
+            original,
+            permuted
+        );
+    }
+
+    #[test]
+    fn merged_histograms_summarise_like_concatenated_samples(
+        a in prop::collection::vec(0usize..16, 0..150),
+        b in prop::collection::vec(0usize..16, 0..150),
+    ) {
+        let max_value = 12;
+        let mut ha = Histogram::new(max_value);
+        for &v in &a {
+            ha.record(v);
+        }
+        let mut hb = Histogram::new(max_value);
+        for &v in &b {
+            hb.record(v);
+        }
+        let mut concat = Histogram::new(max_value);
+        for &v in a.iter().chain(&b) {
+            concat.record(v);
+        }
+        ha.merge(&hb);
+        // Merging two histograms must be indistinguishable from having
+        // recorded the concatenated sample stream into one histogram.
+        prop_assert_eq!(&ha, &concat);
+        prop_assert_eq!(ha.total(), (a.len() + b.len()) as u64);
+        for n in 0..=max_value {
+            prop_assert!((ha.fraction_at_least(n) - concat.fraction_at_least(n)).abs() < 1e-12);
+        }
+        match (ha.mean(), concat.mean()) {
+            (Some(x), Some(y)) => prop_assert_eq!(x.to_bits(), y.to_bits()),
+            (none_a, none_b) => prop_assert_eq!(none_a.is_none(), none_b.is_none()),
+        }
+    }
+
+    #[test]
     fn distribution_summary_orders_its_quantiles(xs in prop::collection::vec(-1e4f64..1e4, 1..100)) {
         let s = DistributionSummary::from_samples(&xs);
         prop_assert!(s.min <= s.p25 + 1e-9);
