@@ -1,0 +1,209 @@
+//! `perf` — measure the benchmark registry into a machine-readable report
+//! and/or gate a report against a committed baseline.
+//!
+//! ```text
+//! cargo run --release --bin perf                               # measure all, write BENCH_local.json
+//! cargo run --release --bin perf -- --list                     # show the registry
+//! cargo run --release --bin perf -- --filter cpu/ --runs 5     # iterate on one layer
+//! cargo run --release --bin perf -- --label ci \
+//!     --baseline bench/baseline.json --gate 40                 # measure, then gate (CI)
+//! cargo run --release --bin perf -- --baseline bench/baseline.json \
+//!     --current BENCH_ci.json --gate 40                        # diff two existing reports
+//! ```
+//!
+//! Options:
+//!
+//! * `--list` — print the benchmark registry and exit;
+//! * `--filter <substr>` — only measure benchmarks whose name contains the
+//!   substring (the gate is restricted to the same subset);
+//! * `--label <label>` — report label; the report is written to
+//!   `BENCH_<label>.json` (default label `local`);
+//! * `--out <path>` — override the output path;
+//! * `--runs <n>` / `--warmup <n>` — measured / discarded runs per benchmark
+//!   (defaults 3 / 1);
+//! * `--baseline <file>` — gate against this report after measuring;
+//! * `--current <file>` — skip measuring entirely: diff this report against
+//!   the baseline;
+//! * `--gate <pct>` — allowed slowdown in percent (default 10).
+//!
+//! Exit status: 0 on success, 1 when the gate fails, 2 on usage or I/O
+//! errors.
+
+use std::process::ExitCode;
+
+use stretch_bench::perf::{self, BenchReport, MeasureOptions};
+use stretch_bench::store::JsonCodec;
+
+struct Options {
+    list: bool,
+    filter: String,
+    label: String,
+    out: Option<String>,
+    runs: usize,
+    warmup: usize,
+    baseline: Option<String>,
+    current: Option<String>,
+    gate_pct: f64,
+}
+
+fn usage() -> String {
+    let mut text = String::from(
+        "usage: perf [--list] [--filter SUBSTR] [--label LABEL] [--out PATH] [--runs N] \
+         [--warmup N] [--baseline FILE] [--current FILE] [--gate PCT]\n\nbenchmarks:\n",
+    );
+    for spec in perf::registry() {
+        text.push_str(&format!("  {:<26} {}\n", spec.name, spec.title));
+    }
+    text
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        list: false,
+        filter: String::new(),
+        label: "local".to_string(),
+        out: None,
+        runs: 3,
+        warmup: 1,
+        baseline: None,
+        current: None,
+        gate_pct: 10.0,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let value_of = |what: &str, i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i).cloned().ok_or_else(|| format!("{what} needs an argument"))
+        };
+        match args[i].as_str() {
+            // --help prints the same registry listing as --list and must
+            // succeed (exit 0, stdout), not take the usage-error path.
+            "--list" | "--help" | "-h" => opts.list = true,
+            "--filter" => opts.filter = value_of("--filter", &mut i)?,
+            "--label" => opts.label = value_of("--label", &mut i)?,
+            "--out" => opts.out = Some(value_of("--out", &mut i)?),
+            "--baseline" => opts.baseline = Some(value_of("--baseline", &mut i)?),
+            "--current" => opts.current = Some(value_of("--current", &mut i)?),
+            "--runs" => {
+                let v = value_of("--runs", &mut i)?;
+                opts.runs = v.parse().map_err(|_| format!("--runs {v}: not a count"))?;
+                if opts.runs == 0 {
+                    return Err("--runs must be at least 1".to_string());
+                }
+            }
+            "--warmup" => {
+                let v = value_of("--warmup", &mut i)?;
+                opts.warmup = v.parse().map_err(|_| format!("--warmup {v}: not a count"))?;
+            }
+            "--gate" => {
+                let v = value_of("--gate", &mut i)?;
+                opts.gate_pct = v.parse().map_err(|_| format!("--gate {v}: not a percentage"))?;
+                if !opts.gate_pct.is_finite() || opts.gate_pct < 0.0 {
+                    return Err(format!("--gate {v}: must be a non-negative percentage"));
+                }
+            }
+            unknown => return Err(format!("unknown option {unknown}\n\n{}", usage())),
+        }
+        i += 1;
+    }
+    if opts.current.is_some() && opts.baseline.is_none() {
+        return Err("--current needs --baseline to diff against".to_string());
+    }
+    Ok(opts)
+}
+
+fn load_report(path: &str) -> Result<BenchReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|err| format!("cannot read {path}: {err}"))?;
+    let value =
+        serde_json::from_str(&text).map_err(|err| format!("{path} is not valid JSON: {err:?}"))?;
+    BenchReport::from_json(&value).ok_or_else(|| {
+        format!(
+            "{path} is not a schema-v{} perf report (re-measure it with this binary)",
+            perf::SCHEMA_VERSION
+        )
+    })
+}
+
+/// Restricts a report to the benchmarks matching the measurement filter, so
+/// `--filter` runs do not flag every other baseline benchmark as missing.
+fn apply_filter(mut report: BenchReport, filter: &str) -> BenchReport {
+    report.benchmarks.retain(|b| b.name.contains(filter));
+    report
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list {
+        print!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+
+    let current = if let Some(path) = &opts.current {
+        match load_report(path) {
+            Ok(report) => apply_filter(report, &opts.filter),
+            Err(message) => {
+                eprintln!("{message}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let measured = perf::measure_all(
+            &opts.label,
+            &opts.filter,
+            MeasureOptions { runs: opts.runs, warmup_runs: opts.warmup },
+        );
+        if measured.benchmarks.is_empty() {
+            eprintln!("--filter {:?} matches no benchmarks\n\n{}", opts.filter, usage());
+            return ExitCode::from(2);
+        }
+        let out = opts.out.clone().unwrap_or_else(|| measured.file_name());
+        let text = serde_json::to_string_pretty(&measured.to_json())
+            .expect("Value rendering is infallible");
+        if let Err(err) = std::fs::write(&out, text + "\n") {
+            eprintln!("cannot write {out}: {err}");
+            return ExitCode::from(2);
+        }
+        println!("{:<26} {:>12} {:>14} {:>14}", "benchmark", "median ms", "Mcycles/s", "req/s");
+        for b in &measured.benchmarks {
+            println!(
+                "{:<26} {:>12.1} {:>14} {:>14}",
+                b.name,
+                b.median_wall_ms,
+                if b.sim_cycles > 0 {
+                    format!("{:.2}", b.sim_cycles_per_sec / 1e6)
+                } else {
+                    "-".to_string()
+                },
+                if b.requests > 0 { format!("{:.0}", b.requests_per_sec) } else { "-".to_string() },
+            );
+        }
+        println!("report written to {out} (schema v{})", measured.schema_version);
+        measured
+    };
+
+    let Some(baseline_path) = &opts.baseline else {
+        return ExitCode::SUCCESS;
+    };
+    let baseline = match load_report(baseline_path) {
+        Ok(report) => apply_filter(report, &opts.filter),
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = perf::gate(&baseline, &current, opts.gate_pct);
+    print!("{}", outcome.render());
+    if outcome.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -19,7 +19,12 @@
 //!   a [`cpu_sim::ColocationPolicy`] — Stretch and all baselines go through
 //!   one interface, and the cache digest covers the policy's identity;
 //! * [`report`] — plain-text table formatting and cache-statistics reporting
-//!   shared by the binaries.
+//!   shared by the binaries;
+//! * [`perf`] — the performance subsystem: a registry of fixed-length
+//!   benchmarks over all three simulation layers, warmup + median-of-N
+//!   wall-clock measurement, the schema-versioned `BENCH_<label>.json`
+//!   report, and the regression gate behind the `perf` binary and the CI
+//!   perf job.
 //!
 //! The same entry points back the criterion benches in `benches/`, scaled
 //! down via [`cpu_sim::SimLength::quick`].
@@ -30,6 +35,7 @@
 pub mod engine;
 pub mod figures;
 pub mod harness;
+pub mod perf;
 pub mod report;
 pub mod store;
 

@@ -110,7 +110,7 @@ impl CaseStudy {
     /// matching the accounting's assumption that disengaged intervals run
     /// at baseline throughput.
     pub fn fleet_config(&self, balancer: LoadBalancer, scale: FleetScale) -> FleetConfig {
-        self.fleet(balancer, scale).cfg().clone()
+        self.calibrated_fleet_config(balancer, scale).0
     }
 
     /// The study's fleet configuration before threshold calibration (the
@@ -146,13 +146,26 @@ impl CaseStudy {
         }
     }
 
+    /// The calibration loop shared by [`CaseStudy::fleet`] and
+    /// [`CaseStudy::fleet_config`]: one peak bisection, one threshold
+    /// calibration, one owned config — `fleet_config` used to build (and
+    /// throw away) an entire `Fleet` just to clone its config back out.
+    fn calibrated_fleet_config(
+        &self,
+        balancer: LoadBalancer,
+        scale: FleetScale,
+    ) -> (FleetConfig, f64) {
+        let mut cfg = self.base_fleet_config(balancer, scale);
+        let peak_rps = fleet::measured_peak_rps(&cfg);
+        cfg.monitor = fleet::calibrated_monitor_with_peak(&cfg, self.engage_below, peak_rps);
+        (cfg, peak_rps)
+    }
+
     /// Builds the measured fleet for this study, running the peak bisection
     /// once and reusing it for both the threshold calibration and the day's
     /// run (the peak does not depend on the monitor being derived).
     pub fn fleet(&self, balancer: LoadBalancer, scale: FleetScale) -> Fleet {
-        let mut cfg = self.base_fleet_config(balancer, scale);
-        let peak_rps = fleet::measured_peak_rps(&cfg);
-        cfg.monitor = fleet::calibrated_monitor_with_peak(&cfg, self.engage_below, peak_rps);
+        let (cfg, peak_rps) = self.calibrated_fleet_config(balancer, scale);
         Fleet::with_peak(cfg, peak_rps)
     }
 

@@ -257,11 +257,14 @@ pub fn measured_peak_rps(cfg: &FleetConfig) -> f64 {
     let baseline_perf = cfg.table.baseline.ls_performance.clamp(0.05, 1.0);
     // Hard ceiling: the no-queueing throughput of one server's workers.
     let capacity_rps = spec.workers as f64 * 1000.0 / spec.mean_service_ms(baseline_perf);
+    // Invariant across every bisection probe: hoist the per-server slowdown
+    // table and metric out of the closure instead of rebuilding them per
+    // probe.
+    let slowdowns = vec![spec.slowdown(baseline_perf); cfg.servers];
+    let metric = spec.tail_metric.percentile();
     let meets = |per_server_rps: f64| -> bool {
         let mut state = DispatchState::new(cfg, cfg.seed ^ 0x9ea4);
-        let slowdowns = vec![spec.slowdown(baseline_perf); cfg.servers];
-        let metric = spec.tail_metric.percentile();
-        let mut tails = Vec::new();
+        let mut tails = Vec::with_capacity(4 * cfg.servers);
         for t in 0..6u64 {
             let (per_server, _) =
                 run_interval(cfg, &mut state, per_server_rps * cfg.servers as f64, &slowdowns, t);
@@ -452,7 +455,7 @@ pub fn calibrated_monitor_with_peak(
     let ratios_for = |perf: f64, tag: u64| -> Vec<f64> {
         let mut state = DispatchState::new(cfg, cfg.seed ^ tag);
         let slowdowns = vec![cfg.service.slowdown(perf.clamp(0.05, 1.0)); cfg.servers];
-        let mut ratios = Vec::new();
+        let mut ratios = Vec::with_capacity(measure * cfg.servers);
         for t in 0..(discard + measure) as u64 {
             let (per_server, _) = run_interval(cfg, &mut state, rate, &slowdowns, t);
             if t >= discard as u64 {

@@ -22,8 +22,39 @@ use sim_model::{
 };
 use sim_stats::Histogram;
 use std::collections::{HashSet, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
 
 pub use sim_model::trace::BoxedTrace as ThreadTrace;
+
+/// A deterministic multiply hasher for instruction ids.
+///
+/// The `incomplete` set is probed several times per ROB entry per cycle (the
+/// wake-up check in `issue` and the dependence capture in `dispatch`), which
+/// made the default SipHash state the single hottest allocation-free cost of
+/// the simulation loop. Ids are dense sequential counters, so one Fibonacci
+/// multiply spreads them perfectly well; only set membership is ever
+/// observed, so the hash function cannot affect simulation results.
+#[derive(Default)]
+struct IdHasher(u64);
+
+impl Hasher for IdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    fn write_u64(&mut self, id: u64) {
+        self.0 = id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+/// Set of in-flight instruction ids, keyed by the multiply hasher above.
+type IdSet = HashSet<u64, BuildHasherDefault<IdHasher>>;
 
 /// Status of an in-flight instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -129,10 +160,17 @@ pub struct SmtCore {
     next_id: u64,
     threads: [ThreadState; 2],
     /// Ids of instructions that have not yet completed execution.
-    incomplete: HashSet<u64>,
+    incomplete: IdSet,
     /// Round-robin commit preference (alternates each cycle).
     commit_preference: usize,
     total_cycles_run: u64,
+    /// Reusable scratch for `issue`'s ready-entry positions; allocating it
+    /// fresh every cycle dominated the issue stage's cost.
+    scratch_ready: Vec<usize>,
+    /// Reusable scratch for `fetch_thread`'s touched I-cache blocks.
+    scratch_blocks: Vec<u64>,
+    /// Reusable scratch for `flush_thread`'s squashed micro-ops.
+    scratch_squashed: Vec<MicroOp>,
 }
 
 /// Builder for [`SmtCore`].
@@ -225,9 +263,12 @@ impl SmtCoreBuilder {
             now: 0,
             next_id: 0,
             threads,
-            incomplete: HashSet::new(),
+            incomplete: IdSet::default(),
             commit_preference: 0,
             total_cycles_run: 0,
+            scratch_ready: Vec::new(),
+            scratch_blocks: Vec::new(),
+            scratch_squashed: Vec::new(),
         }
     }
 }
@@ -320,8 +361,9 @@ impl SmtCore {
     fn flush_thread(&mut self, thread: ThreadId, mode_change: bool) {
         let penalty = self.cfg.pipeline_flush_cycles;
         let now = self.now;
+        let mut squashed = std::mem::take(&mut self.scratch_squashed);
+        squashed.clear();
         let t = &mut self.threads[thread.index()];
-        let mut squashed: Vec<MicroOp> = Vec::with_capacity(t.rob.len() + t.fetch_buffer.len());
         for e in t.rob.drain(..) {
             self.incomplete.remove(&e.id);
             squashed.push(e.uop);
@@ -332,9 +374,11 @@ impl SmtCore {
         }
         // Re-fetch the squashed instructions before pulling new ones from the
         // trace, so the committed instruction stream is unchanged.
-        for uop in squashed.into_iter().rev() {
+        for uop in squashed.drain(..).rev() {
             t.replay.push_front(uop);
         }
+        self.scratch_squashed = squashed;
+        let t = &mut self.threads[thread.index()];
         t.lsq_occupancy = 0;
         t.last_writer = [None; NUM_LOGICAL_REGS];
         t.waiting_branch = None;
@@ -476,17 +520,24 @@ impl SmtCore {
             let thread = ThreadId::from_index(idx);
             let mut mshr_blocked = false;
             // Collect the positions of ready entries first to keep the borrow
-            // checker happy, then issue them in age order.
-            let ready_positions: Vec<usize> = self.threads[idx]
-                .rob
-                .iter()
-                .enumerate()
-                .filter(|(_, e)| e.status == EntryStatus::Dispatched)
-                .filter(|(_, e)| e.deps.iter().flatten().all(|dep| !self.incomplete.contains(dep)))
-                .map(|(i, _)| i)
-                .collect();
+            // checker happy, then issue them in age order. The position list
+            // is a reusable scratch buffer — one was allocated per thread per
+            // cycle before.
+            let mut ready_positions = std::mem::take(&mut self.scratch_ready);
+            ready_positions.clear();
+            ready_positions.extend(
+                self.threads[idx]
+                    .rob
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| e.status == EntryStatus::Dispatched)
+                    .filter(|(_, e)| {
+                        e.deps.iter().flatten().all(|dep| !self.incomplete.contains(dep))
+                    })
+                    .map(|(i, _)| i),
+            );
 
-            for pos in ready_positions {
+            for &pos in &ready_positions {
                 if issue_budget == 0 {
                     break;
                 }
@@ -529,6 +580,7 @@ impl SmtCore {
                 *fu -= 1;
                 issue_budget -= 1;
             }
+            self.scratch_ready = ready_positions;
         }
     }
 
@@ -540,10 +592,12 @@ impl SmtCore {
         for offset in 0..2 {
             let idx = (first + offset) % 2;
             let thread = ThreadId::from_index(idx);
+            // The partition does not change mid-dispatch, so the per-thread
+            // limits are loop invariants; only the occupancies move.
+            let rob_limit = self.rob_limit(thread);
+            let lsq_limit = self.lsq_limit(thread);
+            let enforce_total = self.partition.enforce_total_capacity();
             while budget > 0 {
-                let rob_limit = self.rob_limit(thread);
-                let lsq_limit = self.lsq_limit(thread);
-                let enforce_total = self.partition.enforce_total_capacity();
                 let total_rob = self.total_rob_occupancy();
                 let total_lsq = self.total_lsq_occupancy();
                 let t = &mut self.threads[idx];
@@ -627,7 +681,8 @@ impl SmtCore {
 
         let mut fetched = 0usize;
         let mut branches = 0usize;
-        let mut blocks: Vec<u64> = Vec::with_capacity(max_blocks);
+        let mut blocks = std::mem::take(&mut self.scratch_blocks);
+        blocks.clear();
 
         while fetched < width {
             if self.threads[idx].fetch_buffer.len() >= buffer_cap {
@@ -698,6 +753,7 @@ impl SmtCore {
                 break;
             }
         }
+        self.scratch_blocks = blocks;
         fetched
     }
 

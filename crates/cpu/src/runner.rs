@@ -182,7 +182,7 @@ impl CanonicalKey for CoreSetup {
 /// an [`SmtCore`] themselves, e.g. through the Stretch control register.
 pub fn run_core(
     core: &mut SmtCore,
-    names: [Option<String>; 2],
+    mut names: [Option<String>; 2],
     length: SimLength,
 ) -> ColocationResult {
     let active: Vec<ThreadId> =
@@ -237,9 +237,12 @@ pub fn run_core(
             core.committed(t).saturating_sub(start_committed[idx])
         };
         let window_cycles = end.saturating_sub(start).max(1);
-        let mlp = end_mlp[idx].clone().unwrap_or_else(|| core.mlp_census(t).clone());
+        // `take` both per-thread values: the census snapshot was already
+        // cloned once when the window closed, and the names array is owned —
+        // neither needs a second copy here.
+        let mlp = end_mlp[idx].take().unwrap_or_else(|| core.mlp_census(t).clone());
         out[idx] = Some(ThreadRunResult {
-            name: names[idx].clone().unwrap_or_else(|| format!("thread-{idx}")),
+            name: names[idx].take().unwrap_or_else(|| format!("thread-{idx}")),
             uipc: committed_in_window as f64 / window_cycles as f64,
             committed: committed_in_window,
             cycles: window_cycles,

@@ -136,6 +136,11 @@ pub struct MemoryHierarchy {
     prefetcher: StridePrefetcher,
     pending_prefetch: [Vec<PendingPrefetch>; 2],
     stats: HierarchyStats,
+    /// Reusable buffer for completed demand-miss blocks: `tick` runs every
+    /// simulated cycle, so it must not allocate on the fill path.
+    scratch_fills: Vec<u64>,
+    /// Reusable buffer for landed prefetch blocks, same reasoning.
+    scratch_landed: Vec<u64>,
 }
 
 impl MemoryHierarchy {
@@ -161,6 +166,8 @@ impl MemoryHierarchy {
             prefetcher: StridePrefetcher::new(cfg.prefetcher_pc_slots),
             pending_prefetch: [Vec::new(), Vec::new()],
             stats: HierarchyStats::default(),
+            scratch_fills: Vec::new(),
+            scratch_landed: Vec::new(),
             cfg,
         }
     }
@@ -261,12 +268,16 @@ impl MemoryHierarchy {
     /// Advances time to `now`: completes outstanding demand misses (filling
     /// the L1-D) and lands prefetch fills.
     pub fn tick(&mut self, now: Cycle) {
+        let mut fills = std::mem::take(&mut self.scratch_fills);
+        let mut landed = std::mem::take(&mut self.scratch_landed);
         for thread in ThreadId::ALL {
-            for block in self.mshrs.drain_completed(thread, now) {
+            fills.clear();
+            self.mshrs.drain_completed_into(thread, now, &mut fills);
+            for &block in &fills {
                 self.l1d.fill_block(thread, block);
             }
             let idx = thread.index();
-            let mut landed = Vec::new();
+            landed.clear();
             self.pending_prefetch[idx].retain(|p| {
                 if p.completion <= now {
                     landed.push(p.block);
@@ -275,12 +286,14 @@ impl MemoryHierarchy {
                     true
                 }
             });
-            for block in landed {
+            for &block in &landed {
                 self.stats.prefetch_fills += 1;
                 self.l1d.fill_block(thread, block);
                 self.llc[idx].fill_block(block);
             }
         }
+        self.scratch_fills = fills;
+        self.scratch_landed = landed;
     }
 
     /// Number of outstanding demand misses for `thread` (instantaneous MLP).

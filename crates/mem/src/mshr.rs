@@ -69,9 +69,19 @@ impl MshrFile {
 
     /// Releases every entry whose completion time is at or before `now`.
     /// Returns the blocks that completed (so the caller can fill caches).
+    ///
+    /// Allocates a fresh vector per call; the per-cycle hierarchy tick uses
+    /// [`MshrFile::drain_completed_into`] with a reused buffer instead.
     pub fn drain_completed(&mut self, thread: ThreadId, now: Cycle) -> Vec<u64> {
-        let list = &mut self.entries[thread.index()];
         let mut done = Vec::new();
+        self.drain_completed_into(thread, now, &mut done);
+        done
+    }
+
+    /// As [`MshrFile::drain_completed`], but appends the completed blocks to
+    /// a caller-provided buffer so the every-cycle drain never allocates.
+    pub fn drain_completed_into(&mut self, thread: ThreadId, now: Cycle, done: &mut Vec<u64>) {
+        let list = &mut self.entries[thread.index()];
         list.retain(|e| {
             if e.completion <= now {
                 done.push(e.block);
@@ -80,7 +90,6 @@ impl MshrFile {
                 true
             }
         });
-        done
     }
 
     /// Current number of outstanding misses for `thread` — the instantaneous
