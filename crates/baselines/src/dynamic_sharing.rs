@@ -5,7 +5,7 @@
 //! batch co-runners: a latency-sensitive thread stalled on a miss clogs the
 //! shared ROB without benefiting from it.
 
-use cpu_sim::{ColocationPolicy, CoreSetup, FetchPolicy, PartitionPolicy};
+use cpu_sim::{ColocationPolicy, ColocationTopology, CoreSetup, FetchPolicy, PartitionPolicy};
 use mem_sim::Sharing;
 use sim_model::{CanonicalKey, CoreConfig, KeyEncoder};
 
@@ -25,7 +25,8 @@ impl ColocationPolicy for DynamicSharing {
         "dynamic ROB sharing".to_string()
     }
 
-    fn setup(&self, _cfg: &CoreConfig) -> CoreSetup {
+    fn setup_for(&self, _cfg: &CoreConfig, _topology: &ColocationTopology) -> CoreSetup {
+        // A fully dynamic window is width-agnostic by construction.
         CoreSetup {
             partition: PartitionPolicy::Dynamic,
             fetch_policy: FetchPolicy::ICount,

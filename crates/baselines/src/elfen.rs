@@ -12,7 +12,9 @@
 //! and the policy's closed-loop hook adapts the duty cycle to the observed
 //! QoS headroom.
 
-use cpu_sim::{ColocationPolicy, CoreSetup, PolicyAction, PrivateCore, QosObservation};
+use cpu_sim::{
+    ColocationPolicy, ColocationTopology, CoreSetup, PolicyAction, PrivateCore, QosObservation,
+};
 use serde::{Deserialize, Serialize};
 use sim_model::{CanonicalKey, CoreConfig, KeyEncoder};
 
@@ -129,11 +131,11 @@ impl ColocationPolicy for Elfen {
         format!("Elfen borrowing at {:.0}% duty cycle", self.delivered_performance() * 100.0)
     }
 
-    fn setup(&self, cfg: &CoreConfig) -> CoreSetup {
+    fn setup_for(&self, cfg: &CoreConfig, topology: &ColocationTopology) -> CoreSetup {
         // The lending partner is non-contentious by construction, so the
         // core the service sees is a private full core; the duty cycle is
         // applied above the core, at the scheduler level.
-        PrivateCore::full().setup(cfg)
+        PrivateCore::full().setup_for(cfg, topology)
     }
 
     fn supports_colocation(&self) -> bool {

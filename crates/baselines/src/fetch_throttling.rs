@@ -6,7 +6,7 @@
 //! the point being that admission control alone cannot keep a miss-bound
 //! thread from clogging the window.
 
-use cpu_sim::{ColocationPolicy, CoreSetup, FetchPolicy, PartitionPolicy};
+use cpu_sim::{ColocationPolicy, ColocationTopology, CoreSetup, FetchPolicy, PartitionPolicy};
 use mem_sim::Sharing;
 use sim_model::{CanonicalKey, CoreConfig, KeyEncoder, ThreadId};
 
@@ -49,7 +49,9 @@ impl ColocationPolicy for FetchThrottling {
         format!("fetch throttling 1:{}", self.ratio)
     }
 
-    fn setup(&self, _cfg: &CoreConfig) -> CoreSetup {
+    fn setup_for(&self, _cfg: &CoreConfig, _topology: &ColocationTopology) -> CoreSetup {
+        // The dynamically shared window and the 1:M fetch group are both
+        // width-agnostic: every non-throttled thread joins the batch group.
         CoreSetup {
             partition: PartitionPolicy::Dynamic,
             fetch_policy: FetchPolicy::throttled(self.ls_thread, self.ratio),

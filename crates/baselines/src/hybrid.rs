@@ -11,7 +11,7 @@
 //! surface end to end (setup, canonical identity, scenario runs) with a
 //! scheme none of the built-in figures use.
 
-use cpu_sim::{ColocationPolicy, CoreSetup, FetchPolicy, PartitionPolicy};
+use cpu_sim::{ColocationPolicy, ColocationTopology, CoreSetup, FetchPolicy, PartitionPolicy};
 use mem_sim::Sharing;
 use sim_model::{CanonicalKey, CoreConfig, KeyEncoder, ThreadId};
 
@@ -62,14 +62,15 @@ impl ColocationPolicy for HybridThrottleSkew {
         format!("hybrid 1:{} + {}-{}", self.ratio, self.ls_rob, self.batch_rob)
     }
 
-    fn setup(&self, cfg: &CoreConfig) -> CoreSetup {
-        let (t0, t1) = if self.ls_thread == ThreadId::T0 {
-            (self.ls_rob, self.batch_rob)
-        } else {
-            (self.batch_rob, self.ls_rob)
-        };
+    fn setup_for(&self, cfg: &CoreConfig, topology: &ColocationTopology) -> CoreSetup {
         CoreSetup {
-            partition: PartitionPolicy::rob_split(cfg, t0, t1),
+            partition: PartitionPolicy::ls_split(
+                cfg,
+                topology.threads(),
+                self.ls_thread,
+                self.ls_rob,
+                self.batch_rob,
+            ),
             fetch_policy: FetchPolicy::throttled(self.ls_thread, self.ratio),
             l1i_sharing: Sharing::Shared,
             l1d_sharing: Sharing::Shared,

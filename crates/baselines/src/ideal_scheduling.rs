@@ -9,7 +9,7 @@
 //! policy (private L1s/BP plus an asymmetric B-mode ROB split) is the
 //! "Stretch + Ideal Software Scheduling" bar of Figure 13.
 
-use cpu_sim::{ColocationPolicy, CoreSetup, FetchPolicy, PartitionPolicy};
+use cpu_sim::{ColocationPolicy, ColocationTopology, CoreSetup, FetchPolicy, PartitionPolicy};
 use mem_sim::Sharing;
 use sim_model::{CanonicalKey, CoreConfig, KeyEncoder, ThreadId};
 
@@ -66,21 +66,17 @@ impl ColocationPolicy for IdealScheduling {
     }
 
     /// Builds the contention-free core, applying the Stretch skew if one was
-    /// provisioned.
+    /// provisioned. On an SMT-T core the batch share is spread over the
+    /// `T - 1` co-runners.
     ///
     /// # Panics
     ///
     /// Panics if the requested skew exceeds the ROB capacity.
-    fn setup(&self, cfg: &CoreConfig) -> CoreSetup {
+    fn setup_for(&self, cfg: &CoreConfig, topology: &ColocationTopology) -> CoreSetup {
         let partition = match self.skew {
-            None => PartitionPolicy::equal(cfg),
+            None => PartitionPolicy::equal_n(cfg, topology.threads()),
             Some((ls_thread, ls_rob, batch_rob)) => {
-                let (t0, t1) = if ls_thread == ThreadId::T0 {
-                    (ls_rob, batch_rob)
-                } else {
-                    (batch_rob, ls_rob)
-                };
-                PartitionPolicy::rob_split(cfg, t0, t1)
+                PartitionPolicy::ls_split(cfg, topology.threads(), ls_thread, ls_rob, batch_rob)
             }
         };
         CoreSetup {

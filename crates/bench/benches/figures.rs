@@ -211,7 +211,7 @@ fn bench_scenario_dispatch_overhead(c: &mut Criterion) {
                 .build();
             black_box(run_core(
                 &mut smt,
-                [Some("web-search".to_string()), Some("zeusmp".to_string())],
+                vec![Some("web-search".to_string()), Some("zeusmp".to_string())],
                 quick(),
             ))
         })

@@ -1,0 +1,10 @@
+//! Thin wrapper: renders the allocation × colocation policy comparison
+//! (Figure 15, extension) via the shared figure registry
+//! (`stretch_bench::figures`), so its output is identical to the `figures`
+//! driver's.
+//!
+//! Run with: `cargo run --release -p stretch-bench --bin figure15_allocation [--quick]`
+
+fn main() {
+    stretch_bench::figures::run_standalone_binary("figure15_allocation");
+}

@@ -14,8 +14,9 @@
 //!   instead of running the simulation twice;
 //! * **persistent caching** — with a [`ResultStore`] attached, results
 //!   survive the process, keyed by a collision-free canonical digest of the
-//!   core configuration, *policy identity*, pairing, seed and simulation
-//!   length (see [`crate::store`]); a warm-cache invocation performs zero
+//!   core configuration, *policy identity* (allocation and colocation),
+//!   thread grouping or whole-server placement, seed and simulation length
+//!   (see [`crate::store`]); a warm-cache invocation performs zero
 //!   simulation runs, which [`CacheStats`] makes verifiable.
 //!
 //! All matrix-shaped work is funnelled through the harness's single
@@ -28,13 +29,19 @@ use std::path::PathBuf;
 use std::sync::{Condvar, Mutex};
 
 use cluster_sim::{CaseStudy, Fleet, FleetConfig, FleetReport, FleetScale, LoadBalancer};
-use cpu_sim::{ColocationPolicy, PrivateCore, Scenario, ThreadRunResult};
+use cpu_sim::{
+    AllocationPolicy, ColocationPolicy, PrivateCore, Scenario, ServerSpec, ThreadRunResult,
+    ThreadSpec,
+};
 use serde_json::Value;
 use sim_model::KeyEncoder;
 use sim_qos::{latency_vs_load, slack_curve, LoadPoint, ServiceSpec, SlackPoint};
 use workloads::{batch, latency_sensitive};
 
-use crate::harness::{parallel_map, run_single_pair, ExperimentConfig, PairOutcome};
+use crate::harness::{
+    parallel_map, run_server, run_smt_colocation, ExperimentConfig, PairOutcome, ServerOutcome,
+    SmtOutcome,
+};
 use crate::store::{JsonCodec, ResultStore};
 
 /// Hit/miss counters for one engine. `misses` equals the number of actual
@@ -260,18 +267,81 @@ impl Engine {
         result
     }
 
-    /// One latency-sensitive × batch colocation cell under a
-    /// [`ColocationPolicy`]. The cache digest covers the *policy identity*
-    /// (its [`sim_model::CanonicalKey`]), not just the core setup it happens
-    /// to produce, so two policies can never alias onto one cell. The
-    /// computation is [`crate::harness::run_single_pair`] — a
-    /// [`cpu_sim::Scenario`].
-    pub fn pair(&self, policy: &dyn ColocationPolicy, ls: &str, batch_name: &str) -> PairOutcome {
-        let mut key = self.core_key("pair/v2");
+    /// One latency-sensitive × N-batch SMT colocation cell under a
+    /// [`ColocationPolicy`]: `1 + batches.len()` hardware threads sharing one
+    /// core. The cache digest covers the *policy identity* (its
+    /// [`sim_model::CanonicalKey`]), not just the core setup it happens to
+    /// produce, so two policies can never alias onto one cell; the
+    /// slot-ordered name list keys the thread grouping, so the historical
+    /// two-thread pairs and the wider SMT4 groupings are distinct cells of
+    /// one `smt/v1` family. The computation is
+    /// [`crate::harness::run_smt_colocation`] — a [`cpu_sim::Scenario`].
+    pub fn smt(&self, policy: &dyn ColocationPolicy, ls: &str, batches: &[String]) -> SmtOutcome {
+        let mut key = self.core_key("smt/v1");
         policy.encode_key(&mut key);
-        key.str(ls).str(batch_name);
-        self.run_cached(&key, &format!("pair {ls} x {batch_name}"), || {
-            run_single_pair(&self.cfg, policy, ls, batch_name)
+        let mut names = Vec::with_capacity(1 + batches.len());
+        names.push(ls.to_string());
+        names.extend(batches.iter().cloned());
+        key.list(&names);
+        self.run_cached(&key, &format!("smt {}", names.join(" x ")), || {
+            run_smt_colocation(&self.cfg, policy, ls, batches)
+        })
+    }
+
+    /// One latency-sensitive × batch colocation cell under a
+    /// [`ColocationPolicy`]: the classic two-thread case of [`Engine::smt`],
+    /// repackaged as a [`PairOutcome`]. Pair and `smt` requests for the same
+    /// grouping share one cached cell.
+    pub fn pair(&self, policy: &dyn ColocationPolicy, ls: &str, batch_name: &str) -> PairOutcome {
+        let smt = self.smt(policy, ls, std::slice::from_ref(&batch_name.to_string()));
+        PairOutcome {
+            ls: ls.to_string(),
+            batch: batch_name.to_string(),
+            ls_uipc: smt.uipcs[0],
+            batch_uipc: smt.uipcs[1],
+        }
+    }
+
+    /// One whole-server cell: `spec` cores × threads under an
+    /// [`AllocationPolicy`] (thread → core) with a [`ColocationPolicy`] on
+    /// every occupied core. Thread 0 is the latency-sensitive service; the
+    /// batch jobs follow in offer order. Each batch name's stand-alone UIPC
+    /// is resolved through the engine's own cached [`Engine::standalone`]
+    /// cells and fed to the allocator (the symbiosis signal), and the cache
+    /// digest covers both policy identities, the server shape, the *chosen
+    /// placement* and the offered names — so an allocation change that moves
+    /// a thread is a different cell even under the same allocator name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a workload name is unknown or the population does not fit
+    /// the server.
+    pub fn server(
+        &self,
+        spec: ServerSpec,
+        allocation: &dyn AllocationPolicy,
+        colocation: &dyn ColocationPolicy,
+        ls: &str,
+        batches: &[String],
+    ) -> ServerOutcome {
+        let threads: Vec<ThreadSpec> = std::iter::once(
+            ThreadSpec::latency_sensitive(ls).with_standalone_uipc(self.standalone(ls).uipc),
+        )
+        .chain(batches.iter().map(|name| {
+            ThreadSpec::batch(name.clone()).with_standalone_uipc(self.standalone(name).uipc)
+        }))
+        .collect();
+        let placement = allocation.assign(&threads, &spec);
+        let mut key = self.core_key("server/v1");
+        allocation.encode_key(&mut key);
+        colocation.encode_key(&mut key);
+        key.field(&spec).field(&placement);
+        let names: Vec<String> = threads.iter().map(|t| t.name.clone()).collect();
+        key.list(&names);
+        let what =
+            format!("server {} threads on {}x{}", names.len(), spec.cores, spec.threads_per_core);
+        self.run_cached(&key, &what, || {
+            run_server(&self.cfg, spec, allocation, colocation, &threads)
         })
     }
 
@@ -483,6 +553,70 @@ mod tests {
         // Same setup + same derived seed -> identical numbers.
         assert_eq!(a.ls_uipc.to_bits(), b.ls_uipc.to_bits());
         assert_eq!(a.batch_uipc.to_bits(), b.batch_uipc.to_bits());
+    }
+
+    #[test]
+    fn pair_and_smt_requests_share_one_cell() {
+        // A pair is the N = 1 face of the smt/v1 cell family: asking for the
+        // same grouping through either entry point must hit one cached cell.
+        let engine = Engine::new(quick_cfg());
+        let pair = engine.pair(&EqualPartition, "web-search", "zeusmp");
+        let smt = engine.smt(&EqualPartition, "web-search", &["zeusmp".to_string()]);
+        assert_eq!(engine.stats().misses, 1, "pair and smt must share the cell");
+        assert_eq!(engine.stats().memo_hits, 1);
+        assert_eq!(pair.ls_uipc.to_bits(), smt.uipcs[0].to_bits());
+        assert_eq!(pair.batch_uipc.to_bits(), smt.uipcs[1].to_bits());
+    }
+
+    #[test]
+    fn wider_smt_groupings_are_distinct_cells() {
+        let engine = Engine::new(quick_cfg());
+        let pair = engine.smt(&EqualPartition, "web-search", &["zeusmp".to_string()]);
+        let quad = engine.smt(
+            &EqualPartition,
+            "web-search",
+            &["zeusmp".to_string(), "gcc".to_string(), "mcf".to_string()],
+        );
+        assert_eq!(engine.stats().misses, 2, "the grouping width is part of the cell identity");
+        assert_eq!(pair.uipcs.len(), 2);
+        assert_eq!(quad.uipcs.len(), 4);
+        assert!(quad.uipcs.iter().all(|&u| u > 0.0));
+        assert!(pair.uipcs.iter().all(|&u| u > 0.0));
+        assert_eq!(quad.batch_throughput(), quad.uipcs[1..].iter().sum::<f64>());
+    }
+
+    #[test]
+    fn server_cells_survive_the_engine() {
+        let dir = temp_dir("server");
+        let spec = ServerSpec::new(2, 2);
+        let batches = vec!["zeusmp".to_string(), "gcc".to_string()];
+
+        let cold = Engine::new(quick_cfg()).with_store(&dir).expect("store opens");
+        let first = cold.server(spec, &cpu_sim::Greedy, &EqualPartition, "web-search", &batches);
+        // 3 stand-alone reference cells (the allocator's symbiosis signal)
+        // plus the whole-server cell itself.
+        assert_eq!(cold.stats().misses, 4);
+        assert_eq!(first.uipcs.len(), 3);
+        assert_eq!(first.cores, vec![vec![0], vec![1, 2]], "Greedy isolates the service");
+
+        let warm = Engine::new(quick_cfg()).with_store(&dir).expect("store opens");
+        let second = warm.server(spec, &cpu_sim::Greedy, &EqualPartition, "web-search", &batches);
+        assert_eq!(warm.sim_runs(), 0, "warm server rerun must not simulate");
+        assert_eq!(first, second);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn allocation_policies_are_distinct_server_cells() {
+        let engine = Engine::new(quick_cfg());
+        let spec = ServerSpec::new(2, 2);
+        let batches = vec!["zeusmp".to_string(), "gcc".to_string()];
+        let greedy = engine.server(spec, &cpu_sim::Greedy, &EqualPartition, "web-search", &batches);
+        let rr = engine.server(spec, &cpu_sim::RoundRobin, &EqualPartition, "web-search", &batches);
+        // 3 shared stand-alone cells + one server cell per allocation.
+        assert_eq!(engine.stats().misses, 5, "allocation identity must split server cells");
+        assert_ne!(greedy.cores, rr.cores, "the two allocators place threads differently");
+        assert_eq!(rr.cores, vec![vec![0, 2], vec![1]]);
     }
 
     #[test]

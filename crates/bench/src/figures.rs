@@ -17,7 +17,10 @@ use baselines::{
     DynamicSharing, FetchThrottling, HybridThrottleSkew, IdealScheduling, FETCH_THROTTLING_RATIOS,
 };
 use cluster_sim::{CaseStudy, DiurnalPattern, FleetScale, LoadBalancer};
-use cpu_sim::{EqualPartition, StudiedResource};
+use cpu_sim::{
+    AllocationPolicy, ColocationPolicy, EqualPartition, Greedy, RoundRobin, ServerSpec,
+    StudiedResource, SymbiosisAware,
+};
 use sim_model::{CoreConfig, ThreadId};
 use sim_qos::ServiceSpec;
 use sim_stats::DistributionSummary;
@@ -44,7 +47,7 @@ pub struct FigureSpec {
 
 /// The full registry, in paper order.
 pub fn all() -> &'static [FigureSpec] {
-    const ALL: [FigureSpec; 15] = [
+    const ALL: [FigureSpec; 16] = [
         FigureSpec {
             name: "figure01",
             title: "Web Search latency vs load against the QoS target",
@@ -106,6 +109,11 @@ pub fn all() -> &'static [FigureSpec] {
             name: "figure14_measured",
             title: "cluster case studies measured by the load-balanced fleet simulation",
             render: figure14_measured,
+        },
+        FigureSpec {
+            name: "figure15_allocation",
+            title: "allocation x colocation policies on a 2-core SMT4 server",
+            render: figure15_allocation,
         },
         FigureSpec {
             name: "tables",
@@ -929,6 +937,87 @@ pub fn figure14_measured(engine: &Engine) -> String {
     out
 }
 
+/// Figure 15 (extension): the two policy layers composed on one server.
+/// A 2-core SMT4 machine is offered the paper's "1 LS + 3 batch" population;
+/// every [`AllocationPolicy`] (which thread lands on which core) is crossed
+/// with every core-level partitioning (baseline equal shares vs Stretch
+/// B-mode), and each whole-server run is one cached engine cell.
+pub fn figure15_allocation(engine: &Engine) -> String {
+    let spec = ServerSpec::new(2, 4);
+    let batch_pool = engine.batch_names();
+    // Three batch co-runners drawn from the engine's batch list, cycling so
+    // the figure also renders under a reduced --matrix sub-study.
+    let batches: Vec<String> = (0..3).map(|i| batch_pool[i % batch_pool.len()].clone()).collect();
+    let allocations: [(&str, &dyn AllocationPolicy); 3] =
+        [("greedy", &Greedy), ("round-robin", &RoundRobin), ("symbiosis-aware", &SymbiosisAware)];
+    let b_mode = PinnedStretch::new(StretchMode::BatchBoost(RobSkew::recommended_b_mode()));
+    let colocations: [(&str, &dyn ColocationPolicy); 2] =
+        [("baseline equal", &EqualPartition), ("Stretch B-mode", &b_mode)];
+
+    let jobs: Vec<(String, usize, usize)> = engine
+        .ls_names()
+        .iter()
+        .flat_map(|ls| {
+            (0..allocations.len()).flat_map(move |a| {
+                let ls = ls.clone();
+                (0..colocations.len()).map(move |c| (ls.clone(), a, c))
+            })
+        })
+        .collect();
+    let outcomes = parallel_map(jobs.clone(), engine.cfg().workers(), |(ls, a, c)| {
+        engine.server(spec, allocations[*a].1, colocations[*c].1, ls, &batches)
+    });
+
+    let placement_label = |outcome: &crate::harness::ServerOutcome| -> String {
+        outcome
+            .cores
+            .iter()
+            .map(|core| {
+                if core.is_empty() {
+                    "-".to_string()
+                } else {
+                    core.iter()
+                        .map(|&t| if t == 0 { "LS".to_string() } else { format!("B{t}") })
+                        .collect::<Vec<_>>()
+                        .join("+")
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(" | ")
+    };
+
+    let mut table = TableWriter::new(
+        &format!(
+            "Figure 15: allocation x partitioning on {} cores x SMT{} (1 LS + {} batch)",
+            spec.cores,
+            spec.threads_per_core,
+            batches.len()
+        ),
+        &["LS service", "allocation", "partitioning", "placement", "LS retained", "batch thrpt"],
+    );
+    for ((ls, a, c), outcome) in jobs.iter().zip(&outcomes) {
+        let standalone = engine.standalone(ls).uipc;
+        table.row(&[
+            ls.clone(),
+            allocations[*a].0.to_string(),
+            colocations[*c].0.to_string(),
+            placement_label(outcome),
+            format!("{:.1}%", outcome.ls_uipc() / standalone * 100.0),
+            format!("{:.3} uIPC", outcome.batch_throughput()),
+        ]);
+    }
+    let mut out = table.render();
+    w!(out);
+    w!(out, "Greedy spreads the service onto its own core and packs the batch jobs together;");
+    w!(out, "round-robin deals threads across cores so the service always shares; the");
+    w!(out, "symbiosis-aware allocator pairs the fastest and slowest batch jobs with the");
+    w!(out, "service. The partitioning column then chooses how each occupied core splits its");
+    w!(out, "ROB/LSQ between its resident threads (static shares: an isolated service still");
+    w!(out, "holds only its partition). Each row is one whole-server engine cell, keyed by");
+    w!(out, "allocation identity, partitioning identity and the chosen placement.");
+    out
+}
+
 /// Tables I, II and III: workload specifications and simulated processor
 /// parameters. With `as_json` the tables are emitted as JSON documents for
 /// plotting scripts instead of fixed-width text.
@@ -1074,7 +1163,7 @@ mod tests {
     #[test]
     fn registry_covers_every_binary() {
         let names: Vec<&str> = all().iter().map(|f| f.name).collect();
-        assert_eq!(names.len(), 15);
+        assert_eq!(names.len(), 16);
         for expected in [
             "figure01",
             "figure02",
@@ -1090,6 +1179,7 @@ mod tests {
             "figure13",
             "figure14",
             "figure14_measured",
+            "figure15_allocation",
             "tables",
         ] {
             assert!(names.contains(&expected), "{expected} missing from registry");

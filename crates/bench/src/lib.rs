@@ -14,10 +14,12 @@
 //! * [`figures`] — every figure/table of the paper as a declarative
 //!   renderer over the engine, plus the registry the binaries dispatch on;
 //! * [`harness`] — the experiment configuration, the shared
-//!   [`harness::parallel_map`] worker pool, and the per-pairing
-//!   [`cpu_sim::Scenario`] runner the engine memoises. Every cell runs under
-//!   a [`cpu_sim::ColocationPolicy`] — Stretch and all baselines go through
-//!   one interface, and the cache digest covers the policy's identity;
+//!   [`harness::parallel_map`] worker pool, and the per-cell
+//!   [`cpu_sim::Scenario`] runners the engine memoises: SMT colocations of
+//!   `1 + N` threads under a [`cpu_sim::ColocationPolicy`] and whole-server
+//!   runs under a [`cpu_sim::AllocationPolicy`] above it — Stretch and all
+//!   baselines go through one interface, and the cache digest covers the
+//!   policy identities;
 //! * [`report`] — plain-text table formatting and cache-statistics reporting
 //!   shared by the binaries;
 //! * [`perf`] — the performance subsystem: a registry of fixed-length
@@ -40,6 +42,8 @@ pub mod report;
 pub mod store;
 
 pub use engine::{CacheStats, Engine};
-pub use harness::{batch_names, ls_names, pair_seed, ExperimentConfig, PairOutcome};
+pub use harness::{
+    batch_names, ls_names, pair_seed, ExperimentConfig, PairOutcome, ServerOutcome, SmtOutcome,
+};
 pub use report::{format_cache_stats, format_distribution_row, format_percent, TableWriter};
 pub use store::{JsonCodec, ResultStore};

@@ -33,7 +33,7 @@ use std::time::Instant;
 use cluster_sim::{CaseStudy, FleetScale, LoadBalancer};
 use cpu_sim::{EqualPartition, Scenario, SimLength};
 use serde_json::Value;
-use sim_model::ThreadId;
+use sim_model::{ThreadId, TraceSource};
 use sim_qos::{latency_vs_load, slack_curve, ServiceSpec, SimParams};
 use stretch::{PinnedStretch, RobSkew, StretchMode};
 use workloads::profile_by_name;
@@ -113,6 +113,33 @@ fn bench_cpu_pair_bmode() -> BenchWork {
     bench_cpu_pair(true)
 }
 
+fn bench_cpu_smt4() -> BenchWork {
+    // The T-thread generalisation's hot path: one LS service plus three
+    // batch co-runners sharing a single SMT4 core under Stretch B-mode.
+    // The two-thread pair benchmarks above keep their fingerprints across
+    // the generalisation (the T = 2 path is bit-exact); this one covers the
+    // wider fetch-arbitration and partitioning machinery they never touch.
+    let ls = profile_by_name("web-search").expect("known ls workload");
+    let batches: Vec<Box<dyn TraceSource + Send + Sync>> = ["zeusmp", "gcc", "mcf"]
+        .iter()
+        .map(|name| {
+            Box::new(profile_by_name(name).expect("known batch workload"))
+                as Box<dyn TraceSource + Send + Sync>
+        })
+        .collect();
+    let r = Scenario::colocate_n(ls, batches)
+        .policy(PinnedStretch::new(StretchMode::BatchBoost(RobSkew::recommended_b_mode())))
+        .length(SimLength::quick())
+        .seed(42)
+        .run();
+    let threads: Vec<_> = (0..4).map(|i| r.expect_thread(ThreadId::from_index(i))).collect();
+    BenchWork {
+        sim_cycles: threads.iter().map(|t| t.cycles).max().expect("four threads ran"),
+        requests: 0,
+        fingerprint: fingerprint(threads.iter().map(|t| t.uipc)),
+    }
+}
+
 fn bench_cpu_standalone() -> BenchWork {
     let r = Scenario::standalone(profile_by_name("web-search").expect("known workload"))
         .length(SimLength::quick())
@@ -172,7 +199,7 @@ fn bench_figures_quick_matrix() -> BenchWork {
 
 /// The benchmark registry, cheap layers first so `perf` gives early signal.
 pub fn registry() -> &'static [BenchSpec] {
-    const ALL: [BenchSpec; 7] = [
+    const ALL: [BenchSpec; 8] = [
         BenchSpec {
             name: "cpu/colocate-baseline",
             layer: "cpu",
@@ -184,6 +211,12 @@ pub fn registry() -> &'static [BenchSpec] {
             layer: "cpu",
             title: "web-search x zeusmp quick pair under Stretch B-mode 56-136",
             run: bench_cpu_pair_bmode,
+        },
+        BenchSpec {
+            name: "cpu/smt4-pair",
+            layer: "cpu",
+            title: "web-search x 3 batch co-runners on one SMT4 core under B-mode",
+            run: bench_cpu_smt4,
         },
         BenchSpec {
             name: "cpu/standalone-websearch",

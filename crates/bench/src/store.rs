@@ -31,7 +31,7 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use crate::harness::PairOutcome;
+use crate::harness::{PairOutcome, ServerOutcome, SmtOutcome};
 
 /// Explicit JSON conversion for store payloads (the vendored serde derives
 /// are no-op markers, so each payload type spells out its encoding).
@@ -71,6 +71,24 @@ impl<T: JsonCodec> JsonCodec for Vec<T> {
     }
 }
 
+impl JsonCodec for String {
+    fn to_json(&self) -> Value {
+        Value::from(self.as_str())
+    }
+    fn from_json(value: &Value) -> Option<String> {
+        value.as_str().map(str::to_string)
+    }
+}
+
+impl JsonCodec for usize {
+    fn to_json(&self) -> Value {
+        Value::from(*self as u64)
+    }
+    fn from_json(value: &Value) -> Option<usize> {
+        usize::try_from(value.as_u64()?).ok()
+    }
+}
+
 impl JsonCodec for PairOutcome {
     fn to_json(&self) -> Value {
         obj(vec![
@@ -86,6 +104,35 @@ impl JsonCodec for PairOutcome {
             batch: value.get("batch")?.as_str()?.to_string(),
             ls_uipc: value.get("ls_uipc")?.as_f64()?,
             batch_uipc: value.get("batch_uipc")?.as_f64()?,
+        })
+    }
+}
+
+impl JsonCodec for SmtOutcome {
+    fn to_json(&self) -> Value {
+        obj(vec![("names", self.names.to_json()), ("uipcs", self.uipcs.to_json())])
+    }
+    fn from_json(value: &Value) -> Option<SmtOutcome> {
+        Some(SmtOutcome {
+            names: Vec::from_json(value.get("names")?)?,
+            uipcs: Vec::from_json(value.get("uipcs")?)?,
+        })
+    }
+}
+
+impl JsonCodec for ServerOutcome {
+    fn to_json(&self) -> Value {
+        obj(vec![
+            ("names", self.names.to_json()),
+            ("cores", self.cores.to_json()),
+            ("uipcs", self.uipcs.to_json()),
+        ])
+    }
+    fn from_json(value: &Value) -> Option<ServerOutcome> {
+        Some(ServerOutcome {
+            names: Vec::from_json(value.get("names")?)?,
+            cores: Vec::from_json(value.get("cores")?)?,
+            uipcs: Vec::from_json(value.get("uipcs")?)?,
         })
     }
 }
@@ -373,6 +420,27 @@ mod tests {
         assert_eq!(loaded.ls_uipc.to_bits(), outcome.ls_uipc.to_bits(), "f64 must be bit-exact");
         assert_eq!(store.entries().unwrap(), 1);
         let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn smt_and_server_outcomes_round_trip() {
+        let smt = SmtOutcome {
+            names: vec!["web-search".to_string(), "zeusmp".to_string(), "gcc".to_string()],
+            uipcs: vec![0.7182818284590452, 0.3141592653589793, 0.5772156649015329],
+        };
+        let restored = SmtOutcome::from_json(&smt.to_json()).unwrap();
+        assert_eq!(restored, smt);
+        assert_eq!(restored.uipcs[0].to_bits(), smt.uipcs[0].to_bits(), "f64 must be bit-exact");
+
+        let server = ServerOutcome {
+            names: smt.names.clone(),
+            cores: vec![vec![0], vec![1, 2]],
+            uipcs: smt.uipcs.clone(),
+        };
+        let restored = ServerOutcome::from_json(&server.to_json()).unwrap();
+        assert_eq!(restored, server);
+        // A malformed placement is a miss, not a panic.
+        assert!(ServerOutcome::from_json(&obj(vec![("names", Value::Null)])).is_none());
     }
 
     #[test]

@@ -23,6 +23,11 @@
 //!   (`tests/fleet.rs` pins this).
 //! * [`diurnal`] — the parametric diurnal load curves of Figure 14 shared
 //!   by both routes (shapes from Meisner et al. and Gill et al.).
+//! * [`server`] — the lowering of the generalised M-core × T-thread server
+//!   model: a [`MeasuredServer`] derives the fleet's per-mode performance
+//!   table from cycle-level whole-server runs under an
+//!   [`cpu_sim::AllocationPolicy`], instead of a hand-fed table or a lone
+//!   SMT pair.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,6 +35,7 @@
 pub mod case_study;
 pub mod diurnal;
 pub mod fleet;
+pub mod server;
 
 pub use case_study::{CaseStudy, CaseStudyReport};
 pub use diurnal::{day_steps, DiurnalPattern, LoadSample};
@@ -37,3 +43,4 @@ pub use fleet::{
     calibrated_monitor, calibrated_monitor_with_peak, measured_peak_rps, server_seed, Fleet,
     FleetConfig, FleetIntervalReport, FleetReport, FleetScale, LoadBalancer, ServerSummary,
 };
+pub use server::{MeasuredServer, ServerModeMeasurement, ServerWorkloads};

@@ -79,31 +79,44 @@ impl BranchStats {
 pub struct BranchPredictor {
     cfg: BranchPredictorConfig,
     sharing: Sharing,
-    /// One table set when shared, two when private per thread.
+    /// One table set when shared, one per thread when private.
     tables: Vec<PredictorTables>,
     /// Per-thread global history (always private).
-    history: [u64; 2],
+    history: Vec<u64>,
     /// Per-thread return address stacks (always private).
-    ras: [Vec<u64>; 2],
-    stats: [BranchStats; 2],
+    ras: Vec<Vec<u64>>,
+    stats: Vec<BranchStats>,
 }
 
 impl BranchPredictor {
-    /// Builds the predictor with the given table sharing mode.
+    /// Builds the predictor with the given table sharing mode, for the
+    /// classic dual-threaded core.
     pub fn new(cfg: BranchPredictorConfig, sharing: Sharing) -> BranchPredictor {
-        let tables = match sharing {
-            Sharing::Shared => vec![PredictorTables::new(&cfg)],
-            Sharing::PrivatePerThread => {
-                vec![PredictorTables::new(&cfg), PredictorTables::new(&cfg)]
-            }
+        BranchPredictor::with_threads(cfg, sharing, 2)
+    }
+
+    /// Builds the predictor for a core with `threads` hardware threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn with_threads(
+        cfg: BranchPredictorConfig,
+        sharing: Sharing,
+        threads: usize,
+    ) -> BranchPredictor {
+        assert!(threads >= 1, "a branch predictor needs at least one thread");
+        let copies = match sharing {
+            Sharing::Shared => 1,
+            Sharing::PrivatePerThread => threads,
         };
         BranchPredictor {
             cfg,
             sharing,
-            tables,
-            history: [0; 2],
-            ras: [Vec::new(), Vec::new()],
-            stats: [BranchStats::default(); 2],
+            tables: (0..copies).map(|_| PredictorTables::new(&cfg)).collect(),
+            history: vec![0; threads],
+            ras: vec![Vec::new(); threads],
+            stats: vec![BranchStats::default(); threads],
         }
     }
 
@@ -217,7 +230,7 @@ impl BranchPredictor {
 
     /// Resets statistics (not predictor state).
     pub fn reset_stats(&mut self) {
-        self.stats = [BranchStats::default(); 2];
+        self.stats.fill(BranchStats::default());
     }
 
     /// Sharing mode of the predictor tables.

@@ -1,10 +1,14 @@
-//! The dual-threaded SMT out-of-order core model.
+//! The SMT out-of-order core model (T hardware threads; the paper's core is
+//! the T = 2 instance).
 //!
 //! The pipeline implements the Table II core: a 6-wide front end with ICOUNT
 //! thread selection, a hybrid branch predictor, shared or private L1 caches,
 //! a 192-entry ROB and 64-entry LSQ with per-thread limit/usage registers
 //! (the structures Stretch reprograms), a Table II functional-unit mix, and
-//! 6-wide round-robin commit.
+//! 6-wide round-robin commit. The SMT width is set at build time via
+//! [`SmtCoreBuilder::smt_width`]; every arbiter (fetch selection, dispatch
+//! preference, issue and commit round-robin) rotates over all T threads and
+//! reduces exactly to the classic pair behaviour at T = 2.
 //!
 //! The model is trace-driven and cycle-level: every cycle it completes
 //! finished instructions, commits from the ROB heads, issues ready
@@ -158,10 +162,10 @@ pub struct SmtCore {
     partition: PartitionPolicy,
     now: Cycle,
     next_id: u64,
-    threads: [ThreadState; 2],
+    threads: Vec<ThreadState>,
     /// Ids of instructions that have not yet completed execution.
     incomplete: IdSet,
-    /// Round-robin commit preference (alternates each cycle).
+    /// Round-robin commit preference (rotates each cycle).
     commit_preference: usize,
     total_cycles_run: u64,
     /// Reusable scratch for `issue`'s ready-entry positions; allocating it
@@ -171,34 +175,55 @@ pub struct SmtCore {
     scratch_blocks: Vec<u64>,
     /// Reusable scratch for `flush_thread`'s squashed micro-ops.
     scratch_squashed: Vec<MicroOp>,
+    /// Reusable scratch for `fetch`'s per-thread in-flight counts.
+    scratch_in_flight: Vec<usize>,
+    /// Reusable scratch for `fetch`'s per-thread activity flags.
+    scratch_active: Vec<bool>,
 }
 
 /// Builder for [`SmtCore`].
 pub struct SmtCoreBuilder {
     cfg: CoreConfig,
     fetch_policy: FetchPolicy,
-    partition: PartitionPolicy,
+    partition: Option<PartitionPolicy>,
     l1i_sharing: Sharing,
     l1d_sharing: Sharing,
     bp_sharing: Sharing,
-    traces: [Option<BoxedTrace>; 2],
+    smt_width: usize,
+    traces: Vec<Option<BoxedTrace>>,
 }
 
 impl SmtCoreBuilder {
     /// Starts a builder with the given core configuration, the baseline
-    /// ICOUNT fetch policy, equal ROB/LSQ partitioning and shared L1s and
-    /// branch predictor — the §V-A baseline core.
+    /// ICOUNT fetch policy, equal ROB/LSQ partitioning, shared L1s and branch
+    /// predictor, and the classic SMT-2 width — the §V-A baseline core.
     pub fn new(cfg: CoreConfig) -> SmtCoreBuilder {
-        let partition = PartitionPolicy::equal(&cfg);
         SmtCoreBuilder {
             cfg,
             fetch_policy: FetchPolicy::ICount,
-            partition,
+            partition: None,
             l1i_sharing: Sharing::Shared,
             l1d_sharing: Sharing::Shared,
             bp_sharing: Sharing::Shared,
-            traces: [None, None],
+            smt_width: 2,
+            traces: vec![None, None],
         }
+    }
+
+    /// Sets the number of hardware threads (SMT width, T ≥ 1).
+    ///
+    /// Traces already attached to threads at or above the new width are
+    /// dropped. Unless an explicit [`SmtCoreBuilder::partition`] is given,
+    /// the default partition becomes the equal T-way split.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn smt_width(mut self, width: usize) -> SmtCoreBuilder {
+        assert!(width >= 1, "a core needs at least one hardware thread");
+        self.smt_width = width;
+        self.traces.resize_with(width, || None);
+        self
     }
 
     /// Sets the fetch (thread selection) policy.
@@ -207,9 +232,10 @@ impl SmtCoreBuilder {
         self
     }
 
-    /// Sets the ROB/LSQ partitioning policy.
+    /// Sets the ROB/LSQ partitioning policy. When not called, the core uses
+    /// the equal split across its SMT width.
     pub fn partition(mut self, partition: PartitionPolicy) -> SmtCoreBuilder {
-        self.partition = partition;
+        self.partition = Some(partition);
         self
     }
 
@@ -232,7 +258,16 @@ impl SmtCoreBuilder {
     }
 
     /// Attaches a workload trace to a hardware thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` is outside the configured SMT width.
     pub fn thread(mut self, thread: ThreadId, trace: BoxedTrace) -> SmtCoreBuilder {
+        assert!(
+            thread.index() < self.smt_width,
+            "thread {thread} out of range for an SMT-{} core (set smt_width first)",
+            self.smt_width
+        );
         self.traces[thread.index()] = Some(trace);
         self
     }
@@ -241,25 +276,37 @@ impl SmtCoreBuilder {
     ///
     /// # Panics
     ///
-    /// Panics if the core configuration fails validation.
+    /// Panics if the core configuration fails validation, or if an explicit
+    /// static partition does not cover exactly the configured SMT width.
     pub fn build(self) -> SmtCore {
         self.cfg.validate().expect("invalid core configuration");
+        let partition =
+            self.partition.unwrap_or_else(|| PartitionPolicy::equal_n(&self.cfg, self.smt_width));
+        if let Some(covered) = partition.threads() {
+            assert!(
+                covered == self.smt_width,
+                "partition covers {covered} threads but the core has {}",
+                self.smt_width
+            );
+        }
         let mut hier_cfg = HierarchyConfig::from_core(&self.cfg);
+        hier_cfg.threads = self.smt_width;
         hier_cfg.l1i_sharing = self.l1i_sharing;
         hier_cfg.l1d_sharing = self.l1d_sharing;
         let mem = MemoryHierarchy::new(hier_cfg);
-        let bp = BranchPredictor::new(self.cfg.branch, self.bp_sharing);
-        let mut threads = [ThreadState::new(), ThreadState::new()];
-        let [t0, t1] = self.traces;
-        threads[0].trace = t0;
-        threads[1].trace = t1;
+        let bp = BranchPredictor::with_threads(self.cfg.branch, self.bp_sharing, self.smt_width);
+        let mut threads: Vec<ThreadState> =
+            (0..self.smt_width).map(|_| ThreadState::new()).collect();
+        for (state, trace) in threads.iter_mut().zip(self.traces) {
+            state.trace = trace;
+        }
         SmtCore {
             cfg: self.cfg,
             mem,
             bp,
             fetch_policy: self.fetch_policy,
             scheduler: FetchScheduler::new(),
-            partition: self.partition,
+            partition,
             now: 0,
             next_id: 0,
             threads,
@@ -269,6 +316,8 @@ impl SmtCoreBuilder {
             scratch_ready: Vec::new(),
             scratch_blocks: Vec::new(),
             scratch_squashed: Vec::new(),
+            scratch_in_flight: Vec::new(),
+            scratch_active: Vec::new(),
         }
     }
 }
@@ -290,8 +339,13 @@ impl SmtCore {
     }
 
     /// Current partitioning policy.
-    pub fn partition(&self) -> PartitionPolicy {
-        self.partition
+    pub fn partition(&self) -> &PartitionPolicy {
+        &self.partition
+    }
+
+    /// Number of hardware threads (SMT width) of this core.
+    pub fn smt_width(&self) -> usize {
+        self.threads.len()
     }
 
     /// Per-thread statistics.
@@ -348,9 +402,16 @@ impl SmtCore {
     /// pipeline flush of both threads; set `flush` to `false` only for
     /// experiments that want to isolate the steady-state effect.
     pub fn set_partition(&mut self, partition: PartitionPolicy, flush: bool) {
+        if let Some(covered) = partition.threads() {
+            assert!(
+                covered == self.threads.len(),
+                "partition covers {covered} threads but the core has {}",
+                self.threads.len()
+            );
+        }
         self.partition = partition;
         if flush {
-            for thread in ThreadId::ALL {
+            for thread in ThreadId::first_n(self.threads.len()) {
                 self.flush_thread(thread, true);
             }
         }
@@ -398,11 +459,11 @@ impl SmtCore {
     }
 
     fn total_rob_occupancy(&self) -> usize {
-        self.threads[0].rob.len() + self.threads[1].rob.len()
+        self.threads.iter().map(|t| t.rob.len()).sum()
     }
 
     fn total_lsq_occupancy(&self) -> usize {
-        self.threads[0].lsq_occupancy + self.threads[1].lsq_occupancy
+        self.threads.iter().map(|t| t.lsq_occupancy).sum()
     }
 
     /// Advances the core by one cycle.
@@ -441,7 +502,7 @@ impl SmtCore {
     fn complete(&mut self) {
         let now = self.now;
         let penalty = self.cfg.pipeline_flush_cycles;
-        for idx in 0..2 {
+        for idx in 0..self.threads.len() {
             let mut resolved_branch: Option<u64> = None;
             let mut flush = false;
             {
@@ -470,12 +531,13 @@ impl SmtCore {
     }
 
     fn commit(&mut self) {
+        let threads = self.threads.len();
         let width = self.cfg.commit_width;
         let mut committed = 0usize;
         let first = self.commit_preference;
-        self.commit_preference = (self.commit_preference + 1) % 2;
-        for offset in 0..2 {
-            let idx = (first + offset) % 2;
+        self.commit_preference = (self.commit_preference + 1) % threads;
+        for offset in 0..threads {
+            let idx = (first + offset) % threads;
             while committed < width {
                 let Some(head) = self.threads[idx].rob.front() else { break };
                 if head.status != EntryStatus::Completed {
@@ -509,11 +571,12 @@ impl SmtCore {
         let mut fu_mul = self.cfg.fus.int_mul;
         let mut fu_fp = self.cfg.fus.fpu;
         let mut fu_lsu = self.cfg.fus.lsu;
-        let first = (self.now % 2) as usize;
+        let threads = self.threads.len();
+        let first = (self.now % threads as u64) as usize;
         let now = self.now;
 
-        for offset in 0..2 {
-            let idx = (first + offset) % 2;
+        for offset in 0..threads {
+            let idx = (first + offset) % threads;
             if issue_budget == 0 {
                 break;
             }
@@ -585,12 +648,19 @@ impl SmtCore {
     }
 
     fn dispatch(&mut self) {
+        let threads = self.threads.len();
         let width = self.cfg.dispatch_width;
         let mut budget = width;
-        // Prefer the thread with fewer in-flight instructions (ICOUNT spirit).
-        let first = if self.threads[0].in_flight() <= self.threads[1].in_flight() { 0 } else { 1 };
-        for offset in 0..2 {
-            let idx = (first + offset) % 2;
+        // Prefer the thread with fewest in-flight instructions (ICOUNT
+        // spirit); ties go to the lowest thread index.
+        let mut first = 0;
+        for idx in 1..threads {
+            if self.threads[idx].in_flight() < self.threads[first].in_flight() {
+                first = idx;
+            }
+        }
+        for offset in 0..threads {
+            let idx = (first + offset) % threads;
             let thread = ThreadId::from_index(idx);
             // The partition does not change mid-dispatch, so the per-thread
             // limits are loop invariants; only the occupancies move.
@@ -646,18 +716,29 @@ impl SmtCore {
     }
 
     fn fetch(&mut self) {
-        let in_flight = [self.threads[0].in_flight(), self.threads[1].in_flight()];
-        let active = [self.threads[0].active(), self.threads[1].active()];
-        let Some(preferred) = self.scheduler.select(self.fetch_policy, in_flight, active) else {
+        let threads = self.threads.len();
+        let mut in_flight = std::mem::take(&mut self.scratch_in_flight);
+        let mut active = std::mem::take(&mut self.scratch_active);
+        in_flight.clear();
+        in_flight.extend(self.threads.iter().map(ThreadState::in_flight));
+        active.clear();
+        active.extend(self.threads.iter().map(ThreadState::active));
+        let preferred = self.scheduler.select(self.fetch_policy, &in_flight, &active);
+        self.scratch_in_flight = in_flight;
+        self.scratch_active = active;
+        let Some(preferred) = preferred else {
             return;
         };
         // Try the preferred thread; if it cannot fetch a single instruction
-        // this cycle, switch to the other thread (ICOUNT switching rule).
-        let fetched = self.fetch_thread(preferred);
-        if fetched == 0 {
-            let other = preferred.other();
-            if self.threads[other.index()].active() {
-                self.fetch_thread(other);
+        // this cycle, switch to the next active thread in cyclic index order
+        // (the ICOUNT switching rule; "the other thread" on the pair).
+        if self.fetch_thread(preferred) > 0 {
+            return;
+        }
+        for offset in 1..threads {
+            let idx = (preferred.index() + offset) % threads;
+            if self.threads[idx].active() && self.fetch_thread(ThreadId::from_index(idx)) > 0 {
+                return;
             }
         }
     }
@@ -758,7 +839,7 @@ impl SmtCore {
     }
 
     fn census(&mut self) {
-        for thread in ThreadId::ALL {
+        for thread in ThreadId::first_n(self.threads.len()) {
             if self.threads[thread.index()].active() {
                 let outstanding = self.mem.outstanding_misses(thread);
                 self.threads[thread.index()].mlp.record(outstanding);
@@ -916,7 +997,7 @@ mod tests {
         let cfg = CoreConfig::default();
         let run = |rob: usize| -> f64 {
             let mut core = SmtCoreBuilder::new(cfg)
-                .partition(PartitionPolicy::Static { rob: [rob, rob], lsq: [32, 32] })
+                .partition(PartitionPolicy::Static { rob: vec![rob, rob], lsq: vec![32, 32] })
                 .thread(ThreadId::T0, StreamingLoads::boxed(7))
                 .build();
             core.run_instructions(ThreadId::T0, 5_000, 2_000_000);
@@ -1038,6 +1119,63 @@ mod tests {
         alu_core.run_instructions(ThreadId::T0, 10_000, 500_000);
         let alu_ipc = alu_core.committed(ThreadId::T0) as f64 / alu_core.cycles() as f64;
         assert!(ipc < alu_ipc, "mispredictions must cost performance");
+    }
+
+    #[test]
+    fn smt4_core_runs_all_four_threads() {
+        let cfg = CoreConfig::default();
+        let mut builder = SmtCoreBuilder::new(cfg).smt_width(4);
+        for t in ThreadId::first_n(4) {
+            builder = builder.thread(t, AluLoop::boxed());
+        }
+        let mut core = builder.build();
+        assert_eq!(core.smt_width(), 4);
+        assert_eq!(core.partition().rob_limit(&cfg, ThreadId::from_index(3)), 48);
+        for _ in 0..20_000 {
+            core.step();
+        }
+        for t in ThreadId::first_n(4) {
+            assert!(core.committed(t) > 1_000, "thread {t} starved: {}", core.committed(t));
+        }
+    }
+
+    #[test]
+    fn smt4_runs_are_deterministic() {
+        let run = || {
+            let cfg = CoreConfig::default();
+            let mut core = SmtCoreBuilder::new(cfg)
+                .smt_width(4)
+                .thread(ThreadId::T0, PointerChase::boxed(3))
+                .thread(ThreadId::T1, StreamingLoads::boxed(5))
+                .thread(ThreadId::from_index(2), AluLoop::boxed())
+                .thread(ThreadId::from_index(3), StreamingLoads::boxed(7))
+                .build();
+            for _ in 0..30_000 {
+                core.step();
+            }
+            ThreadId::first_n(4).map(|t| core.committed(t)).collect::<Vec<u64>>()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "identical SMT4 runs must commit identical counts");
+        assert!(a.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn builder_rejects_thread_beyond_width() {
+        let _ = SmtCoreBuilder::new(CoreConfig::default())
+            .thread(ThreadId::from_index(2), AluLoop::boxed());
+    }
+
+    #[test]
+    #[should_panic(expected = "partition covers")]
+    fn builder_rejects_mismatched_partition_width() {
+        let cfg = CoreConfig::default();
+        let _ = SmtCoreBuilder::new(cfg)
+            .smt_width(4)
+            .partition(PartitionPolicy::equal(&cfg)) // 2-thread split on a 4-thread core
+            .build();
     }
 
     #[test]

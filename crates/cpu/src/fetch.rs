@@ -64,6 +64,10 @@ impl CanonicalKey for FetchPolicy {
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct FetchScheduler {
     cycle: u64,
+    /// Rotation counter for the non-throttled group under
+    /// [`FetchPolicy::Throttled`]; advances only when a non-throttled thread
+    /// is granted, so the batch threads share their cycles fairly.
+    batch_rotation: u64,
 }
 
 impl FetchScheduler {
@@ -77,48 +81,71 @@ impl FetchScheduler {
     /// `in_flight` is the number of in-flight instructions per thread (fetch
     /// buffer plus ROB occupancy), used by ICOUNT. `active` marks threads that
     /// actually have a workload attached (single-thread runs only activate
-    /// one). The core may still fall back to the other thread when the
+    /// one). Both slices are indexed by [`ThreadId::index`] and must agree on
+    /// the SMT width. The core may still fall back to another thread when the
     /// preferred one cannot fetch this cycle.
     pub fn select(
         &mut self,
         policy: FetchPolicy,
-        in_flight: [usize; 2],
-        active: [bool; 2],
+        in_flight: &[usize],
+        active: &[bool],
     ) -> Option<ThreadId> {
+        debug_assert_eq!(in_flight.len(), active.len());
+        let threads = active.len();
         self.cycle += 1;
-        match (active[0], active[1]) {
-            (false, false) => return None,
-            (true, false) => return Some(ThreadId::T0),
-            (false, true) => return Some(ThreadId::T1),
-            (true, true) => {}
+        let active_count = active.iter().filter(|&&a| a).count();
+        if active_count == 0 {
+            return None;
+        }
+        if active_count == 1 {
+            let only = active.iter().position(|&a| a).expect("one thread is active");
+            return Some(ThreadId::from_index(only));
         }
         let preferred = match policy {
             FetchPolicy::ICount => {
-                if in_flight[0] <= in_flight[1] {
-                    ThreadId::T0
-                } else {
-                    ThreadId::T1
+                // Fewest in-flight instructions wins; ties go to the lowest
+                // thread index (T0 on the classic pair).
+                let mut best = None;
+                for (i, &count) in in_flight.iter().enumerate() {
+                    if !active[i] {
+                        continue;
+                    }
+                    best = match best {
+                        Some((_, best_count)) if best_count <= count => best,
+                        _ => Some((i, count)),
+                    };
                 }
+                best.expect("at least two threads are active").0
             }
             FetchPolicy::RoundRobin => {
-                if self.cycle.is_multiple_of(2) {
-                    ThreadId::T0
-                } else {
-                    ThreadId::T1
-                }
+                // Rotate through the thread slots, skipping inactive ones.
+                let start = (self.cycle % threads as u64) as usize;
+                (0..threads)
+                    .map(|offset| (start + offset) % threads)
+                    .find(|&i| active[i])
+                    .expect("at least two threads are active")
             }
             FetchPolicy::Throttled { throttled, ratio } => {
                 // Out of every (ratio + 1) cycles, exactly one goes to the
-                // throttled thread.
+                // throttled thread; the rest rotate through the non-throttled
+                // group.
                 let slot = self.cycle % (u64::from(ratio) + 1);
-                if slot == 0 {
-                    throttled
+                if slot == 0 && active[throttled.index()] {
+                    throttled.index()
                 } else {
-                    throttled.other()
+                    let batch: Vec<usize> =
+                        (0..threads).filter(|&i| i != throttled.index() && active[i]).collect();
+                    if batch.is_empty() {
+                        throttled.index()
+                    } else {
+                        let pick = batch[(self.batch_rotation % batch.len() as u64) as usize];
+                        self.batch_rotation += 1;
+                        pick
+                    }
                 }
             }
         };
-        Some(preferred)
+        Some(ThreadId::from_index(preferred))
     }
 }
 
@@ -129,28 +156,53 @@ mod tests {
     #[test]
     fn icount_prefers_emptier_thread() {
         let mut s = FetchScheduler::new();
-        assert_eq!(s.select(FetchPolicy::ICount, [10, 3], [true, true]), Some(ThreadId::T1));
-        assert_eq!(s.select(FetchPolicy::ICount, [2, 30], [true, true]), Some(ThreadId::T0));
+        assert_eq!(s.select(FetchPolicy::ICount, &[10, 3], &[true, true]), Some(ThreadId::T1));
+        assert_eq!(s.select(FetchPolicy::ICount, &[2, 30], &[true, true]), Some(ThreadId::T0));
         // Ties go to T0.
-        assert_eq!(s.select(FetchPolicy::ICount, [5, 5], [true, true]), Some(ThreadId::T0));
+        assert_eq!(s.select(FetchPolicy::ICount, &[5, 5], &[true, true]), Some(ThreadId::T0));
+    }
+
+    #[test]
+    fn icount_generalises_to_smt4() {
+        let mut s = FetchScheduler::new();
+        assert_eq!(
+            s.select(FetchPolicy::ICount, &[9, 4, 2, 7], &[true; 4]),
+            Some(ThreadId::from_index(2))
+        );
+        // Inactive threads never win, even when empty.
+        assert_eq!(
+            s.select(FetchPolicy::ICount, &[9, 4, 0, 7], &[true, true, false, true]),
+            Some(ThreadId::T1)
+        );
     }
 
     #[test]
     fn single_active_thread_always_selected() {
         let mut s = FetchScheduler::new();
-        assert_eq!(s.select(FetchPolicy::ICount, [100, 0], [true, false]), Some(ThreadId::T0));
-        assert_eq!(s.select(FetchPolicy::RoundRobin, [0, 0], [false, true]), Some(ThreadId::T1));
-        assert_eq!(s.select(FetchPolicy::ICount, [0, 0], [false, false]), None);
+        assert_eq!(s.select(FetchPolicy::ICount, &[100, 0], &[true, false]), Some(ThreadId::T0));
+        assert_eq!(s.select(FetchPolicy::RoundRobin, &[0, 0], &[false, true]), Some(ThreadId::T1));
+        assert_eq!(s.select(FetchPolicy::ICount, &[0, 0], &[false, false]), None);
     }
 
     #[test]
     fn round_robin_alternates() {
         let mut s = FetchScheduler::new();
         let picks: Vec<ThreadId> = (0..4)
-            .map(|_| s.select(FetchPolicy::RoundRobin, [0, 0], [true, true]).unwrap())
+            .map(|_| s.select(FetchPolicy::RoundRobin, &[0, 0], &[true, true]).unwrap())
             .collect();
         assert_ne!(picks[0], picks[1]);
         assert_eq!(picks[0], picks[2]);
+    }
+
+    #[test]
+    fn round_robin_visits_every_smt4_thread() {
+        let mut s = FetchScheduler::new();
+        let mut counts = [0usize; 4];
+        for _ in 0..400 {
+            let t = s.select(FetchPolicy::RoundRobin, &[0; 4], &[true; 4]).unwrap();
+            counts[t.index()] += 1;
+        }
+        assert_eq!(counts, [100, 100, 100, 100]);
     }
 
     #[test]
@@ -160,14 +212,34 @@ mod tests {
         let mut t0 = 0;
         let mut t1 = 0;
         for _ in 0..500 {
-            match s.select(policy, [0, 0], [true, true]).unwrap() {
-                ThreadId::T0 => t0 += 1,
-                ThreadId::T1 => t1 += 1,
+            let t = s.select(policy, &[0, 0], &[true, true]).unwrap();
+            if t == ThreadId::T0 {
+                t0 += 1;
+            } else {
+                t1 += 1;
             }
         }
         // Expect roughly a 1:4 split.
         assert_eq!(t0, 100);
         assert_eq!(t1, 400);
+    }
+
+    #[test]
+    fn throttled_batch_group_rotates_fairly_on_smt4() {
+        let mut s = FetchScheduler::new();
+        let policy = FetchPolicy::throttled(ThreadId::T0, 2);
+        let mut counts = [0usize; 4];
+        for _ in 0..300 {
+            let t = s.select(policy, &[0; 4], &[true; 4]).unwrap();
+            counts[t.index()] += 1;
+        }
+        // One cycle in three goes to the throttled LS thread; the other two
+        // rotate across the three batch threads.
+        assert_eq!(counts[0], 100);
+        assert_eq!(counts[1] + counts[2] + counts[3], 200);
+        for &c in &counts[1..] {
+            assert!((66..=67).contains(&c), "batch share skewed: {counts:?}");
+        }
     }
 
     #[test]

@@ -1,19 +1,26 @@
-//! Cycle-level dual-thread SMT out-of-order core model for the Stretch
-//! (HPCA'19) reproduction.
+//! Cycle-level SMT-T out-of-order core model for the Stretch (HPCA'19)
+//! reproduction.
 //!
 //! The crate provides:
 //!
-//! * [`core::SmtCore`] / [`core::SmtCoreBuilder`] — the Table II core:
-//!   6-wide out-of-order pipeline, hybrid branch prediction, shared or
-//!   private L1 caches, a 192-entry ROB and 64-entry LSQ with per-thread
+//! * [`core::SmtCore`] / [`core::SmtCoreBuilder`] — the Table II core,
+//!   generalised to T hardware threads (T ≥ 1, default the paper's SMT
+//!   pair): 6-wide out-of-order pipeline, hybrid branch prediction, shared
+//!   or private L1 caches, a 192-entry ROB and 64-entry LSQ with per-thread
 //!   limit/usage partition registers, and ICOUNT/round-robin/fetch-throttled
 //!   thread selection.
 //! * [`partition::PartitionPolicy`] — the limit-register programming model
-//!   that Stretch's control register drives.
+//!   that Stretch's control register drives, as per-thread share vectors.
 //! * [`fetch::FetchPolicy`] — ICOUNT, round-robin and 1:M fetch throttling.
 //! * [`policy`] — the [`ColocationPolicy`] trait every resource-allocation
-//!   scheme (Stretch and all baselines) implements, plus the static
-//!   [`EqualPartition`] / [`PrivateCore`] policies.
+//!   scheme (Stretch and all baselines) implements, parameterised by a
+//!   [`ColocationTopology`] (SMT width + which thread is the
+//!   latency-sensitive one), plus the static [`EqualPartition`] /
+//!   [`PrivateCore`] policies.
+//! * [`allocation`] — the [`AllocationPolicy`] layer *above* colocation:
+//!   which threads land on which core of an M-core server, with
+//!   [`Greedy`] / [`RoundRobin`] / [`SymbiosisAware`] reference allocators
+//!   and the [`ServerScenario`] runner composing both layers.
 //! * [`scenario`] — the [`Scenario`] builder, the single entry point for
 //!   stand-alone and colocated runs under any policy.
 //! * [`runner`] — the measurement loop ([`run_core`]) and the UIPC figure of
@@ -47,6 +54,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod allocation;
 pub mod branch;
 pub mod core;
 pub mod fetch;
@@ -57,10 +65,16 @@ pub mod runner;
 pub mod scenario;
 
 pub use crate::core::{SmtCore, SmtCoreBuilder, ThreadStats};
+pub use allocation::{
+    AllocationPolicy, Greedy, Placement, RoundRobin, ServerRunResult, ServerScenario, ServerSpec,
+    ServerThread, SymbiosisAware, ThreadSpec,
+};
 pub use branch::{BranchPredictor, BranchStats, Prediction};
 pub use fetch::{FetchPolicy, FetchScheduler};
 pub use partition::PartitionPolicy;
-pub use policy::{ColocationPolicy, EqualPartition, PolicyAction, PrivateCore, QosObservation};
+pub use policy::{
+    ColocationPolicy, ColocationTopology, EqualPartition, PolicyAction, PrivateCore, QosObservation,
+};
 pub use resource_study::StudiedResource;
 pub use runner::{run_core, ColocationResult, CoreSetup, SimLength, ThreadRunResult};
-pub use scenario::{pair_seed, Scenario};
+pub use scenario::{colocation_seed, pair_seed, Scenario};

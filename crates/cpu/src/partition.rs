@@ -7,12 +7,18 @@
 //! core partitions both structures equally; Stretch reprograms the limit
 //! registers to asymmetric values; dynamic sharing sets both limits to the
 //! full capacity (bounded only by total occupancy).
+//!
+//! The limit registers are per-thread *vectors* sized to the core's SMT width
+//! (T ≥ 1); the dual-threaded constructors ([`PartitionPolicy::equal`],
+//! [`PartitionPolicy::rob_split`]) remain as thin T=2 wrappers. All share
+//! vectors are validated at construction time: a partitioning must cover at
+//! least one thread, and explicit splits must fit the physical capacity.
 
 use serde::{Deserialize, Serialize};
 use sim_model::{CanonicalKey, CoreConfig, KeyEncoder, ThreadId};
 
-/// How the ROB and LSQ are divided between the two hardware threads.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// How the ROB and LSQ are divided between the core's hardware threads.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum PartitionPolicy {
     /// Static partitioning with explicit per-thread limits.
     ///
@@ -20,53 +26,126 @@ pub enum PartitionPolicy {
     /// baseline; asymmetric splits are the Stretch B-/Q-modes.
     Static {
         /// ROB entries available to each thread, indexed by [`ThreadId::index`].
-        rob: [usize; 2],
+        rob: Vec<usize>,
         /// LSQ entries available to each thread.
-        lsq: [usize; 2],
+        lsq: Vec<usize>,
     },
-    /// Fully dynamic sharing: either thread may occupy any entry; only the
+    /// Fully dynamic sharing: any thread may occupy any entry; only the
     /// total capacity constrains occupancy (the Figure 11 configuration).
     Dynamic,
 }
 
 impl PartitionPolicy {
-    /// The baseline equal partitioning for a given core configuration.
+    /// The baseline equal partitioning of the classic dual-threaded core.
     pub fn equal(cfg: &CoreConfig) -> PartitionPolicy {
+        PartitionPolicy::equal_n(cfg, 2)
+    }
+
+    /// Equal partitioning across `threads` hardware threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn equal_n(cfg: &CoreConfig, threads: usize) -> PartitionPolicy {
+        assert!(threads >= 1, "a partition must cover at least one thread");
         PartitionPolicy::Static {
-            rob: [cfg.rob_capacity / 2, cfg.rob_capacity / 2],
-            lsq: [cfg.lsq_capacity / 2, cfg.lsq_capacity / 2],
+            rob: vec![cfg.rob_capacity / threads; threads],
+            lsq: vec![cfg.lsq_capacity / threads; threads],
         }
     }
 
-    /// Static partitioning with an explicit ROB split; the LSQ is split in
-    /// proportion to the ROB, as the paper does.
+    /// Static partitioning with an explicit ROB split for the classic pair;
+    /// the LSQ is split in proportion to the ROB, as the paper does.
     ///
     /// # Panics
     ///
     /// Panics if the requested ROB entries exceed the core's ROB capacity.
     pub fn rob_split(cfg: &CoreConfig, t0_rob: usize, t1_rob: usize) -> PartitionPolicy {
+        PartitionPolicy::rob_shares(cfg, &[t0_rob, t1_rob])
+    }
+
+    /// Static partitioning from an explicit per-thread ROB share vector; the
+    /// LSQ share of each thread is derived in proportion to its ROB share.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the share vector is empty or the shares exceed the ROB
+    /// capacity in total.
+    pub fn rob_shares(cfg: &CoreConfig, shares: &[usize]) -> PartitionPolicy {
+        assert!(!shares.is_empty(), "a partition must cover at least one thread");
+        let total: usize = shares.iter().sum();
         assert!(
-            t0_rob + t1_rob <= cfg.rob_capacity,
-            "ROB split {t0_rob}+{t1_rob} exceeds capacity {}",
+            total <= cfg.rob_capacity,
+            "ROB split {total} exceeds capacity {}",
             cfg.rob_capacity
         );
         PartitionPolicy::Static {
-            rob: [t0_rob, t1_rob],
-            lsq: [cfg.lsq_entries_for_rob(t0_rob), cfg.lsq_entries_for_rob(t1_rob)],
+            rob: shares.to_vec(),
+            lsq: shares.iter().map(|&rob| cfg.lsq_entries_for_rob(rob)).collect(),
         }
     }
 
-    /// Per-thread full-size private structures, used by the per-resource
-    /// contention study when the ROB is *not* the resource under study
-    /// (each thread behaves as if it had the whole instruction window).
+    /// Static partitioning that gives the designated latency-sensitive thread
+    /// `ls_rob` entries and splits a `batch_rob` *total* evenly among the
+    /// remaining `threads - 1` batch threads. With `threads == 2` this is
+    /// exactly [`PartitionPolicy::rob_split`] in either thread order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads < 2`, if the LS index is out of range, or if the
+    /// shares exceed the ROB capacity in total.
+    pub fn ls_split(
+        cfg: &CoreConfig,
+        threads: usize,
+        ls_thread: ThreadId,
+        ls_rob: usize,
+        batch_rob: usize,
+    ) -> PartitionPolicy {
+        assert!(threads >= 2, "an LS/batch split needs at least two threads, got {threads}");
+        assert!(
+            ls_thread.index() < threads,
+            "LS thread {ls_thread} out of range for an SMT-{threads} core"
+        );
+        let per_batch = batch_rob / (threads - 1);
+        let shares: Vec<usize> =
+            (0..threads).map(|i| if i == ls_thread.index() { ls_rob } else { per_batch }).collect();
+        PartitionPolicy::rob_shares(cfg, &shares)
+    }
+
+    /// Per-thread full-size private structures for the classic pair, used by
+    /// the per-resource contention study when the ROB is *not* the resource
+    /// under study (each thread behaves as if it had the whole window).
     pub fn private_full(cfg: &CoreConfig) -> PartitionPolicy {
+        PartitionPolicy::private_full_n(cfg, 2)
+    }
+
+    /// Per-thread full-size private structures across `threads` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn private_full_n(cfg: &CoreConfig, threads: usize) -> PartitionPolicy {
+        assert!(threads >= 1, "a partition must cover at least one thread");
         PartitionPolicy::Static {
-            rob: [cfg.rob_capacity, cfg.rob_capacity],
-            lsq: [cfg.lsq_capacity, cfg.lsq_capacity],
+            rob: vec![cfg.rob_capacity; threads],
+            lsq: vec![cfg.lsq_capacity; threads],
+        }
+    }
+
+    /// Number of threads the partition describes, or `None` for the
+    /// thread-count-agnostic [`PartitionPolicy::Dynamic`].
+    pub fn threads(&self) -> Option<usize> {
+        match self {
+            PartitionPolicy::Static { rob, .. } => Some(rob.len()),
+            PartitionPolicy::Dynamic => None,
         }
     }
 
     /// The ROB limit register value for `thread`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a static partition does not cover `thread`.
     pub fn rob_limit(&self, cfg: &CoreConfig, thread: ThreadId) -> usize {
         match self {
             PartitionPolicy::Static { rob, .. } => rob[thread.index()],
@@ -75,6 +154,10 @@ impl PartitionPolicy {
     }
 
     /// The LSQ limit register value for `thread`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a static partition does not cover `thread`.
     pub fn lsq_limit(&self, cfg: &CoreConfig, thread: ThreadId) -> usize {
         match self {
             PartitionPolicy::Static { lsq, .. } => lsq[thread.index()],
@@ -100,7 +183,9 @@ impl CanonicalKey for PartitionPolicy {
     fn encode_key(&self, enc: &mut KeyEncoder) {
         match self {
             PartitionPolicy::Static { rob, lsq } => {
-                enc.tag(0).usize(rob[0]).usize(rob[1]).usize(lsq[0]).usize(lsq[1]);
+                // Length-prefixed share vectors: an SMT2 and an SMT4 setup can
+                // never alias, even when their flattened scalars would agree.
+                enc.tag(0).list(rob).list(lsq);
             }
             PartitionPolicy::Dynamic => {
                 enc.tag(1);
@@ -120,6 +205,18 @@ mod tests {
         assert_eq!(p.rob_limit(&cfg, ThreadId::T0), 96);
         assert_eq!(p.rob_limit(&cfg, ThreadId::T1), 96);
         assert_eq!(p.lsq_limit(&cfg, ThreadId::T0), 32);
+        assert_eq!(p.threads(), Some(2));
+    }
+
+    #[test]
+    fn equal_split_generalises_to_smt4() {
+        let cfg = CoreConfig::default();
+        let p = PartitionPolicy::equal_n(&cfg, 4);
+        for t in ThreadId::first_n(4) {
+            assert_eq!(p.rob_limit(&cfg, t), 48);
+            assert_eq!(p.lsq_limit(&cfg, t), 16);
+        }
+        assert_eq!(p.threads(), Some(4));
     }
 
     #[test]
@@ -134,12 +231,36 @@ mod tests {
     }
 
     #[test]
+    fn ls_split_reduces_to_rob_split_on_the_pair() {
+        let cfg = CoreConfig::default();
+        assert_eq!(
+            PartitionPolicy::ls_split(&cfg, 2, ThreadId::T0, 56, 136),
+            PartitionPolicy::rob_split(&cfg, 56, 136)
+        );
+        assert_eq!(
+            PartitionPolicy::ls_split(&cfg, 2, ThreadId::T1, 56, 136),
+            PartitionPolicy::rob_split(&cfg, 136, 56)
+        );
+    }
+
+    #[test]
+    fn ls_split_spreads_the_batch_share_on_smt4() {
+        let cfg = CoreConfig::default();
+        let p = PartitionPolicy::ls_split(&cfg, 4, ThreadId::T0, 56, 136);
+        assert_eq!(p.rob_limit(&cfg, ThreadId::T0), 56);
+        for t in ThreadId::first_n(4).skip(1) {
+            assert_eq!(p.rob_limit(&cfg, t), 136 / 3);
+        }
+    }
+
+    #[test]
     fn dynamic_limits_are_full_capacity() {
         let cfg = CoreConfig::default();
         let p = PartitionPolicy::Dynamic;
         assert_eq!(p.rob_limit(&cfg, ThreadId::T0), 192);
         assert_eq!(p.lsq_limit(&cfg, ThreadId::T1), 64);
         assert!(p.enforce_total_capacity());
+        assert_eq!(p.threads(), None);
     }
 
     #[test]
@@ -156,5 +277,45 @@ mod tests {
     fn oversubscribed_split_rejected() {
         let cfg = CoreConfig::default();
         let _ = PartitionPolicy::rob_split(&cfg, 128, 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds capacity")]
+    fn oversubscribed_share_vector_rejected() {
+        let cfg = CoreConfig::default();
+        let _ = PartitionPolicy::rob_shares(&cfg, &[64, 64, 64, 64]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn empty_share_vector_rejected() {
+        let cfg = CoreConfig::default();
+        let _ = PartitionPolicy::rob_shares(&cfg, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_thread_equal_partition_rejected() {
+        let _ = PartitionPolicy::equal_n(&CoreConfig::default(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn ls_split_rejects_out_of_range_ls_thread() {
+        let cfg = CoreConfig::default();
+        let _ = PartitionPolicy::ls_split(&cfg, 2, ThreadId::from_index(2), 56, 136);
+    }
+
+    #[test]
+    fn smt2_and_smt4_partitions_are_distinct_keys() {
+        let cfg = CoreConfig { rob_capacity: 384, ..CoreConfig::default() };
+        let digest = |p: &PartitionPolicy| {
+            let mut enc = KeyEncoder::new();
+            p.encode_key(&mut enc);
+            enc.digest()
+        };
+        let smt2 = PartitionPolicy::equal_n(&cfg, 2);
+        let smt4 = PartitionPolicy::equal_n(&cfg, 4);
+        assert_ne!(digest(&smt2), digest(&smt4));
     }
 }

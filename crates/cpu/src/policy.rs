@@ -28,7 +28,8 @@
 //! each is a one-file implementation of this trait.
 
 use crate::runner::CoreSetup;
-use sim_model::{CanonicalKey, CoreConfig, KeyEncoder};
+use serde::{Deserialize, Serialize};
+use sim_model::{CanonicalKey, CoreConfig, KeyEncoder, ThreadId};
 
 /// One interval's QoS telemetry, fed to a policy's closed-loop hook.
 ///
@@ -72,6 +73,62 @@ pub enum PolicyAction {
     ThrottleCoRunner,
 }
 
+/// The thread layout of one colocated core: how many hardware threads it has
+/// and which of them runs the latency-sensitive service. The remaining
+/// `threads - 1` slots are batch threads.
+///
+/// The classic paper configuration is [`ColocationTopology::pair`]: two
+/// threads with the LS service on T0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColocationTopology {
+    threads: usize,
+    ls_thread: ThreadId,
+}
+
+impl ColocationTopology {
+    /// A topology with `threads` hardware threads and the latency-sensitive
+    /// service on `ls_thread`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero or `ls_thread` is out of range.
+    pub fn new(threads: usize, ls_thread: ThreadId) -> ColocationTopology {
+        assert!(threads >= 1, "a topology needs at least one thread");
+        assert!(
+            ls_thread.index() < threads,
+            "LS thread {ls_thread} out of range for an SMT-{threads} core"
+        );
+        ColocationTopology { threads, ls_thread }
+    }
+
+    /// The classic dual-threaded layout with the LS service on T0.
+    pub fn pair() -> ColocationTopology {
+        ColocationTopology::new(2, ThreadId::T0)
+    }
+
+    /// Number of hardware threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The thread running the latency-sensitive service.
+    pub fn ls_thread(&self) -> ThreadId {
+        self.ls_thread
+    }
+
+    /// The batch threads, in index order.
+    pub fn batch_threads(&self) -> impl Iterator<Item = ThreadId> + '_ {
+        let ls = self.ls_thread;
+        ThreadId::first_n(self.threads).filter(move |t| *t != ls)
+    }
+}
+
+impl CanonicalKey for ColocationTopology {
+    fn encode_key(&self, enc: &mut KeyEncoder) {
+        enc.usize(self.threads).field(&self.ls_thread);
+    }
+}
+
 /// A resource-allocation policy for a colocated SMT core.
 ///
 /// See the [module docs](self) for the design rationale. Implementations are
@@ -82,8 +139,20 @@ pub trait ColocationPolicy: CanonicalKey + Send + Sync {
     /// Human-readable policy name (used in logs and result labels).
     fn name(&self) -> String;
 
-    /// The core configuration this policy currently wants.
-    fn setup(&self, cfg: &CoreConfig) -> CoreSetup;
+    /// The core configuration this policy wants for the given thread layout
+    /// (one LS thread plus `topology.threads() - 1` batch threads).
+    ///
+    /// Policies that carry their own LS-thread designation (e.g. a pinned
+    /// Stretch instance) honour that designation; the topology then supplies
+    /// only the SMT width.
+    fn setup_for(&self, cfg: &CoreConfig, topology: &ColocationTopology) -> CoreSetup;
+
+    /// The core configuration this policy wants on the classic pair —
+    /// shorthand for [`ColocationPolicy::setup_for`] with
+    /// [`ColocationTopology::pair`].
+    fn setup(&self, cfg: &CoreConfig) -> CoreSetup {
+        self.setup_for(cfg, &ColocationTopology::pair())
+    }
 
     /// Closed-loop hook: digest one interval of QoS telemetry and say what to
     /// do. Open-loop policies keep the default (do nothing).
@@ -127,8 +196,8 @@ impl ColocationPolicy for EqualPartition {
         "equal partitioning".to_string()
     }
 
-    fn setup(&self, cfg: &CoreConfig) -> CoreSetup {
-        CoreSetup::baseline(cfg)
+    fn setup_for(&self, cfg: &CoreConfig, topology: &ColocationTopology) -> CoreSetup {
+        CoreSetup::baseline_n(cfg, topology.threads())
     }
 
     fn clone_policy(&self) -> Box<dyn ColocationPolicy> {
@@ -172,12 +241,15 @@ impl ColocationPolicy for PrivateCore {
         }
     }
 
-    fn setup(&self, cfg: &CoreConfig) -> CoreSetup {
-        let mut setup = CoreSetup::private_full(cfg);
+    fn setup_for(&self, cfg: &CoreConfig, topology: &ColocationTopology) -> CoreSetup {
+        let threads = topology.threads();
+        let mut setup = CoreSetup::private_full_n(cfg, threads);
         if let Some(rob) = self.rob_entries {
             let lsq = cfg.lsq_entries_for_rob(rob);
-            setup.partition =
-                crate::partition::PartitionPolicy::Static { rob: [rob, rob], lsq: [lsq, lsq] };
+            setup.partition = crate::partition::PartitionPolicy::Static {
+                rob: vec![rob; threads],
+                lsq: vec![lsq; threads],
+            };
         }
         setup
     }
@@ -204,8 +276,8 @@ impl ColocationPolicy for crate::resource_study::StudiedResource {
         format!("share only the {self}")
     }
 
-    fn setup(&self, cfg: &CoreConfig) -> CoreSetup {
-        crate::resource_study::StudiedResource::setup(*self, cfg)
+    fn setup_for(&self, cfg: &CoreConfig, topology: &ColocationTopology) -> CoreSetup {
+        crate::resource_study::StudiedResource::setup_n(*self, cfg, topology.threads())
     }
 
     fn clone_policy(&self) -> Box<dyn ColocationPolicy> {
@@ -273,6 +345,49 @@ mod tests {
         let cfg = CoreConfig::default();
         for r in StudiedResource::ALL {
             assert_eq!(ColocationPolicy::setup(&r, &cfg), r.setup(&cfg));
+        }
+    }
+
+    #[test]
+    fn pair_topology_is_the_classic_layout() {
+        let t = ColocationTopology::pair();
+        assert_eq!(t.threads(), 2);
+        assert_eq!(t.ls_thread(), ThreadId::T0);
+        assert_eq!(t.batch_threads().collect::<Vec<_>>(), vec![ThreadId::T1]);
+    }
+
+    #[test]
+    fn smt4_topology_lists_three_batch_threads() {
+        let t = ColocationTopology::new(4, ThreadId::T1);
+        assert_eq!(t.batch_threads().count(), 3);
+        assert!(t.batch_threads().all(|b| b != ThreadId::T1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn topology_rejects_out_of_range_ls_thread() {
+        let _ = ColocationTopology::new(2, ThreadId::from_index(2));
+    }
+
+    #[test]
+    fn setup_is_setup_for_on_the_pair() {
+        let cfg = CoreConfig::default();
+        let pair = ColocationTopology::pair();
+        assert_eq!(EqualPartition.setup(&cfg), EqualPartition.setup_for(&cfg, &pair));
+        assert_eq!(
+            PrivateCore::with_rob(64).setup(&cfg),
+            PrivateCore::with_rob(64).setup_for(&cfg, &pair)
+        );
+    }
+
+    #[test]
+    fn smt4_setups_cover_four_threads() {
+        let cfg = CoreConfig::default();
+        let topo = ColocationTopology::new(4, ThreadId::T0);
+        assert_eq!(EqualPartition.setup_for(&cfg, &topo).partition.threads(), Some(4));
+        assert_eq!(PrivateCore::with_rob(48).setup_for(&cfg, &topo).partition.threads(), Some(4));
+        for r in StudiedResource::ALL {
+            assert_eq!(r.setup_for(&cfg, &topo).partition.threads(), Some(4));
         }
     }
 }

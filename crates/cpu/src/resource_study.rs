@@ -39,15 +39,21 @@ impl StudiedResource {
     /// Builds the core setup in which only this resource is shared between
     /// the threads (everything else private / full size).
     pub fn setup(self, cfg: &CoreConfig) -> CoreSetup {
+        self.setup_n(cfg, 2)
+    }
+
+    /// As [`StudiedResource::setup`], for a `threads`-wide core: only this
+    /// resource is shared among all T threads.
+    pub fn setup_n(self, cfg: &CoreConfig, threads: usize) -> CoreSetup {
         let mut setup = CoreSetup {
-            partition: PartitionPolicy::private_full(cfg),
+            partition: PartitionPolicy::private_full_n(cfg, threads),
             fetch_policy: FetchPolicy::ICount,
             l1i_sharing: Sharing::PrivatePerThread,
             l1d_sharing: Sharing::PrivatePerThread,
             bp_sharing: Sharing::PrivatePerThread,
         };
         match self {
-            StudiedResource::Rob => setup.partition = PartitionPolicy::equal(cfg),
+            StudiedResource::Rob => setup.partition = PartitionPolicy::equal_n(cfg, threads),
             StudiedResource::L1I => setup.l1i_sharing = Sharing::Shared,
             StudiedResource::L1D => setup.l1d_sharing = Sharing::Shared,
             StudiedResource::BtbBp => setup.bp_sharing = Sharing::Shared,

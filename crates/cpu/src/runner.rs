@@ -82,8 +82,9 @@ pub struct ThreadRunResult {
 /// Result of a (possibly colocated) run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ColocationResult {
-    /// Per-thread results; `None` for an inactive thread.
-    pub threads: [Option<ThreadRunResult>; 2],
+    /// Per-thread results, one slot per hardware thread; `None` for an
+    /// inactive thread.
+    pub threads: Vec<Option<ThreadRunResult>>,
 }
 
 impl ColocationResult {
@@ -96,7 +97,15 @@ impl ColocationResult {
 
     /// Result of a thread, if it was active.
     pub fn thread(&self, thread: ThreadId) -> Option<&ThreadRunResult> {
-        self.threads[thread.index()].as_ref()
+        self.threads.get(thread.index()).and_then(Option::as_ref)
+    }
+
+    /// Iterator over the active threads' results, in thread-index order.
+    pub fn active_threads(&self) -> impl Iterator<Item = (ThreadId, &ThreadRunResult)> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().map(|r| (ThreadId::from_index(i), r)))
     }
 
     /// Result of a thread that is known to be active.
@@ -112,7 +121,7 @@ impl ColocationResult {
 /// Describes one complete core setup for a run: sharing modes, partitioning
 /// and fetch policy. Used by the experiment harnesses to express the paper's
 /// configurations declaratively.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CoreSetup {
     /// ROB/LSQ partitioning.
     pub partition: PartitionPolicy,
@@ -129,8 +138,14 @@ pub struct CoreSetup {
 impl CoreSetup {
     /// The §V-A baseline: everything shared, equal ROB partitioning, ICOUNT.
     pub fn baseline(cfg: &CoreConfig) -> CoreSetup {
+        CoreSetup::baseline_n(cfg, 2)
+    }
+
+    /// The baseline setup for a `threads`-wide core: everything shared,
+    /// equal T-way ROB partitioning, ICOUNT.
+    pub fn baseline_n(cfg: &CoreConfig, threads: usize) -> CoreSetup {
         CoreSetup {
-            partition: PartitionPolicy::equal(cfg),
+            partition: PartitionPolicy::equal_n(cfg, threads),
             fetch_policy: FetchPolicy::ICount,
             l1i_sharing: Sharing::Shared,
             l1d_sharing: Sharing::Shared,
@@ -141,8 +156,13 @@ impl CoreSetup {
     /// A fully private core (used for stand-alone "full core" reference runs):
     /// each thread sees private caches, predictor and a full-size window.
     pub fn private_full(cfg: &CoreConfig) -> CoreSetup {
+        CoreSetup::private_full_n(cfg, 2)
+    }
+
+    /// A fully private `threads`-wide core.
+    pub fn private_full_n(cfg: &CoreConfig, threads: usize) -> CoreSetup {
         CoreSetup {
-            partition: PartitionPolicy::private_full(cfg),
+            partition: PartitionPolicy::private_full_n(cfg, threads),
             fetch_policy: FetchPolicy::ICount,
             l1i_sharing: Sharing::PrivatePerThread,
             l1d_sharing: Sharing::PrivatePerThread,
@@ -151,9 +171,9 @@ impl CoreSetup {
     }
 
     /// Applies the setup to a builder.
-    pub fn apply(self, builder: SmtCoreBuilder) -> SmtCoreBuilder {
+    pub fn apply(&self, builder: SmtCoreBuilder) -> SmtCoreBuilder {
         builder
-            .partition(self.partition)
+            .partition(self.partition.clone())
             .fetch_policy(self.fetch_policy)
             .l1i_sharing(self.l1i_sharing)
             .l1d_sharing(self.l1d_sharing)
@@ -182,22 +202,24 @@ impl CanonicalKey for CoreSetup {
 /// an [`SmtCore`] themselves, e.g. through the Stretch control register.
 pub fn run_core(
     core: &mut SmtCore,
-    mut names: [Option<String>; 2],
+    mut names: Vec<Option<String>>,
     length: SimLength,
 ) -> ColocationResult {
+    let width = core.smt_width();
+    names.resize_with(width, || None);
     let active: Vec<ThreadId> =
-        ThreadId::ALL.into_iter().filter(|t| core.thread_active(*t)).collect();
+        ThreadId::first_n(width).filter(|t| core.thread_active(*t)).collect();
     assert!(!active.is_empty(), "at least one thread must have a workload");
 
     let warm_target = length.warmup_instructions;
     let meas_target = length.warmup_instructions + length.measured_instructions;
 
-    let mut start_cycle: [Option<u64>; 2] = [None, None];
-    let mut start_committed: [u64; 2] = [0, 0];
-    let mut start_mlp_total: [u64; 2] = [0, 0];
-    let mut end_cycle: [Option<u64>; 2] = [None, None];
-    let mut end_committed: [u64; 2] = [0, 0];
-    let mut end_mlp: [Option<Histogram>; 2] = [None, None];
+    let mut start_cycle: Vec<Option<u64>> = vec![None; width];
+    let mut start_committed: Vec<u64> = vec![0; width];
+    let mut start_mlp_total: Vec<u64> = vec![0; width];
+    let mut end_cycle: Vec<Option<u64>> = vec![None; width];
+    let mut end_committed: Vec<u64> = vec![0; width];
+    let mut end_mlp: Vec<Option<Histogram>> = vec![None; width];
 
     let mut cycles = 0u64;
     loop {
@@ -226,7 +248,7 @@ pub fn run_core(
         }
     }
 
-    let mut out: [Option<ThreadRunResult>; 2] = [None, None];
+    let mut out: Vec<Option<ThreadRunResult>> = vec![None; width];
     for &t in &active {
         let idx = t.index();
         let start = start_cycle[idx].unwrap_or(cycles);
@@ -312,18 +334,19 @@ mod tests {
     fn uipc_and_thread_accessors_agree_on_activity() {
         // Regression for the old asymmetry: `uipc` panicked on an inactive
         // thread while `thread` returned `None`. Both now answer `None`.
-        let r = ColocationResult { threads: [Some(thread_result("only")), None] };
+        let r = ColocationResult { threads: vec![Some(thread_result("only")), None] };
         assert!(r.thread(ThreadId::T0).is_some());
         assert_eq!(r.uipc(ThreadId::T0), Some(1.5));
         assert!(r.thread(ThreadId::T1).is_none());
         assert_eq!(r.uipc(ThreadId::T1), None);
         assert_eq!(r.expect_thread(ThreadId::T0).name, "only");
+        assert_eq!(r.active_threads().count(), 1);
     }
 
     #[test]
     #[should_panic(expected = "not active")]
     fn expect_thread_panics_on_an_inactive_thread() {
-        let r = ColocationResult { threads: [Some(thread_result("only")), None] };
+        let r = ColocationResult { threads: vec![Some(thread_result("only")), None] };
         let _ = r.expect_thread(ThreadId::T1);
     }
 }

@@ -29,7 +29,7 @@
 //! ([`Scenario::colocate_traces`]) when the caller wants full control.
 
 use crate::core::SmtCoreBuilder;
-use crate::policy::{ColocationPolicy, EqualPartition, PrivateCore};
+use crate::policy::{ColocationPolicy, ColocationTopology, EqualPartition, PrivateCore};
 use crate::runner::{run_core, ColocationResult, SimLength, ThreadRunResult};
 use sim_model::{BoxedTrace, CoreConfig, ThreadId, TraceSource};
 
@@ -37,20 +37,23 @@ use sim_model::{BoxedTrace, CoreConfig, ThreadId, TraceSource};
 /// into [`pair_seed`]).
 const STANDALONE_LABEL: &str = "standalone";
 
-/// Derives a per-pairing seed so that the same workload pairing always sees
-/// the same instruction streams across policies (paired comparisons).
+/// Derives a per-colocation seed from the full slot-ordered name list, so the
+/// same workload grouping always sees the same instruction streams across
+/// policies (paired comparisons).
 ///
 /// Each name is length-prefixed before it enters the FNV loop, so distinct
-/// pairings can never alias onto the same byte stream (a bare concatenation
+/// groupings can never alias onto the same byte stream (a bare concatenation
 /// would collide for e.g. `("ab", "c")` and `("a", "bc")`, silently sharing
-/// instruction streams between different experiments).
-pub fn pair_seed(base: u64, ls: &str, batch_name: &str) -> u64 {
+/// instruction streams between different experiments). For exactly two names
+/// this is byte-for-byte [`pair_seed`].
+pub fn colocation_seed<S: AsRef<str>>(base: u64, names: &[S]) -> u64 {
     let mut h = base ^ 0x9E37_79B9_7F4A_7C15;
     let mut mix = |byte: u8| {
         h ^= u64::from(byte);
         h = h.wrapping_mul(0x0000_0100_0000_01B3);
     };
-    for name in [ls, batch_name] {
+    for name in names {
+        let name = name.as_ref();
         for b in (name.len() as u64).to_le_bytes() {
             mix(b);
         }
@@ -59,6 +62,12 @@ pub fn pair_seed(base: u64, ls: &str, batch_name: &str) -> u64 {
         }
     }
     h
+}
+
+/// Derives a per-pairing seed for the classic LS/batch pair — the two-name
+/// case of [`colocation_seed`].
+pub fn pair_seed(base: u64, ls: &str, batch_name: &str) -> u64 {
+    colocation_seed(base, &[ls, batch_name])
 }
 
 /// One thread's workload: a spawnable source (seeded by the scenario) or a
@@ -90,11 +99,11 @@ pub struct Scenario {
     policy: Box<dyn ColocationPolicy>,
     length: SimLength,
     seed: u64,
-    threads: [Option<Workload>; 2],
+    threads: Vec<Option<Workload>>,
 }
 
 impl Scenario {
-    fn new(threads: [Option<Workload>; 2], policy: Box<dyn ColocationPolicy>) -> Scenario {
+    fn new(threads: Vec<Option<Workload>>, policy: Box<dyn ColocationPolicy>) -> Scenario {
         Scenario {
             cfg: CoreConfig::default(),
             policy,
@@ -107,14 +116,33 @@ impl Scenario {
     /// A colocation: the latency-sensitive workload on thread 0, the batch
     /// workload on thread 1. Defaults to the [`EqualPartition`] baseline
     /// policy, the standard simulation length and base seed 42.
+    ///
+    /// This is the classic T = 2 case of [`Scenario::colocate_n`].
     pub fn colocate(
         ls: impl TraceSource + Send + Sync + 'static,
         batch: impl TraceSource + Send + Sync + 'static,
     ) -> Scenario {
-        Scenario::new(
-            [Some(Workload::Source(Box::new(ls))), Some(Workload::Source(Box::new(batch)))],
-            Box::new(EqualPartition),
-        )
+        Scenario::colocate_n(ls, vec![Box::new(batch)])
+    }
+
+    /// A colocation on an SMT core with `1 + batches.len()` hardware threads:
+    /// the latency-sensitive workload on thread 0 and the batch workloads on
+    /// threads 1..T, in order. Defaults to the [`EqualPartition`] baseline
+    /// policy, the standard simulation length and base seed 42.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batches` is empty (use [`Scenario::standalone`] for a
+    /// single workload).
+    pub fn colocate_n(
+        ls: impl TraceSource + Send + Sync + 'static,
+        batches: Vec<Box<dyn TraceSource + Send + Sync>>,
+    ) -> Scenario {
+        assert!(!batches.is_empty(), "a colocation needs at least one batch workload");
+        let mut threads: Vec<Option<Workload>> = Vec::with_capacity(1 + batches.len());
+        threads.push(Some(Workload::Source(Box::new(ls))));
+        threads.extend(batches.into_iter().map(|b| Some(Workload::Source(b))));
+        Scenario::new(threads, Box::new(EqualPartition))
     }
 
     /// A colocation over pre-spawned traces. The scenario's
@@ -122,7 +150,7 @@ impl Scenario {
     /// their own); use this when the caller manages seeding itself.
     pub fn colocate_traces(ls: BoxedTrace, batch: BoxedTrace) -> Scenario {
         Scenario::new(
-            [Some(Workload::Trace(ls)), Some(Workload::Trace(batch))],
+            vec![Some(Workload::Trace(ls)), Some(Workload::Trace(batch))],
             Box::new(EqualPartition),
         )
     }
@@ -133,14 +161,23 @@ impl Scenario {
     /// `.policy(PrivateCore::with_rob(n))` for the Figure 6 sweep.
     pub fn standalone(workload: impl TraceSource + Send + Sync + 'static) -> Scenario {
         Scenario::new(
-            [Some(Workload::Source(Box::new(workload))), None],
+            vec![Some(Workload::Source(Box::new(workload))), None],
             Box::new(PrivateCore::full()),
         )
     }
 
     /// A stand-alone run over a pre-spawned trace (seed not applied).
     pub fn standalone_trace(trace: BoxedTrace) -> Scenario {
-        Scenario::new([Some(Workload::Trace(trace)), None], Box::new(PrivateCore::full()))
+        Scenario::new(vec![Some(Workload::Trace(trace)), None], Box::new(PrivateCore::full()))
+    }
+
+    /// A scenario over explicit per-slot workload sources (`None` marks an
+    /// idle hardware thread). Used by the server-level allocation layer to
+    /// realise one core of a [`crate::allocation::Placement`]; defaults to
+    /// the [`EqualPartition`] policy.
+    pub(crate) fn from_slots(slots: Vec<Option<Box<dyn TraceSource + Send + Sync>>>) -> Scenario {
+        let threads = slots.into_iter().map(|s| s.map(Workload::Source)).collect();
+        Scenario::new(threads, Box::new(EqualPartition))
     }
 
     /// Sets the core configuration (default: Table II).
@@ -185,18 +222,18 @@ impl Scenario {
     /// (e.g. Elfen, whose time-sharing happens above the core model).
     pub fn run(self) -> ColocationResult {
         let Scenario { cfg, policy, length, seed, threads } = self;
-        let names: [Option<String>; 2] =
-            [threads[0].as_ref().map(Workload::name), threads[1].as_ref().map(Workload::name)];
+        let width = threads.len();
+        let names: Vec<Option<String>> =
+            threads.iter().map(|w| w.as_ref().map(Workload::name)).collect();
         // Seed derivation matches the historical harness exactly: colocations
-        // mix both names (batch stream gets the low bit flipped so the two
-        // threads never share a stream); stand-alone runs mix the workload
-        // name against a fixed label.
-        let (base, colocated) = match (&names[0], &names[1]) {
-            (Some(ls), Some(batch)) => (pair_seed(seed, ls, batch), true),
-            (Some(only), None) | (None, Some(only)) => {
-                (pair_seed(seed, only, STANDALONE_LABEL), false)
-            }
-            (None, None) => panic!("a scenario needs at least one workload"),
+        // mix all slot-ordered names (each thread's stream then gets its index
+        // XORed in, so no two threads share a stream); stand-alone runs mix
+        // the workload name against a fixed label.
+        let active_names: Vec<&String> = names.iter().flatten().collect();
+        let (base, colocated) = match active_names.as_slice() {
+            [] => panic!("a scenario needs at least one workload"),
+            [only] => (pair_seed(seed, only, STANDALONE_LABEL), false),
+            many => (colocation_seed(seed, many), true),
         };
         assert!(
             !colocated || policy.supports_colocation(),
@@ -204,19 +241,17 @@ impl Scenario {
              the cycle model); run it through Scenario::standalone instead",
             policy.name()
         );
-        let [t0, t1] = threads;
-        let setup = policy.setup(&cfg);
-        let mut builder = setup.apply(SmtCoreBuilder::new(cfg));
-        if let Some(w) = t0 {
-            builder = builder.thread(ThreadId::T0, w.into_trace(base));
-        }
-        if let Some(w) = t1 {
-            // In a colocation the batch stream gets the low bit flipped so
-            // the two threads never share a stream; a lone thread-1 workload
-            // is a stand-alone run and must see the same reference stream it
-            // would on thread 0.
-            builder =
-                builder.thread(ThreadId::T1, w.into_trace(if colocated { base ^ 1 } else { base }));
+        let topology = ColocationTopology::new(width, ThreadId::T0);
+        let setup = policy.setup_for(&cfg, &topology);
+        let mut builder = setup.apply(SmtCoreBuilder::new(cfg)).smt_width(width);
+        for (idx, workload) in threads.into_iter().enumerate() {
+            let Some(w) = workload else { continue };
+            // In a colocation each thread's stream gets its index XORed into
+            // the base (on the pair: the batch stream flips the low bit) so
+            // no two threads share a stream; a lone workload is a stand-alone
+            // run and must see the same reference stream on every thread.
+            let thread_seed = if colocated { base ^ idx as u64 } else { base };
+            builder = builder.thread(ThreadId::from_index(idx), w.into_trace(thread_seed));
         }
         let mut core = builder.build();
         run_core(&mut core, names, length)
@@ -324,6 +359,48 @@ mod tests {
     }
 
     #[test]
+    fn colocation_seed_on_two_names_is_pair_seed() {
+        assert_eq!(
+            colocation_seed(42, &["web-search", "zeusmp"]),
+            pair_seed(42, "web-search", "zeusmp")
+        );
+        // A longer name list derives a distinct stream family.
+        assert_ne!(
+            colocation_seed(42, &["web-search", "zeusmp", "milc"]),
+            pair_seed(42, "web-search", "zeusmp")
+        );
+    }
+
+    #[test]
+    fn colocate_n_with_one_batch_equals_the_pair_api() {
+        let bits = |r: &ColocationResult, t| r.uipc(t).unwrap().to_bits();
+        let pair = Scenario::colocate(AluSource, AluSource).length(SimLength::quick()).run();
+        let n = Scenario::colocate_n(AluSource, vec![Box::new(AluSource)])
+            .length(SimLength::quick())
+            .run();
+        assert_eq!(bits(&pair, ThreadId::T0), bits(&n, ThreadId::T0));
+        assert_eq!(bits(&pair, ThreadId::T1), bits(&n, ThreadId::T1));
+    }
+
+    #[test]
+    fn smt4_colocation_reports_all_four_threads() {
+        let batches: Vec<Box<dyn TraceSource + Send + Sync>> =
+            vec![Box::new(AluSource), Box::new(AluSource), Box::new(AluSource)];
+        let r = Scenario::colocate_n(AluSource, batches).length(SimLength::quick()).run();
+        assert_eq!(r.threads.len(), 4);
+        for t in sim_model::ThreadId::first_n(4) {
+            assert!(r.uipc(t).unwrap() > 0.1, "thread {t} made no progress");
+        }
+        // Deterministic across identical invocations.
+        let batches: Vec<Box<dyn TraceSource + Send + Sync>> =
+            vec![Box::new(AluSource), Box::new(AluSource), Box::new(AluSource)];
+        let again = Scenario::colocate_n(AluSource, batches).length(SimLength::quick()).run();
+        for t in sim_model::ThreadId::first_n(4) {
+            assert_eq!(r.uipc(t).unwrap().to_bits(), again.uipc(t).unwrap().to_bits());
+        }
+    }
+
+    #[test]
     fn pair_seed_is_stable_and_distinct() {
         assert_eq!(pair_seed(1, "a", "b"), pair_seed(1, "a", "b"));
         assert_ne!(pair_seed(1, "a", "b"), pair_seed(1, "a", "c"));
@@ -374,7 +451,8 @@ mod tests {
         let seen = Arc::new(Mutex::new(Vec::new()));
         let _ = Scenario::standalone(SeedProbe(seen.clone())).length(SimLength::quick()).run();
         let mut on_t1 = Scenario::standalone(SeedProbe(seen.clone())).length(SimLength::quick());
-        on_t1.threads = [None, on_t1.threads[0].take()];
+        let probe = on_t1.threads[0].take();
+        on_t1.threads = vec![None, probe];
         let _ = on_t1.run();
         let seen = seen.lock().expect("probe lock");
         assert_eq!(seen.len(), 2);
@@ -385,6 +463,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one workload")]
     fn empty_scenario_rejected() {
-        let _ = Scenario { threads: [None, None], ..Scenario::standalone(AluSource) }.run();
+        let _ = Scenario { threads: vec![None, None], ..Scenario::standalone(AluSource) }.run();
     }
 }

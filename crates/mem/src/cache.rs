@@ -223,12 +223,24 @@ pub struct ThreadedCache {
 }
 
 impl ThreadedCache {
-    /// Builds the structure from a geometry and sharing mode.
+    /// Builds the structure for the classic dual-threaded core.
     pub fn new(cfg: &CacheConfig, sharing: Sharing) -> ThreadedCache {
-        let caches = match sharing {
-            Sharing::Shared => vec![SetAssocCache::new(cfg)],
-            Sharing::PrivatePerThread => vec![SetAssocCache::new(cfg), SetAssocCache::new(cfg)],
+        ThreadedCache::with_threads(cfg, sharing, 2)
+    }
+
+    /// Builds the structure for an SMT-`threads` core: one shared copy, or
+    /// one full-size private copy per hardware thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn with_threads(cfg: &CacheConfig, sharing: Sharing, threads: usize) -> ThreadedCache {
+        assert!(threads >= 1, "a cache needs at least one thread");
+        let copies = match sharing {
+            Sharing::Shared => 1,
+            Sharing::PrivatePerThread => threads,
         };
+        let caches = (0..copies).map(|_| SetAssocCache::new(cfg)).collect();
         ThreadedCache { sharing, caches }
     }
 

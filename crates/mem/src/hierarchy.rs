@@ -23,6 +23,8 @@ use sim_model::{CacheConfig, CoreConfig, Cycle, ThreadId};
 /// Configuration of the full hierarchy.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct HierarchyConfig {
+    /// Number of SMT hardware threads sharing the hierarchy (T >= 1).
+    pub threads: usize,
     /// L1 instruction cache geometry.
     pub l1i: CacheConfig,
     /// L1 data cache geometry.
@@ -35,9 +37,9 @@ pub struct HierarchyConfig {
     pub mshrs_per_thread: usize,
     /// Stride prefetcher PC slots per thread (0 disables prefetching).
     pub prefetcher_pc_slots: usize,
-    /// Total LLC capacity in bytes (split in half per thread).
+    /// Total LLC capacity in bytes (split equally per thread).
     pub llc_capacity_bytes: usize,
-    /// Total LLC associativity (split in half per thread).
+    /// Total LLC associativity (split equally per thread).
     pub llc_ways: usize,
     /// Average LLC access latency in cycles.
     pub llc_latency: u64,
@@ -54,6 +56,7 @@ impl HierarchyConfig {
     /// defaults) with both L1s dynamically shared, as in the baseline core.
     pub fn from_core(core: &CoreConfig) -> HierarchyConfig {
         HierarchyConfig {
+            threads: 2,
             l1i: core.l1i,
             l1d: core.l1d,
             l1i_sharing: Sharing::Shared,
@@ -124,17 +127,17 @@ struct PendingPrefetch {
     completion: Cycle,
 }
 
-/// The complete memory hierarchy for one dual-threaded SMT core.
+/// The complete memory hierarchy for one SMT core (`cfg.threads` contexts).
 #[derive(Debug, Clone)]
 pub struct MemoryHierarchy {
     cfg: HierarchyConfig,
     l1i: ThreadedCache,
     l1d: ThreadedCache,
-    /// Per-thread LLC partitions (way-partitioned half each).
-    llc: [SetAssocCache; 2],
+    /// Per-thread LLC partitions (way-partitioned equal shares).
+    llc: Vec<SetAssocCache>,
     mshrs: MshrFile,
     prefetcher: StridePrefetcher,
-    pending_prefetch: [Vec<PendingPrefetch>; 2],
+    pending_prefetch: Vec<Vec<PendingPrefetch>>,
     stats: HierarchyStats,
     /// Reusable buffer for completed demand-miss blocks: `tick` runs every
     /// simulated cycle, so it must not allocate on the fill path.
@@ -150,21 +153,19 @@ impl MemoryHierarchy {
     ///
     /// Panics if the LLC geometry is inconsistent (zero ways or capacity).
     pub fn new(cfg: HierarchyConfig) -> MemoryHierarchy {
-        let half_ways = (cfg.llc_ways / 2).max(1);
-        let half_capacity = cfg.llc_capacity_bytes / 2;
-        assert!(half_capacity > 0, "LLC capacity must be non-zero");
-        let sets = half_capacity / (half_ways * 64);
+        assert!(cfg.threads >= 1, "a hierarchy needs at least one thread");
+        let share_ways = (cfg.llc_ways / cfg.threads).max(1);
+        let share_capacity = cfg.llc_capacity_bytes / cfg.threads;
+        assert!(share_capacity > 0, "LLC capacity must be non-zero");
+        let sets = share_capacity / (share_ways * 64);
         assert!(sets > 0, "LLC partition has no sets: {cfg:?}");
         MemoryHierarchy {
-            l1i: ThreadedCache::new(&cfg.l1i, cfg.l1i_sharing),
-            l1d: ThreadedCache::new(&cfg.l1d, cfg.l1d_sharing),
-            llc: [
-                SetAssocCache::with_geometry(sets, half_ways),
-                SetAssocCache::with_geometry(sets, half_ways),
-            ],
-            mshrs: MshrFile::new(cfg.mshrs_per_thread),
-            prefetcher: StridePrefetcher::new(cfg.prefetcher_pc_slots),
-            pending_prefetch: [Vec::new(), Vec::new()],
+            l1i: ThreadedCache::with_threads(&cfg.l1i, cfg.l1i_sharing, cfg.threads),
+            l1d: ThreadedCache::with_threads(&cfg.l1d, cfg.l1d_sharing, cfg.threads),
+            llc: (0..cfg.threads).map(|_| SetAssocCache::with_geometry(sets, share_ways)).collect(),
+            mshrs: MshrFile::with_threads(cfg.mshrs_per_thread, cfg.threads),
+            prefetcher: StridePrefetcher::with_threads(cfg.prefetcher_pc_slots, cfg.threads),
+            pending_prefetch: vec![Vec::new(); cfg.threads],
             stats: HierarchyStats::default(),
             scratch_fills: Vec::new(),
             scratch_landed: Vec::new(),
@@ -270,7 +271,7 @@ impl MemoryHierarchy {
     pub fn tick(&mut self, now: Cycle) {
         let mut fills = std::mem::take(&mut self.scratch_fills);
         let mut landed = std::mem::take(&mut self.scratch_landed);
-        for thread in ThreadId::ALL {
+        for thread in ThreadId::first_n(self.cfg.threads) {
             fills.clear();
             self.mshrs.drain_completed_into(thread, now, &mut fills);
             for &block in &fills {

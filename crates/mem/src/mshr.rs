@@ -24,9 +24,9 @@ struct Entry {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MshrFile {
     per_thread_capacity: usize,
-    entries: [Vec<Entry>; 2],
+    entries: Vec<Vec<Entry>>,
     /// Peak simultaneous occupancy observed per thread (for reporting).
-    peak: [usize; 2],
+    peak: Vec<usize>,
 }
 
 /// Result of attempting to allocate an MSHR.
@@ -42,9 +42,21 @@ pub enum MshrOutcome {
 }
 
 impl MshrFile {
-    /// Creates a file with `per_thread_capacity` registers per hardware thread.
+    /// Creates a file with `per_thread_capacity` registers for each of the
+    /// classic pair's two hardware threads.
     pub fn new(per_thread_capacity: usize) -> MshrFile {
-        MshrFile { per_thread_capacity, entries: [Vec::new(), Vec::new()], peak: [0, 0] }
+        MshrFile::with_threads(per_thread_capacity, 2)
+    }
+
+    /// Creates a file with `per_thread_capacity` registers for each of
+    /// `threads` hardware threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn with_threads(per_thread_capacity: usize, threads: usize) -> MshrFile {
+        assert!(threads >= 1, "an MSHR file needs at least one thread");
+        MshrFile { per_thread_capacity, entries: vec![Vec::new(); threads], peak: vec![0; threads] }
     }
 
     /// Attempts to track a miss for `block` completing at `completion`.

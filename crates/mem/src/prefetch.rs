@@ -29,15 +29,27 @@ struct Entry {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct StridePrefetcher {
     slots: usize,
-    tables: [Vec<Entry>; 2],
+    tables: Vec<Vec<Entry>>,
     clock: u64,
     issued: u64,
 }
 
 impl StridePrefetcher {
-    /// Creates a prefetcher with `slots` PC-tracking entries per thread.
+    /// Creates a prefetcher with `slots` PC-tracking entries per thread, for
+    /// the classic dual-threaded core.
     pub fn new(slots: usize) -> StridePrefetcher {
-        StridePrefetcher { slots, tables: [Vec::new(), Vec::new()], clock: 0, issued: 0 }
+        StridePrefetcher::with_threads(slots, 2)
+    }
+
+    /// Creates a prefetcher with `slots` PC-tracking entries for each of
+    /// `threads` hardware threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn with_threads(slots: usize, threads: usize) -> StridePrefetcher {
+        assert!(threads >= 1, "a prefetcher needs at least one thread");
+        StridePrefetcher { slots, tables: vec![Vec::new(); threads], clock: 0, issued: 0 }
     }
 
     /// Observes a demand access by `pc` to byte address `addr` and returns the

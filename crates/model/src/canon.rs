@@ -168,6 +168,18 @@ impl CanonicalKey for String {
     }
 }
 
+impl<T: CanonicalKey> CanonicalKey for Vec<T> {
+    fn encode_key(&self, enc: &mut KeyEncoder) {
+        enc.list(self);
+    }
+}
+
+impl<T: CanonicalKey> CanonicalKey for [T] {
+    fn encode_key(&self, enc: &mut KeyEncoder) {
+        enc.list(self);
+    }
+}
+
 impl CanonicalKey for crate::ThreadId {
     fn encode_key(&self, enc: &mut KeyEncoder) {
         enc.tag(self.index() as u8);
@@ -295,6 +307,23 @@ mod tests {
         assert_eq!(fnv1a_128(b""), 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d);
         // One byte mixes the prime in.
         assert_ne!(fnv1a_128(b"a"), fnv1a_128(b"b"));
+    }
+
+    #[test]
+    fn vec_encoding_is_length_prefixed() {
+        // A per-thread share vector of a different SMT width must never
+        // collide, even when the flattened scalar stream would be identical.
+        let mut smt2 = KeyEncoder::new();
+        smt2.field(&vec![96usize, 96]);
+        let mut smt4 = KeyEncoder::new();
+        smt4.field(&vec![96usize, 96, 0, 0]);
+        assert_ne!(smt2.digest(), smt4.digest());
+
+        let mut split_a = KeyEncoder::new();
+        split_a.field(&vec![1u64, 2]).field(&vec![3u64]);
+        let mut split_b = KeyEncoder::new();
+        split_b.field(&vec![1u64]).field(&vec![2u64, 3]);
+        assert_ne!(split_a.digest(), split_b.digest());
     }
 
     #[test]

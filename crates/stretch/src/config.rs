@@ -115,15 +115,28 @@ impl StretchMode {
     /// names the hardware thread running the latency-sensitive workload;
     /// Stretch explicitly supports either mapping (§IV-D).
     pub fn partition_policy(&self, cfg: &CoreConfig, ls_thread: ThreadId) -> PartitionPolicy {
+        self.partition_policy_n(cfg, 2, ls_thread)
+    }
+
+    /// As [`StretchMode::partition_policy`], for an SMT-`threads` core: the
+    /// skew's batch share is spread evenly over the `threads - 1` batch
+    /// co-runners.
+    pub fn partition_policy_n(
+        &self,
+        cfg: &CoreConfig,
+        threads: usize,
+        ls_thread: ThreadId,
+    ) -> PartitionPolicy {
         match self {
-            StretchMode::Baseline => PartitionPolicy::equal(cfg),
+            StretchMode::Baseline => PartitionPolicy::equal_n(cfg, threads),
             StretchMode::BatchBoost(skew) | StretchMode::QosBoost(skew) => {
-                let (t0, t1) = if ls_thread == ThreadId::T0 {
-                    (skew.ls_entries, skew.batch_entries)
-                } else {
-                    (skew.batch_entries, skew.ls_entries)
-                };
-                PartitionPolicy::rob_split(cfg, t0, t1)
+                PartitionPolicy::ls_split(
+                    cfg,
+                    threads,
+                    ls_thread,
+                    skew.ls_entries,
+                    skew.batch_entries,
+                )
             }
         }
     }

@@ -14,7 +14,7 @@
 
 use crate::config::{StretchConfig, StretchMode};
 use crate::monitor::{MonitorAction, MonitorConfig, SoftwareMonitor};
-use cpu_sim::{ColocationPolicy, CoreSetup, PolicyAction, QosObservation};
+use cpu_sim::{ColocationPolicy, ColocationTopology, CoreSetup, PolicyAction, QosObservation};
 use sim_model::{CanonicalKey, CoreConfig, KeyEncoder, ThreadId};
 
 /// Stretch pinned to one mode for the whole run (open loop).
@@ -45,9 +45,9 @@ impl ColocationPolicy for PinnedStretch {
         format!("Stretch {}", self.mode)
     }
 
-    fn setup(&self, cfg: &CoreConfig) -> CoreSetup {
-        let mut setup = CoreSetup::baseline(cfg);
-        setup.partition = self.mode.partition_policy(cfg, self.ls_thread);
+    fn setup_for(&self, cfg: &CoreConfig, topology: &ColocationTopology) -> CoreSetup {
+        let mut setup = CoreSetup::baseline_n(cfg, topology.threads());
+        setup.partition = self.mode.partition_policy_n(cfg, topology.threads(), self.ls_thread);
         setup
     }
 
@@ -117,8 +117,8 @@ impl ColocationPolicy for ClosedLoopStretch {
         format!("Stretch closed loop ({})", self.mode())
     }
 
-    fn setup(&self, cfg: &CoreConfig) -> CoreSetup {
-        PinnedStretch { mode: self.mode(), ls_thread: self.ls_thread }.setup(cfg)
+    fn setup_for(&self, cfg: &CoreConfig, topology: &ColocationTopology) -> CoreSetup {
+        PinnedStretch { mode: self.mode(), ls_thread: self.ls_thread }.setup_for(cfg, topology)
     }
 
     fn on_sample(&mut self, obs: &QosObservation) -> PolicyAction {

@@ -15,7 +15,8 @@
 //! * [`model`] — shared simulation types (micro-ops, configuration, RNG).
 //! * [`stats`] — percentile / distribution / sampling statistics.
 //! * [`mem`] — cache hierarchy, MSHRs, prefetcher, LLC and DRAM models.
-//! * [`cpu`] — the dual-threaded SMT out-of-order core simulator.
+//! * [`cpu`] — the T-thread SMT out-of-order core simulator, its per-core
+//!   colocation policies and the server-level allocation policies above them.
 //! * [`workloads`] — synthetic latency-sensitive and batch workload generators.
 //! * [`stretch`] — the paper's contribution: asymmetric ROB/LSQ partitioning,
 //!   the architectural control register and the software QoS monitor.
@@ -40,10 +41,13 @@ pub mod prelude {
     pub use baselines::{
         DynamicSharing, Elfen, FetchThrottling, HybridThrottleSkew, IdealScheduling,
     };
-    pub use cluster_sim::{CaseStudy, Fleet, FleetConfig, FleetScale, LoadBalancer};
+    pub use cluster_sim::{
+        CaseStudy, Fleet, FleetConfig, FleetScale, LoadBalancer, MeasuredServer, ServerWorkloads,
+    };
     pub use cpu_sim::{
-        ColocationPolicy, ColocationResult, CoreSetup, EqualPartition, PrivateCore, Scenario,
-        SimLength, SmtCore, SmtCoreBuilder,
+        AllocationPolicy, ColocationPolicy, ColocationResult, ColocationTopology, CoreSetup,
+        EqualPartition, Greedy, Placement, PrivateCore, RoundRobin, Scenario, ServerScenario,
+        ServerSpec, ServerThread, SimLength, SmtCore, SmtCoreBuilder, SymbiosisAware, ThreadSpec,
     };
     pub use sim_model::{CoreConfig, ThreadId, WorkloadClass};
     pub use stretch::{PinnedStretch, RobSkew, SoftwareMonitor, StretchConfig, StretchMode};
