@@ -23,7 +23,7 @@
 //! [`parallel_map`] pool with the configuration's worker count, so callers
 //! never spawn their own ad-hoc thread pools.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io;
 use std::path::PathBuf;
 use std::sync::{Condvar, Mutex};
@@ -393,7 +393,9 @@ impl Engine {
     /// Stand-alone full-core UIPC for every workload in the engine's study,
     /// keyed by name. Individual runs are cached cells, so the reference is
     /// computed at most once per process no matter how many figures need it.
-    pub fn standalone_reference(&self) -> HashMap<String, f64> {
+    /// The map is ordered (`BTreeMap`) so that callers iterating it — not
+    /// just point lookups — see a deterministic workload order.
+    pub fn standalone_reference(&self) -> BTreeMap<String, f64> {
         let mut names = self.ls.clone();
         names.extend(self.batch.iter().cloned());
         parallel_map(names, self.cfg.workers(), |name| (name.clone(), self.standalone(name).uipc))
@@ -646,12 +648,12 @@ mod tests {
     fn qos_curves_are_cached_cells_too() {
         let dir = temp_dir("qos");
         let spec = ServiceSpec::web_search();
-        let cold = Engine::new(quick_cfg()).with_store(&dir).unwrap();
+        let cold = Engine::new(quick_cfg()).with_store(&dir).expect("temp store dir is creatable");
         let curve = cold.slack_curve(&spec, 7, &[0.2, 0.5]);
         assert_eq!(curve.len(), 2);
         assert_eq!(cold.stats().misses, 1);
 
-        let warm = Engine::new(quick_cfg()).with_store(&dir).unwrap();
+        let warm = Engine::new(quick_cfg()).with_store(&dir).expect("temp store dir is creatable");
         let again = warm.slack_curve(&spec, 7, &[0.2, 0.5]);
         assert_eq!(warm.sim_runs(), 0);
         assert_eq!(curve, again);

@@ -414,11 +414,14 @@ mod tests {
             ls_uipc: 1.2345678901234567,
             batch_uipc: 0.9876543210987654,
         };
-        store.save("abc123", "pair web-search x zeusmp", &outcome.to_json()).unwrap();
-        let loaded = PairOutcome::from_json(&store.load("abc123").expect("present")).unwrap();
+        store
+            .save("abc123", "pair web-search x zeusmp", &outcome.to_json())
+            .expect("a fresh temp store is writable");
+        let loaded = PairOutcome::from_json(&store.load("abc123").expect("present"))
+            .expect("a saved outcome decodes back");
         assert_eq!(loaded, outcome);
         assert_eq!(loaded.ls_uipc.to_bits(), outcome.ls_uipc.to_bits(), "f64 must be bit-exact");
-        assert_eq!(store.entries().unwrap(), 1);
+        assert_eq!(store.entries().expect("the store directory is listable"), 1);
         let _ = fs::remove_dir_all(store.dir());
     }
 
@@ -428,7 +431,8 @@ mod tests {
             names: vec!["web-search".to_string(), "zeusmp".to_string(), "gcc".to_string()],
             uipcs: vec![0.7182818284590452, 0.3141592653589793, 0.5772156649015329],
         };
-        let restored = SmtOutcome::from_json(&smt.to_json()).unwrap();
+        let restored =
+            SmtOutcome::from_json(&smt.to_json()).expect("an encoded outcome decodes back");
         assert_eq!(restored, smt);
         assert_eq!(restored.uipcs[0].to_bits(), smt.uipcs[0].to_bits(), "f64 must be bit-exact");
 
@@ -437,7 +441,8 @@ mod tests {
             cores: vec![vec![0], vec![1, 2]],
             uipcs: smt.uipcs.clone(),
         };
-        let restored = ServerOutcome::from_json(&server.to_json()).unwrap();
+        let restored =
+            ServerOutcome::from_json(&server.to_json()).expect("an encoded outcome decodes back");
         assert_eq!(restored, server);
         // A malformed placement is a miss, not a panic.
         assert!(ServerOutcome::from_json(&obj(vec![("names", Value::Null)])).is_none());
@@ -447,9 +452,10 @@ mod tests {
     fn missing_and_corrupt_entries_are_misses() {
         let store = temp_store("corrupt");
         assert!(store.load("nope").is_none());
-        fs::write(store.entry_path("bad"), "{not json").unwrap();
+        fs::write(store.entry_path("bad"), "{not json").expect("the temp store dir is writable");
         assert!(store.load("bad").is_none());
-        fs::write(store.entry_path("novalue"), "{\"key\":\"novalue\"}").unwrap();
+        fs::write(store.entry_path("novalue"), "{\"key\":\"novalue\"}")
+            .expect("the temp store dir is writable");
         assert!(store.load("novalue").is_none());
         let _ = fs::remove_dir_all(store.dir());
     }
@@ -457,11 +463,11 @@ mod tests {
     #[test]
     fn wipe_empties_the_store() {
         let store = temp_store("wipe");
-        store.save("a", "x", &Value::from(1.0)).unwrap();
-        store.save("b", "y", &Value::from(2.0)).unwrap();
-        assert_eq!(store.entries().unwrap(), 2);
-        assert_eq!(store.wipe().unwrap(), 2);
-        assert_eq!(store.entries().unwrap(), 0);
+        store.save("a", "x", &Value::from(1.0)).expect("a fresh temp store is writable");
+        store.save("b", "y", &Value::from(2.0)).expect("a fresh temp store is writable");
+        assert_eq!(store.entries().expect("the store directory is listable"), 2);
+        assert_eq!(store.wipe().expect("wiping an existing store succeeds"), 2);
+        assert_eq!(store.entries().expect("the store directory is listable"), 0);
         assert!(store.load("a").is_none());
         let _ = fs::remove_dir_all(store.dir());
     }
@@ -472,7 +478,8 @@ mod tests {
         h.record_weighted(0, 1000);
         h.record_weighted(2, 50);
         h.record_weighted(9, 3); // catch-all bin
-        let restored = Histogram::from_json(&h.to_json()).unwrap();
+        let restored =
+            Histogram::from_json(&h.to_json()).expect("an encoded histogram decodes back");
         assert_eq!(restored, h);
         assert_eq!(restored.total(), h.total());
         assert_eq!(restored.fraction_at_least(2), h.fraction_at_least(2));
@@ -489,7 +496,8 @@ mod tests {
             cycles: 66_667,
             mlp,
         };
-        let restored = ThreadRunResult::from_json(&r.to_json()).unwrap();
+        let restored =
+            ThreadRunResult::from_json(&r.to_json()).expect("an encoded run result decodes back");
         assert_eq!(restored.name, r.name);
         assert_eq!(restored.uipc.to_bits(), r.uipc.to_bits());
         assert_eq!(restored.committed, r.committed);
@@ -500,7 +508,8 @@ mod tests {
     #[test]
     fn slack_point_codec_keeps_the_feasibility_flag() {
         let p = SlackPoint { load: 0.9, required_performance: 1.0, feasible: false };
-        let restored = SlackPoint::from_json(&p.to_json()).unwrap();
+        let restored =
+            SlackPoint::from_json(&p.to_json()).expect("an encoded slack point decodes back");
         assert_eq!(restored, p);
         assert!(!restored.feasible);
     }

@@ -25,7 +25,7 @@ use sim_model::{
     BoxedTrace, CoreConfig, Cycle, MicroOp, OpKind, ThreadId, TraceGenerator, NUM_LOGICAL_REGS,
 };
 use sim_stats::Histogram;
-use std::collections::{HashSet, VecDeque};
+use std::collections::{HashSet, VecDeque}; // simlint: allow(nondet-collections, "IdSet below is membership-only")
 use std::hash::{BuildHasherDefault, Hasher};
 
 pub use sim_model::trace::BoxedTrace as ThreadTrace;
@@ -58,7 +58,9 @@ impl Hasher for IdHasher {
 }
 
 /// Set of in-flight instruction ids, keyed by the multiply hasher above.
-type IdSet = HashSet<u64, BuildHasherDefault<IdHasher>>;
+/// Never iterated — membership tests only — so hash order cannot reach any
+/// simulation result; the hot wakeup path needs the O(1) probe.
+type IdSet = HashSet<u64, BuildHasherDefault<IdHasher>>; // simlint: allow(nondet-collections, "membership-only probe set, never iterated")
 
 /// Status of an in-flight instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -12,14 +12,14 @@
 //! use cpu_sim::{EqualPartition, Scenario, SimLength};
 //! use workloads::profile_by_name;
 //!
-//! let ls = profile_by_name("web-search").unwrap();
-//! let batch = profile_by_name("zeusmp").unwrap();
+//! let ls = profile_by_name("web-search").expect("web-search is a built-in profile");
+//! let batch = profile_by_name("zeusmp").expect("zeusmp is a built-in profile");
 //! let result = Scenario::colocate(ls, batch)
 //!     .policy(EqualPartition)
 //!     .length(SimLength::quick())
 //!     .seed(42)
 //!     .run();
-//! assert!(result.uipc(sim_model::ThreadId::T0).unwrap() > 0.0);
+//! assert!(result.uipc(sim_model::ThreadId::T0).expect("thread 0 ran") > 0.0);
 //! ```
 //!
 //! Workloads are given either as [`TraceSource`]s (the normal case: the
@@ -323,8 +323,8 @@ mod tests {
             .run();
         assert!(r.thread(ThreadId::T0).is_some());
         assert!(r.thread(ThreadId::T1).is_some());
-        assert!(r.uipc(ThreadId::T0).unwrap() > 0.5);
-        assert!(r.uipc(ThreadId::T1).unwrap() > 0.5);
+        assert!(r.uipc(ThreadId::T0).expect("thread 0 ran") > 0.5);
+        assert!(r.uipc(ThreadId::T1).expect("thread 1 ran") > 0.5);
     }
 
     #[test]
@@ -338,7 +338,7 @@ mod tests {
         )
         .length(SimLength::quick())
         .run();
-        let bits = |r: &ColocationResult, t| r.uipc(t).unwrap().to_bits();
+        let bits = |r: &ColocationResult, t| r.uipc(t).expect("thread ran").to_bits();
         assert_eq!(bits(&sourced, ThreadId::T0), bits(&traced, ThreadId::T0));
         assert_eq!(bits(&sourced, ThreadId::T1), bits(&traced, ThreadId::T1));
     }
@@ -373,7 +373,7 @@ mod tests {
 
     #[test]
     fn colocate_n_with_one_batch_equals_the_pair_api() {
-        let bits = |r: &ColocationResult, t| r.uipc(t).unwrap().to_bits();
+        let bits = |r: &ColocationResult, t| r.uipc(t).expect("thread ran").to_bits();
         let pair = Scenario::colocate(AluSource, AluSource).length(SimLength::quick()).run();
         let n = Scenario::colocate_n(AluSource, vec![Box::new(AluSource)])
             .length(SimLength::quick())
@@ -389,14 +389,15 @@ mod tests {
         let r = Scenario::colocate_n(AluSource, batches).length(SimLength::quick()).run();
         assert_eq!(r.threads.len(), 4);
         for t in sim_model::ThreadId::first_n(4) {
-            assert!(r.uipc(t).unwrap() > 0.1, "thread {t} made no progress");
+            assert!(r.uipc(t).expect("thread ran") > 0.1, "thread {t} made no progress");
         }
         // Deterministic across identical invocations.
         let batches: Vec<Box<dyn TraceSource + Send + Sync>> =
             vec![Box::new(AluSource), Box::new(AluSource), Box::new(AluSource)];
         let again = Scenario::colocate_n(AluSource, batches).length(SimLength::quick()).run();
         for t in sim_model::ThreadId::first_n(4) {
-            assert_eq!(r.uipc(t).unwrap().to_bits(), again.uipc(t).unwrap().to_bits());
+            let bits = |r: &ColocationResult| r.uipc(t).expect("thread ran").to_bits();
+            assert_eq!(bits(&r), bits(&again));
         }
     }
 

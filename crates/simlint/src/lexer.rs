@@ -1,0 +1,484 @@
+//! A hand-rolled Rust lexer: just enough of the language to analyze it.
+//!
+//! The build environment is offline-vendored (no `syn`, no `proc-macro2`),
+//! so the analyzer carries its own tokenizer. It does **not** parse Rust —
+//! it produces a flat significant-token stream with source spans, which is
+//! all the rules in [`crate::rules`] need. What it must get exactly right is
+//! what *hides* tokens from naive `grep`-style scanning:
+//!
+//! * line comments (`//`, `///`, `//!`) and nested block comments
+//!   (`/* /* */ */`), including doc comments — doctest bodies are comment
+//!   text and are deliberately invisible to the rules;
+//! * cooked strings with escapes (`"a \" b"`), byte strings (`b"…"`), and
+//!   raw strings with arbitrary hash fences (`r"…"`, `r#"…"#`, `br##"…"##`);
+//! * char literals versus lifetimes (`'a'` versus `'a`), including escaped
+//!   chars (`'\''`, `'\u{1F600}'`);
+//! * raw identifiers (`r#match`);
+//! * float literals versus field/range punctuation (`1.5` versus `tuple.0`
+//!   versus `0..10`), including exponents and `f32`/`f64` suffixes.
+//!
+//! Identifiers appearing inside strings or comments therefore never match an
+//! identifier-based rule — `"HashMap"` in an error message is a [`Str`]
+//! token, not an [`Ident`].
+//!
+//! [`Str`]: TokKind::Str
+//! [`Ident`]: TokKind::Ident
+
+/// The coarse classification of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`HashMap`, `struct`, `r#match`).
+    Ident,
+    /// An integer literal (`192`, `0xFF`, `1_000u64`).
+    Int,
+    /// A float literal (`1.0`, `0.5e-3`, `1f64`, `3.`).
+    Float,
+    /// A string literal of any flavour (cooked, raw, byte); text excludes
+    /// the delimiters.
+    Str,
+    /// A char or byte-char literal (`'a'`, `b'\n'`).
+    Char,
+    /// A lifetime (`'a`, `'static`, `'_`); text includes the leading quote.
+    Lifetime,
+    /// A single punctuation character (`=`, `!`, `:`, `{`, …). Multi-char
+    /// operators are emitted as adjacent single-char tokens.
+    Punct,
+}
+
+/// One significant token with its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// The token class.
+    pub kind: TokKind,
+    /// The token text (see [`TokKind`] for per-kind conventions).
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+impl Tok {
+    /// True when this token is the identifier `text`.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// True when this token is the punctuation character `ch`.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(ch)
+    }
+}
+
+struct Lexer<'a> {
+    src: &'a [char],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+impl Lexer<'_> {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn bump_while(&mut self, keep: impl Fn(char) -> bool) -> String {
+        let mut out = String::new();
+        while let Some(c) = self.peek(0) {
+            if !keep(c) {
+                break;
+            }
+            out.push(c);
+            self.bump();
+        }
+        out
+    }
+
+    /// Consumes a `//` comment to end of line (the newline stays).
+    fn line_comment(&mut self) {
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    /// Consumes a `/* … */` comment, honouring nesting. An unterminated
+    /// comment consumes to end of input (the lexer is lenient: it analyzes
+    /// code that `rustc` will reject in its own time).
+    fn block_comment(&mut self) {
+        let mut depth = 1usize;
+        self.bump(); // '*'
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    /// Consumes a cooked string body after the opening `"`, honouring `\`
+    /// escapes. Returns the body text.
+    fn cooked_string(&mut self) -> String {
+        let mut out = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '"' => break,
+                '\\' => {
+                    if let Some(esc) = self.bump() {
+                        out.push('\\');
+                        out.push(esc);
+                    }
+                }
+                other => out.push(other),
+            }
+        }
+        out
+    }
+
+    /// Consumes a raw string body after the `r`/`br` prefix: `#`* `"` … `"`
+    /// `#`*. Returns the body text.
+    fn raw_string(&mut self) -> String {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening '"'
+        let mut out = String::new();
+        'body: while let Some(c) = self.bump() {
+            if c == '"' {
+                // A closing quote counts only when followed by the fence.
+                for k in 0..hashes {
+                    if self.peek(k) != Some('#') {
+                        out.push('"');
+                        continue 'body;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+            out.push(c);
+        }
+        out
+    }
+
+    /// Consumes a char literal body after the opening `'` (escape-aware) and
+    /// the closing `'`. Returns the body text.
+    fn char_literal(&mut self) -> String {
+        let mut out = String::new();
+        match self.bump() {
+            Some('\\') => {
+                out.push('\\');
+                if let Some(esc) = self.bump() {
+                    out.push(esc);
+                    if esc == 'u' {
+                        // '\u{…}': consume through the closing brace.
+                        while let Some(c) = self.bump() {
+                            out.push(c);
+                            if c == '}' {
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            Some(c) => out.push(c),
+            None => {}
+        }
+        if self.peek(0) == Some('\'') {
+            self.bump();
+        }
+        out
+    }
+
+    /// Consumes a number starting at an ASCII digit. Returns (text, kind).
+    fn number(&mut self) -> (String, TokKind) {
+        let mut text = String::new();
+        let mut kind = TokKind::Int;
+        // Radix prefixes are always integers.
+        if self.peek(0) == Some('0') && matches!(self.peek(1), Some('x' | 'o' | 'b')) {
+            text.push(self.bump().expect("digit present"));
+            text.push(self.bump().expect("radix char present"));
+            text.push_str(&self.bump_while(|c| c.is_ascii_alphanumeric() || c == '_'));
+            return (text, TokKind::Int);
+        }
+        text.push_str(&self.bump_while(|c| c.is_ascii_digit() || c == '_'));
+        // A fractional part: '.' not followed by another '.' (range) or an
+        // identifier start (method call / field access).
+        if self.peek(0) == Some('.') {
+            let after = self.peek(1);
+            let is_fraction =
+                !matches!(after, Some(c) if c == '.' || is_ident_start(c)) || after.is_none();
+            if is_fraction {
+                kind = TokKind::Float;
+                text.push('.');
+                self.bump();
+                text.push_str(&self.bump_while(|c| c.is_ascii_digit() || c == '_'));
+            }
+        }
+        // An exponent.
+        if matches!(self.peek(0), Some('e' | 'E')) {
+            let (sign, digit) = (self.peek(1), self.peek(2));
+            let exponent = match sign {
+                Some(c) if c.is_ascii_digit() => true,
+                Some('+' | '-') => matches!(digit, Some(d) if d.is_ascii_digit()),
+                _ => false,
+            };
+            if exponent {
+                kind = TokKind::Float;
+                text.push(self.bump().expect("exponent marker present"));
+                if matches!(self.peek(0), Some('+' | '-')) {
+                    text.push(self.bump().expect("exponent sign present"));
+                }
+                text.push_str(&self.bump_while(|c| c.is_ascii_digit() || c == '_'));
+            }
+        }
+        // A type suffix (`1.0f64`, `7u32`).
+        if matches!(self.peek(0), Some(c) if is_ident_start(c)) {
+            let suffix = self.bump_while(is_ident_continue);
+            if suffix == "f32" || suffix == "f64" {
+                kind = TokKind::Float;
+            }
+            text.push_str(&suffix);
+        }
+        (text, kind)
+    }
+}
+
+/// Tokenizes Rust source into its significant tokens (comments and
+/// whitespace dropped), with 1-based line/column spans.
+pub fn tokenize(src: &str) -> Vec<Tok> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut lx = Lexer { src: &chars, pos: 0, line: 1, col: 1 };
+    let mut toks = Vec::new();
+    while let Some(c) = lx.peek(0) {
+        let (line, col) = (lx.line, lx.col);
+        let mut push = |kind, text| toks.push(Tok { kind, text, line, col });
+        match c {
+            _ if c.is_whitespace() => {
+                lx.bump();
+            }
+            '/' if lx.peek(1) == Some('/') => lx.line_comment(),
+            '/' if lx.peek(1) == Some('*') => {
+                lx.bump();
+                lx.block_comment();
+            }
+            '"' => {
+                lx.bump();
+                let body = lx.cooked_string();
+                push(TokKind::Str, body);
+            }
+            '\'' => {
+                lx.bump();
+                // Distinguish a lifetime from a char literal: '<ident> not
+                // terminated by a quote is a lifetime.
+                match lx.peek(0) {
+                    Some(n) if is_ident_start(n) && lx.peek(1) != Some('\'') => {
+                        let name = lx.bump_while(is_ident_continue);
+                        // `'a'` arrives here with peek(1) == '\'' handled
+                        // above only for single-char bodies; a multi-char
+                        // ident followed by a quote ('abc') is not valid
+                        // Rust, so treat any trailing quote as a close.
+                        if lx.peek(0) == Some('\'') {
+                            lx.bump();
+                            push(TokKind::Char, name);
+                        } else {
+                            push(TokKind::Lifetime, format!("'{name}"));
+                        }
+                    }
+                    Some(_) => {
+                        let body = lx.char_literal();
+                        push(TokKind::Char, body);
+                    }
+                    None => push(TokKind::Punct, "'".to_string()),
+                }
+            }
+            'r' | 'b' => {
+                // Raw / byte literal prefixes, or a plain identifier.
+                let one = lx.peek(1);
+                let two = lx.peek(2);
+                let raw_string_ahead = |at: Option<char>, after: Option<char>| match at {
+                    Some('"') => true,
+                    Some('#') => matches!(after, Some('"' | '#')),
+                    _ => false,
+                };
+                if c == 'b' && one == Some('\'') {
+                    lx.bump();
+                    lx.bump();
+                    let body = lx.char_literal();
+                    push(TokKind::Char, body);
+                } else if c == 'b' && one == Some('"') {
+                    lx.bump();
+                    lx.bump();
+                    let body = lx.cooked_string();
+                    push(TokKind::Str, body);
+                } else if c == 'b' && one == Some('r') && raw_string_ahead(two, lx.peek(3)) {
+                    lx.bump();
+                    lx.bump();
+                    let body = lx.raw_string();
+                    push(TokKind::Str, body);
+                } else if c == 'r' && raw_string_ahead(one, two) {
+                    lx.bump();
+                    let body = lx.raw_string();
+                    push(TokKind::Str, body);
+                } else if c == 'r'
+                    && one == Some('#')
+                    && matches!(two, Some(t) if is_ident_start(t))
+                {
+                    // Raw identifier `r#match`.
+                    lx.bump();
+                    lx.bump();
+                    let name = lx.bump_while(is_ident_continue);
+                    push(TokKind::Ident, name);
+                } else {
+                    let name = lx.bump_while(is_ident_continue);
+                    push(TokKind::Ident, name);
+                }
+            }
+            _ if is_ident_start(c) => {
+                let name = lx.bump_while(is_ident_continue);
+                push(TokKind::Ident, name);
+            }
+            _ if c.is_ascii_digit() => {
+                let (text, kind) = lx.number();
+                push(kind, text);
+            }
+            other => {
+                lx.bump();
+                push(TokKind::Punct, other.to_string());
+            }
+        }
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<(TokKind, String)> {
+        tokenize(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn comments_hide_identifiers() {
+        let toks = texts("a // HashMap\n/* SystemTime /* nested */ more */ b");
+        assert_eq!(
+            toks,
+            vec![(TokKind::Ident, "a".to_string()), (TokKind::Ident, "b".to_string())]
+        );
+    }
+
+    #[test]
+    fn doc_comments_hide_doctest_code() {
+        let toks = tokenize("/// let x = map.unwrap();\n//! Instant::now()\nfn f() {}");
+        assert!(toks.iter().all(|t| t.text != "unwrap" && t.text != "Instant"));
+        assert!(toks[0].is_ident("fn"));
+    }
+
+    #[test]
+    fn strings_hide_identifiers_and_handle_escapes() {
+        let toks = texts(r#"let s = "HashMap \" still HashMap"; x"#);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Str).count(), 1);
+        assert!(toks.iter().all(|(k, t)| *k != TokKind::Ident || t != "HashMap"));
+    }
+
+    #[test]
+    fn raw_and_byte_strings_are_single_tokens() {
+        let toks = texts(r###"r#"Instant::now() "quoted" body"# b"bytes" br##"raw bytes"##"###);
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Str, "Instant::now() \"quoted\" body".to_string()),
+                (TokKind::Str, "bytes".to_string()),
+                (TokKind::Str, "raw bytes".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn chars_and_lifetimes_are_distinguished() {
+        let toks =
+            texts(r"fn f<'a>(x: &'a str) { let c = 'x'; let q = '\''; let s: &'static str; }");
+        let lifetimes: Vec<&str> =
+            toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).map(|(_, t)| t.as_str()).collect();
+        assert_eq!(lifetimes, vec!["'a", "'a", "'static"]);
+        let chars: Vec<&str> =
+            toks.iter().filter(|(k, _)| *k == TokKind::Char).map(|(_, t)| t.as_str()).collect();
+        assert_eq!(chars, vec!["x", "\\'"]);
+    }
+
+    #[test]
+    fn numbers_classify_ints_and_floats() {
+        let toks = texts("192 1.5 0.5e-3 1e9 3. 1f64 7u32 0xFF 1_000 tuple.0 0..10");
+        let kinds: Vec<TokKind> = toks.iter().map(|(k, _)| *k).collect();
+        use TokKind::*;
+        assert_eq!(
+            kinds,
+            vec![
+                Int, Float, Float, Float, Float, Float, Int, Int, Int, // literals
+                Ident, Punct, Int, // tuple.0
+                Int, Punct, Punct, Int, // 0..10
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_identifiers() {
+        let toks = texts("r#match r#fn rx");
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Ident, "match".to_string()),
+                (TokKind::Ident, "fn".to_string()),
+                (TokKind::Ident, "rx".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_are_one_based_lines_and_columns() {
+        let toks = tokenize("ab\n  cd == 1.0");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+        let eq = toks.iter().position(|t| t.is_punct('=')).expect("operator present");
+        assert_eq!((toks[eq].line, toks[eq].col), (2, 6));
+        assert_eq!((toks[eq + 1].line, toks[eq + 1].col), (2, 7));
+    }
+}

@@ -1,0 +1,98 @@
+//! The `simlint` binary: scans the workspace and reports determinism &
+//! hygiene findings.
+//!
+//! ```text
+//! simlint [--root <dir>] [--rule <id>]... [--json <out>] [--fix-manifest] [--list-rules]
+//! ```
+//!
+//! Exit codes: 0 clean (suppressed findings allowed), 1 unsuppressed
+//! findings, 2 usage or I/O error.
+
+use std::process::ExitCode;
+
+use simlint::{RuleFilter, Workspace};
+
+struct Args {
+    root: Option<String>,
+    rules: Vec<String>,
+    json: Option<String>,
+    fix_manifest: bool,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args =
+        Args { root: None, rules: Vec::new(), json: None, fix_manifest: false, list_rules: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => args.root = Some(it.next().ok_or("--root needs a directory")?),
+            "--rule" => args.rules.push(it.next().ok_or("--rule needs a rule id")?),
+            "--json" => args.json = Some(it.next().ok_or("--json needs an output path")?),
+            "--fix-manifest" => args.fix_manifest = true,
+            "--list-rules" => args.list_rules = true,
+            "--help" | "-h" => {
+                println!(
+                    "simlint — workspace determinism & hygiene analyzer\n\n\
+                     USAGE: simlint [--root <dir>] [--rule <id>]... [--json <out>] \
+                     [--fix-manifest] [--list-rules]\n\n\
+                     Exit codes: 0 clean, 1 unsuppressed findings, 2 usage/I-O error."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}' (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+
+    if args.list_rules {
+        for rule in simlint::rules::RULES {
+            println!("{}\n    {}\n    scope: {}\n", rule.id, rule.summary, rule.scope);
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let workspace = match &args.root {
+        Some(dir) => Workspace::open(dir),
+        None => Workspace::discover(),
+    }
+    .map_err(|e| format!("cannot open workspace: {e}"))?;
+
+    if args.fix_manifest {
+        let pinned = workspace.fix_manifest().map_err(|e| format!("fix-manifest: {e}"))?;
+        println!(
+            "simlint: pinned {pinned} CanonicalKey type fingerprint(s) to {}",
+            simlint::MANIFEST_PATH
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let filter =
+        if args.rules.is_empty() { RuleFilter::all() } else { RuleFilter::only(&args.rules)? };
+    let report = workspace.analyze(&filter).map_err(|e| format!("analysis failed: {e}"))?;
+    print!("{}", report.human());
+    if let Some(path) = &args.json {
+        let text = serde_json::to_string_pretty(&report.to_json())
+            .expect("the report JSON tree is finite");
+        std::fs::write(path, text + "\n").map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    if report.unsuppressed().count() > 0 {
+        Ok(ExitCode::FAILURE)
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("simlint: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,381 @@
+//! The `canon-manifest` rule: struct-field fingerprints for `CanonicalKey`
+//! types.
+//!
+//! Every type that implements `CanonicalKey` participates in the Engine's
+//! content-addressed cache keys: adding a field without extending
+//! `encode_key` silently aliases distinct configurations onto one cache
+//! cell. This module fingerprints the *definition* of every locally-defined
+//! `CanonicalKey` type (the token stream of its `struct`/`enum` item —
+//! whitespace- and comment-insensitive, field-change-sensitive) and compares
+//! it against the committed manifest at
+//! [`MANIFEST_PATH`](crate::MANIFEST_PATH). A drifted fingerprint forces a
+//! conscious review: check `encode_key` covers the change, then re-pin with
+//! `simlint --fix-manifest`.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{tokenize, Tok, TokKind};
+use crate::report::Finding;
+use crate::rules::{classify, test_regions, FileKind, CANON_MANIFEST};
+
+/// 128-bit FNV-1a (the same construction `sim_model::canon` uses for cache
+/// keys; duplicated here so the analyzer stays dependency-free).
+fn fnv1a_128(bytes: &[u8]) -> u128 {
+    const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u128::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// One source file handed to the inventory pass.
+pub struct SourceFile {
+    /// Workspace-relative `/`-separated path.
+    pub path: String,
+    /// Package name of the owning crate (manifest keys are `crate::Type`).
+    pub crate_name: String,
+    /// Full file contents.
+    pub source: String,
+}
+
+/// Where a type definition (or impl) was found, plus its fingerprint.
+#[derive(Debug, Clone)]
+pub struct TypeRecord {
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based line of the `struct`/`enum` keyword (or the impl header).
+    pub line: u32,
+    /// Definition fingerprint (empty for impl records).
+    pub fingerprint: String,
+}
+
+/// The full inventory of one scan: every local `struct`/`enum` definition
+/// and every `impl CanonicalKey for <Type>` site, keyed by `crate::Type`.
+#[derive(Debug, Default)]
+pub struct Inventory {
+    /// `crate::Type` → definition record. Duplicate definitions of one name
+    /// within a crate (e.g. a module-local helper) fold into one fingerprint
+    /// over all of them, in (file, line) order.
+    pub defs: BTreeMap<String, TypeRecord>,
+    /// `crate::Type` → first `impl CanonicalKey for` site.
+    pub impls: BTreeMap<String, TypeRecord>,
+}
+
+/// Scans `files` (test code excluded) and builds the [`Inventory`].
+pub fn collect(files: &[SourceFile]) -> Inventory {
+    let mut raw_defs: BTreeMap<String, Vec<(String, u32, String)>> = BTreeMap::new();
+    let mut inv = Inventory::default();
+    for f in files {
+        if matches!(classify(&f.path), FileKind::Test | FileKind::Bench) {
+            continue;
+        }
+        let toks = tokenize(&f.source);
+        let regions = test_regions(&toks);
+        let hidden = |line: u32| regions.iter().any(|&(a, b)| line >= a && line <= b);
+        scan_defs(&f.path, &f.crate_name, &toks, &hidden, &mut raw_defs);
+        scan_impls(&f.path, &f.crate_name, &toks, &hidden, &mut inv.impls);
+    }
+    for (key, mut sites) in raw_defs {
+        sites.sort_by(|a, b| (a.0.as_str(), a.1).cmp(&(b.0.as_str(), b.1)));
+        let joined = sites.iter().map(|s| s.2.as_str()).collect::<Vec<_>>().join("\u{1e}");
+        let (file, line, _) = sites.remove(0);
+        inv.defs.insert(
+            key,
+            TypeRecord {
+                file,
+                line,
+                fingerprint: format!("{:032x}", fnv1a_128(joined.as_bytes())),
+            },
+        );
+    }
+    inv
+}
+
+fn scan_defs(
+    path: &str,
+    crate_name: &str,
+    toks: &[Tok],
+    hidden: &dyn Fn(u32) -> bool,
+    out: &mut BTreeMap<String, Vec<(String, u32, String)>>,
+) {
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if !(t.is_ident("struct") || t.is_ident("enum")) || hidden(t.line) {
+            continue;
+        }
+        let Some(name) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) else { continue };
+        // Walk to the end of the item: the matching close brace of its body,
+        // or a top-level `;` for unit/tuple structs. Token-level matching —
+        // braces in strings or comments are already out of the stream.
+        let mut depth = 0usize;
+        let mut saw_brace = false;
+        let mut end = i;
+        for (j, tj) in toks.iter().enumerate().skip(i) {
+            if tj.is_punct('{') {
+                depth += 1;
+                saw_brace = true;
+            } else if tj.is_punct('}') {
+                depth = depth.saturating_sub(1);
+                if saw_brace && depth == 0 {
+                    end = j;
+                    break;
+                }
+            } else if tj.is_punct(';') && depth == 0 {
+                end = j;
+                break;
+            }
+            end = j;
+        }
+        let text: Vec<&str> = toks[i..=end].iter().map(|x| x.text.as_str()).collect();
+        out.entry(format!("{crate_name}::{}", name.text)).or_default().push((
+            path.to_string(),
+            t.line,
+            text.join("\u{1f}"),
+        ));
+    }
+}
+
+fn scan_impls(
+    path: &str,
+    crate_name: &str,
+    toks: &[Tok],
+    hidden: &dyn Fn(u32) -> bool,
+    out: &mut BTreeMap<String, TypeRecord>,
+) {
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if !t.is_ident("CanonicalKey")
+            || !toks.get(i + 1).is_some_and(|n| n.is_ident("for"))
+            || hidden(t.line)
+        {
+            continue;
+        }
+        // The implemented type is the last identifier at angle-bracket depth
+        // zero before the impl body: `Foo` in `Foo<'a>`, `Vec` in `Vec<T>`.
+        let mut angle = 0i32;
+        let mut name: Option<String> = None;
+        for tj in toks.iter().skip(i + 2) {
+            if tj.is_punct('<') {
+                angle += 1;
+            } else if tj.is_punct('>') {
+                angle -= 1;
+            } else if tj.is_punct('{') || tj.is_ident("where") {
+                break;
+            } else if angle == 0 && tj.kind == TokKind::Ident {
+                name = Some(tj.text.clone());
+            }
+        }
+        if let Some(name) = name {
+            out.entry(format!("{crate_name}::{name}")).or_insert(TypeRecord {
+                file: path.to_string(),
+                line: t.line,
+                fingerprint: String::new(),
+            });
+        }
+    }
+}
+
+/// A committed manifest, parsed: `crate::Type` → (file, fingerprint).
+pub type Manifest = BTreeMap<String, (String, String)>;
+
+/// Parses the manifest JSON (`{"schema": 1, "types": {key: {file, fingerprint}}}`).
+pub fn parse_manifest(text: &str) -> Result<Manifest, String> {
+    let value = serde_json::from_str(text).map_err(|e| format!("invalid manifest JSON: {e}"))?;
+    if value.get("schema").and_then(|s| s.as_u64()) != Some(1) {
+        return Err("manifest schema version is not 1".to_string());
+    }
+    let Some(types) = value.get("types").and_then(|t| t.as_object()) else {
+        return Err("manifest has no `types` object".to_string());
+    };
+    let mut out = Manifest::new();
+    for (key, entry) in types {
+        let file = entry.get("file").and_then(|v| v.as_str()).unwrap_or_default().to_string();
+        let fp = entry.get("fingerprint").and_then(|v| v.as_str()).unwrap_or_default().to_string();
+        out.insert(key.clone(), (file, fp));
+    }
+    Ok(out)
+}
+
+/// Renders the manifest for the current inventory (the `--fix-manifest`
+/// output): every type that both implements `CanonicalKey` and is defined
+/// locally, with its current fingerprint.
+pub fn render_manifest(inv: &Inventory) -> String {
+    use serde_json::Value;
+    let mut types = serde_json::Map::new();
+    for (key, def) in pinnable(inv) {
+        let mut entry = serde_json::Map::new();
+        entry.insert("file".to_string(), Value::from(def.file.as_str()));
+        entry.insert("fingerprint".to_string(), Value::from(def.fingerprint.as_str()));
+        types.insert(key.clone(), Value::Object(entry));
+    }
+    let mut root = serde_json::Map::new();
+    root.insert("schema".to_string(), Value::from(1u64));
+    root.insert("types".to_string(), Value::Object(types));
+    let mut text = serde_json::to_string_pretty(&Value::Object(root))
+        .expect("manifest rendering walks a finite tree of finite values");
+    text.push('\n');
+    text
+}
+
+/// The `crate::Type` keys that can be pinned: implement `CanonicalKey` *and*
+/// have a local definition (impls on std/foreign types are out of scope).
+fn pinnable(inv: &Inventory) -> impl Iterator<Item = (&String, &TypeRecord)> {
+    inv.impls.keys().filter_map(|k| inv.defs.get_key_value(k))
+}
+
+/// Compares the inventory against the committed manifest and returns the
+/// `canon-manifest` findings. `manifest_text` is `None` when the manifest
+/// file does not exist.
+pub fn diff(inv: &Inventory, manifest_path: &str, manifest_text: Option<&str>) -> Vec<Finding> {
+    let at = |file: &str, line: u32, message: String| Finding {
+        rule: CANON_MANIFEST,
+        file: file.to_string(),
+        line,
+        column: 1,
+        message,
+        suppressed: None,
+    };
+    let Some(text) = manifest_text else {
+        return vec![at(
+            manifest_path,
+            1,
+            "canon manifest is missing; pin the current CanonicalKey fingerprints with \
+             simlint --fix-manifest"
+                .to_string(),
+        )];
+    };
+    let pinned = match parse_manifest(text) {
+        Ok(p) => p,
+        Err(e) => return vec![at(manifest_path, 1, e)],
+    };
+    let mut out = Vec::new();
+    let mut live = std::collections::BTreeSet::new();
+    for (key, def) in pinnable(inv) {
+        live.insert(key.clone());
+        match pinned.get(key) {
+            None => out.push(at(
+                &def.file,
+                def.line,
+                format!(
+                    "{key} implements CanonicalKey but is not pinned in {manifest_path}; \
+                     review encode_key, then pin it with simlint --fix-manifest"
+                ),
+            )),
+            Some((_, fp)) if *fp != def.fingerprint => out.push(at(
+                &def.file,
+                def.line,
+                format!(
+                    "{key} drifted from its pinned fingerprint (a field or variant changed); \
+                     verify encode_key covers the change, then re-pin with simlint \
+                     --fix-manifest"
+                ),
+            )),
+            Some(_) => {}
+        }
+    }
+    for key in pinned.keys() {
+        if !live.contains(key) {
+            out.push(at(
+                manifest_path,
+                1,
+                format!(
+                    "stale manifest entry {key}: the type no longer implements CanonicalKey \
+                     (or was removed); re-pin with simlint --fix-manifest"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn files(src: &str) -> Vec<SourceFile> {
+        vec![SourceFile {
+            path: "crates/x/src/lib.rs".to_string(),
+            crate_name: "x".to_string(),
+            source: src.to_string(),
+        }]
+    }
+
+    const TYPED: &str = "struct Knob { a: u32, b: f64 }\n\
+                         impl CanonicalKey for Knob { fn encode_key(&self, e: &mut KeyEncoder) {} }\n";
+
+    #[test]
+    fn collect_finds_defs_and_impls() {
+        let inv = collect(&files(TYPED));
+        assert!(inv.defs.contains_key("x::Knob"));
+        assert!(inv.impls.contains_key("x::Knob"));
+        assert_eq!(inv.defs["x::Knob"].line, 1);
+        assert_eq!(inv.impls["x::Knob"].line, 2);
+    }
+
+    #[test]
+    fn fingerprint_ignores_formatting_but_sees_fields() {
+        let a = collect(&files("struct K { a: u32, b: f64 }\nimpl CanonicalKey for K {}\n"));
+        let b = collect(&files(
+            "struct K {\n    // docs move around\n    a: u32,\n    b: f64,\n}\nimpl CanonicalKey for K {}\n",
+        ));
+        let c =
+            collect(&files("struct K { a: u32, b: f64, c: bool }\nimpl CanonicalKey for K {}\n"));
+        // Trailing comma is a token-stream difference; compare without it.
+        let fp = |inv: &Inventory| inv.defs["x::K"].fingerprint.clone();
+        assert_ne!(fp(&a), fp(&c));
+        assert_ne!(fp(&b), fp(&c));
+    }
+
+    #[test]
+    fn generic_impls_resolve_to_the_base_type_name() {
+        let inv = collect(&files(
+            "struct Wrap<T> { inner: T }\nimpl<T: CanonicalKey> CanonicalKey for Wrap<T> {}\n",
+        ));
+        assert!(inv.impls.contains_key("x::Wrap"));
+    }
+
+    #[test]
+    fn diff_reports_missing_drifted_and_stale() {
+        let inv = collect(&files(TYPED));
+        // No manifest at all.
+        let missing = diff(&inv, "m.json", None);
+        assert_eq!(missing.len(), 1);
+        assert!(missing[0].message.contains("missing"));
+
+        // Unpinned type.
+        let empty = "{\"schema\": 1, \"types\": {}}";
+        let unpinned = diff(&inv, "m.json", Some(empty));
+        assert_eq!(unpinned.len(), 1);
+        assert!(unpinned[0].message.contains("not pinned"));
+        assert_eq!(unpinned[0].file, "crates/x/src/lib.rs");
+        assert_eq!(unpinned[0].line, 1);
+
+        // Pinned at the current fingerprint: clean; then drifted.
+        let pinned = render_manifest(&inv);
+        assert!(diff(&inv, "m.json", Some(&pinned)).is_empty());
+        let drifted = collect(&files(
+            "struct Knob { a: u32, b: f64, extra: bool }\n\
+             impl CanonicalKey for Knob { fn encode_key(&self, e: &mut KeyEncoder) {} }\n",
+        ));
+        let d = diff(&drifted, "m.json", Some(&pinned));
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("drifted"));
+
+        // Stale entry: manifest pins a type that no longer has an impl.
+        let gone = collect(&files("struct Knob { a: u32, b: f64 }\n"));
+        let s = diff(&gone, "m.json", Some(&pinned));
+        assert_eq!(s.len(), 1);
+        assert!(s[0].message.contains("stale"));
+    }
+
+    #[test]
+    fn test_code_is_out_of_scope() {
+        let src = "#[cfg(test)]\nmod tests {\n    struct Hidden { a: u32 }\n    impl CanonicalKey for Hidden {}\n}\n";
+        let inv = collect(&files(src));
+        assert!(inv.defs.is_empty());
+        assert!(inv.impls.is_empty());
+    }
+}

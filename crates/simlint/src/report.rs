@@ -1,0 +1,179 @@
+//! Findings and report rendering: human `file:line:col` diagnostics and the
+//! machine-readable JSON document consumed by CI.
+
+use serde_json::{Map, Value};
+
+/// One diagnostic produced by a rule.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The rule id (see [`crate::rules::RULES`]).
+    pub rule: &'static str,
+    /// Workspace-relative `/`-separated file path.
+    pub file: String,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// 1-based column of the offending token.
+    pub column: u32,
+    /// What is wrong and what to do instead.
+    pub message: String,
+    /// `Some(reason)` when a `simlint: allow(rule, "reason")` directive on
+    /// the offending line suppressed this finding. Suppressed findings stay
+    /// in the report so every waiver is visible.
+    pub suppressed: Option<String>,
+}
+
+impl Finding {
+    /// Renders the finding as a single `path:line:col: rule: message` line.
+    pub fn human(&self) -> String {
+        let mut s =
+            format!("{}:{}:{}: {}: {}", self.file, self.line, self.column, self.rule, self.message);
+        if let Some(reason) = &self.suppressed {
+            s.push_str(&format!(" [allowed: {reason}]"));
+        }
+        s
+    }
+}
+
+/// The result of one analysis run.
+#[derive(Debug)]
+pub struct Report {
+    /// Workspace root the scan ran against.
+    pub root: String,
+    /// Number of source files scanned.
+    pub files_scanned: usize,
+    /// The rule ids that were enabled for this run.
+    pub rules: Vec<String>,
+    /// All findings, suppressed and not, sorted by (file, line, column, rule).
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    /// Findings not covered by an allow directive — these fail the build.
+    pub fn unsuppressed(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.suppressed.is_none())
+    }
+
+    /// Findings waived by an allow directive (surfaced, not fatal).
+    pub fn suppressed(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.suppressed.is_some())
+    }
+
+    /// Sorts findings into the canonical reporting order.
+    pub fn sort(&mut self) {
+        self.findings.sort_by(|a, b| {
+            (a.file.as_str(), a.line, a.column, a.rule).cmp(&(
+                b.file.as_str(),
+                b.line,
+                b.column,
+                b.rule,
+            ))
+        });
+    }
+
+    /// The machine-readable document written by `--json`.
+    pub fn to_json(&self) -> Value {
+        let findings: Vec<Value> = self
+            .findings
+            .iter()
+            .map(|f| {
+                let mut m = Map::new();
+                m.insert("rule".to_string(), Value::from(f.rule));
+                m.insert("file".to_string(), Value::from(f.file.as_str()));
+                m.insert("line".to_string(), Value::from(u64::from(f.line)));
+                m.insert("column".to_string(), Value::from(u64::from(f.column)));
+                m.insert("message".to_string(), Value::from(f.message.as_str()));
+                m.insert(
+                    "suppressed".to_string(),
+                    match &f.suppressed {
+                        Some(reason) => Value::from(reason.as_str()),
+                        None => Value::Null,
+                    },
+                );
+                Value::Object(m)
+            })
+            .collect();
+        let mut summary = Map::new();
+        summary.insert("unsuppressed".to_string(), Value::from(self.unsuppressed().count()));
+        summary.insert("suppressed".to_string(), Value::from(self.suppressed().count()));
+        let mut root = Map::new();
+        root.insert("schema".to_string(), Value::from(1u64));
+        root.insert("root".to_string(), Value::from(self.root.as_str()));
+        root.insert("files_scanned".to_string(), Value::from(self.files_scanned));
+        root.insert(
+            "rules".to_string(),
+            Value::Array(self.rules.iter().map(|r| Value::from(r.as_str())).collect()),
+        );
+        root.insert("findings".to_string(), Value::Array(findings));
+        root.insert("summary".to_string(), Value::Object(summary));
+        Value::Object(root)
+    }
+
+    /// Renders the human diagnostics plus a one-line summary.
+    pub fn human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&f.human());
+            out.push('\n');
+        }
+        let bad = self.unsuppressed().count();
+        let waived = self.suppressed().count();
+        out.push_str(&format!(
+            "simlint: {} file(s) scanned, {bad} finding(s), {waived} suppression(s)\n",
+            self.files_scanned
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            root: ".".to_string(),
+            files_scanned: 2,
+            rules: vec!["nondet-time".to_string()],
+            findings: vec![
+                Finding {
+                    rule: "nondet-time",
+                    file: "b.rs".to_string(),
+                    line: 3,
+                    column: 9,
+                    message: "wall clock".to_string(),
+                    suppressed: None,
+                },
+                Finding {
+                    rule: "nondet-time",
+                    file: "a.rs".to_string(),
+                    line: 1,
+                    column: 1,
+                    message: "wall clock".to_string(),
+                    suppressed: Some("perf harness".to_string()),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn human_lines_carry_exact_spans() {
+        let mut r = sample();
+        r.sort();
+        let text = r.human();
+        assert!(text.starts_with("a.rs:1:1: nondet-time: wall clock [allowed: perf harness]\n"));
+        assert!(text.contains("b.rs:3:9: nondet-time: wall clock\n"));
+        assert!(text.contains("2 file(s) scanned, 1 finding(s), 1 suppression(s)"));
+    }
+
+    #[test]
+    fn json_summary_counts_split_by_suppression() {
+        let doc = sample().to_json();
+        assert_eq!(doc.get("schema").and_then(|v| v.as_u64()), Some(1));
+        let summary = doc.get("summary").expect("summary object is always emitted");
+        assert_eq!(summary.get("unsuppressed").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(summary.get("suppressed").and_then(|v| v.as_u64()), Some(1));
+        let findings = doc.get("findings").and_then(|v| v.as_array()).expect("findings array");
+        assert_eq!(findings.len(), 2);
+        assert_eq!(findings[0].get("line").and_then(|v| v.as_u64()), Some(3));
+    }
+}

@@ -26,6 +26,9 @@
 //! * [`cluster`] — diurnal load models, the analytical cluster case studies
 //!   and the measured load-balanced fleet simulation (package `cluster_sim`).
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use baselines;
 pub use cluster_sim as cluster;
 pub use cpu_sim as cpu;

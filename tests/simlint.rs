@@ -1,0 +1,201 @@
+//! Integration tests for the `simlint` workspace analyzer: one test per
+//! lint rule against the fixture corpus in `tests/simlint_fixtures/`
+//! (asserting exact `file:line:column` spans and that `simlint: allow`
+//! suppresses), plus a self-run over the live workspace asserting the tree
+//! is clean.
+
+use simlint::manifest::{self, SourceFile};
+use simlint::report::Finding;
+use simlint::rules;
+use simlint::{analyze_source_as, RuleFilter, Workspace};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/simlint_fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).expect("fixture corpus file exists")
+}
+
+fn span(f: &Finding) -> (&'static str, u32, u32, bool) {
+    (f.rule, f.line, f.column, f.suppressed.is_some())
+}
+
+#[test]
+fn nondet_collections_flags_maps_and_allow_suppresses() {
+    let findings = analyze_source_as("crates/x/src/lib.rs", &fixture("nondet_collections.rs"));
+    let got: Vec<_> = findings.iter().map(span).collect();
+    assert_eq!(
+        got,
+        vec![
+            ("nondet-collections", 4, 10, false), // map: HashMap<String, u64>
+            ("nondet-collections", 7, 21, true),  // HashSet return type, allowed
+            ("nondet-collections", 8, 5, true),   // HashSet::new(), allowed
+        ]
+    );
+    // Suppressions carry the reason through to the report.
+    assert_eq!(findings[1].suppressed.as_deref(), Some("fixture: membership only"));
+    // The bench Engine allowlist turns the same source clean.
+    assert!(analyze_source_as("crates/bench/src/engine.rs", &fixture("nondet_collections.rs"))
+        .iter()
+        .all(|f| f.rule != "nondet-collections"));
+}
+
+#[test]
+fn nondet_time_flags_clock_entropy_and_env_reads() {
+    let findings = analyze_source_as("crates/x/src/lib.rs", &fixture("nondet_time.rs"));
+    let got: Vec<_> = findings.iter().map(span).collect();
+    assert_eq!(
+        got,
+        vec![
+            ("nondet-time", 2, 13, false), // Instant::now()
+            ("nondet-time", 7, 13, true),  // thread_rng(), allowed
+            ("nondet-time", 8, 10, false), // std::env::var
+        ]
+    );
+    assert!(findings[0].message.contains("Instant::now"));
+    assert!(findings[2].message.contains("env::var"));
+    // The perf harness is allowlisted wholesale; test files are exempt.
+    assert!(analyze_source_as("crates/bench/src/perf.rs", &fixture("nondet_time.rs"))
+        .iter()
+        .all(|f| f.rule != "nondet-time"));
+    // Test files are exempt too (the fixture's allow directive then becomes
+    // stale, which is an allow-hygiene matter, not a nondet-time one).
+    assert!(analyze_source_as("tests/anything.rs", &fixture("nondet_time.rs"))
+        .iter()
+        .all(|f| f.rule != "nondet-time"));
+}
+
+#[test]
+fn float_eq_flags_literal_comparisons_only() {
+    let findings = analyze_source_as("crates/x/src/lib.rs", &fixture("float_eq.rs"));
+    let got: Vec<_> = findings.iter().map(span).collect();
+    assert_eq!(
+        got,
+        vec![
+            ("float-eq", 2, 7, false), // a == 1.0
+            ("float-eq", 6, 7, true),  // a != 0.5, allowed
+        ]
+    );
+    assert!(findings[0].message.contains("=="));
+    assert!(findings[1].message.contains("!="));
+}
+
+#[test]
+fn panic_policy_flags_bare_unwrap_and_empty_expect() {
+    let src = fixture("panic_policy.rs");
+    let findings = analyze_source_as("crates/x/src/lib.rs", &src);
+    let got: Vec<_> = findings.iter().map(span).collect();
+    assert_eq!(
+        got,
+        vec![
+            ("panic-policy", 2, 16, false), // .unwrap()
+            ("panic-policy", 6, 16, false), // .expect("")
+        ]
+    );
+    // A justified expect (line 10) and the #[cfg(test)] unwrap are clean.
+    // An allow directive on the unwrap line suppresses it.
+    let allowed =
+        src.replacen(".unwrap()", ".unwrap() // simlint: allow(panic-policy, \"fixture\")", 1);
+    let findings = analyze_source_as("crates/x/src/lib.rs", &allowed);
+    let got: Vec<_> = findings.iter().map(span).collect();
+    assert_eq!(got, vec![("panic-policy", 2, 16, true), ("panic-policy", 6, 16, false)]);
+    // Bins, examples, benches and tests are exempt from the panic policy.
+    for path in ["crates/x/src/main.rs", "examples/demo.rs", "crates/x/benches/b.rs", "tests/t.rs"]
+    {
+        assert!(analyze_source_as(path, &src).is_empty(), "{path} should be exempt");
+    }
+}
+
+#[test]
+fn allow_hygiene_flags_stale_unknown_and_reasonless_directives() {
+    let findings = analyze_source_as("crates/x/src/lib.rs", &fixture("allow_hygiene.rs"));
+    // All four findings are unsuppressed: a reasonless directive does not
+    // suppress the float-eq finding it sits next to.
+    assert!(findings.iter().all(|f| f.suppressed.is_none()));
+    let got: Vec<_> = findings.iter().map(|f| (f.rule, f.line)).collect();
+    assert_eq!(
+        got,
+        vec![
+            ("allow-hygiene", 2),  // stale: no float-eq finding on the line
+            ("allow-hygiene", 6),  // unknown rule id
+            ("float-eq", 11),      // a reasonless directive suppresses nothing...
+            ("allow-hygiene", 11), // ...and is flagged itself
+        ]
+    );
+    assert!(findings[0].message.contains("suppresses nothing"));
+    assert!(findings[1].message.contains("unknown rule"));
+    assert!(findings[3].message.contains("no reason"));
+    assert_eq!((findings[0].line, findings[0].column), (2, 15));
+    assert_eq!((findings[1].line, findings[1].column), (6, 10));
+}
+
+#[test]
+fn lint_header_requires_attrs_and_workspace_lints() {
+    let bad = rules::check_lint_header(
+        "crates/fixture/src/lib.rs",
+        &fixture("lint_header_bad_lib.rs"),
+        "crates/fixture/Cargo.toml",
+        &fixture("lint_header_bad_manifest.toml"),
+    );
+    let got: Vec<_> = bad.iter().map(|f| (f.rule, f.file.as_str())).collect();
+    assert_eq!(
+        got,
+        vec![
+            ("lint-header", "crates/fixture/src/lib.rs"),
+            ("lint-header", "crates/fixture/src/lib.rs"),
+            ("lint-header", "crates/fixture/Cargo.toml"),
+        ]
+    );
+    assert!(bad[0].message.contains("forbid(unsafe_code)"));
+    assert!(bad[1].message.contains("warn(missing_docs)"));
+
+    let good_lib = "//! Docs.\n#![forbid(unsafe_code)]\n#![warn(missing_docs)]\npub fn f() {}\n";
+    let good_toml = "[package]\nname = \"ok\"\n\n[lints]\nworkspace = true\n";
+    assert!(rules::check_lint_header("l.rs", good_lib, "C.toml", good_toml).is_empty());
+}
+
+#[test]
+fn canon_manifest_detects_field_drift() {
+    let file = |src: &str| {
+        vec![SourceFile {
+            path: "crates/knob/src/lib.rs".to_string(),
+            crate_name: "knob".to_string(),
+            source: src.to_string(),
+        }]
+    };
+    let pristine = fixture("canon_manifest.rs");
+    let inv = manifest::collect(&file(&pristine));
+    assert!(inv.defs.contains_key("knob::Knob"));
+    assert!(inv.impls.contains_key("knob::Knob"));
+
+    // Pinning the current fingerprints makes the diff clean.
+    let pinned = manifest::render_manifest(&inv);
+    assert!(manifest::diff(&inv, "m.json", Some(&pinned)).is_empty());
+
+    // Adding a field without re-pinning is a finding at the definition site.
+    let grown = pristine.replace("pub scale: f64,", "pub scale: f64,\n    pub bias: f64,");
+    let drifted = manifest::collect(&file(&grown));
+    let findings = manifest::diff(&drifted, "m.json", Some(&pinned));
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].rule, "canon-manifest");
+    assert_eq!((findings[0].file.as_str(), findings[0].line), ("crates/knob/src/lib.rs", 1));
+    assert!(findings[0].message.contains("drifted"));
+
+    // Reformatting without changing fields is NOT drift.
+    let reflowed =
+        pristine.replace("pub width: u32,\n    pub scale: f64,", "pub width: u32, pub scale: f64,");
+    let same = manifest::collect(&file(&reflowed));
+    assert!(manifest::diff(&same, "m.json", Some(&pinned)).is_empty());
+}
+
+#[test]
+fn workspace_self_run_is_clean() {
+    let ws = Workspace::open(env!("CARGO_MANIFEST_DIR")).expect("repo root is a workspace");
+    let report = ws.analyze(&RuleFilter::all()).expect("analysis over the live tree succeeds");
+    assert!(report.files_scanned > 50, "walker found only {} files", report.files_scanned);
+    let bad: Vec<String> = report.unsuppressed().map(|f| f.human()).collect();
+    assert!(bad.is_empty(), "live tree has unsuppressed findings:\n{}", bad.join("\n"));
+    // Every waiver in the tree carries a non-empty reason.
+    for f in report.suppressed() {
+        let reason = f.suppressed.as_deref().unwrap_or_default();
+        assert!(!reason.trim().is_empty(), "reasonless suppression at {}:{}", f.file, f.line);
+    }
+}

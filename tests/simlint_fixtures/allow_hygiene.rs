@@ -1,0 +1,12 @@
+pub fn stale() -> u64 {
+    41 + 1 // simlint: allow(float-eq, "nothing here to suppress")
+}
+
+pub fn unknown() -> u64 {
+    7 // simlint: allow(no-such-rule, "the rule id is made up")
+}
+
+pub fn reasonless() -> f64 {
+    let x = 0.0;
+    if x == 0.0 { x } else { 1.0 } // simlint: allow(float-eq)
+}

@@ -1,0 +1,10 @@
+pub struct Knob {
+    pub width: u32,
+    pub scale: f64,
+}
+
+impl CanonicalKey for Knob {
+    fn encode_key(&self, enc: &mut KeyEncoder) {
+        enc.u64(u64::from(self.width)).f64(self.scale);
+    }
+}

@@ -1,0 +1,15 @@
+pub fn close(a: f64) -> bool {
+    a == 1.0
+}
+
+pub fn not_close(a: f64) -> bool {
+    a != 0.5 // simlint: allow(float-eq, "fixture: exact sentinel compare")
+}
+
+pub fn int_compare_is_fine(n: u64) -> bool {
+    n == 1 && n <= 2
+}
+
+pub fn bitwise_is_the_blessed_way(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits()
+}

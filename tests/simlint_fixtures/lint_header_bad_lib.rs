@@ -1,0 +1,3 @@
+//! A crate that forgot its lint header entirely.
+
+pub fn noop() {}

@@ -1,0 +1,13 @@
+use std::collections::BTreeMap;
+
+pub struct Index {
+    map: HashMap<String, u64>,
+}
+
+pub fn hot_set() -> HashSet<u64> { // simlint: allow(nondet-collections, "fixture: membership only")
+    HashSet::new() // simlint: allow(nondet-collections, "fixture: membership only")
+}
+
+pub fn ordered() -> BTreeMap<String, u64> {
+    BTreeMap::new()
+}

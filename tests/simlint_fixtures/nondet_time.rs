@@ -1,0 +1,13 @@
+pub fn stamp() -> u64 {
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+pub fn seeded() -> u64 {
+    let r = thread_rng(); // simlint: allow(nondet-time, "fixture: demonstrating suppression")
+    std::env::var("HOME").map(|_| 1).unwrap_or(r)
+}
+
+pub fn sim_time(cycle: u64) -> u64 {
+    cycle * 2
+}

@@ -1,0 +1,19 @@
+pub fn first(v: &[u64]) -> u64 {
+    *v.first().unwrap()
+}
+
+pub fn head(v: &[u64]) -> u64 {
+    *v.first().expect("")
+}
+
+pub fn justified(v: &[u64]) -> u64 {
+    *v.first().expect("caller guarantees a non-empty slice")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_the_assertion() {
+        assert_eq!(Some(1).unwrap(), 1);
+    }
+}
