@@ -23,7 +23,7 @@ use cpu_sim::{
 };
 use sim_model::{CoreConfig, ThreadId};
 use sim_qos::ServiceSpec;
-use sim_stats::DistributionSummary;
+use sim_stats::{det_sum, DistributionSummary};
 use stretch::{PinnedStretch, RobSkew, StretchMode};
 
 use crate::engine::Engine;
@@ -380,14 +380,18 @@ pub fn figure05(engine: &Engine) -> String {
         let mut ls_row = vec![ls.clone(), "LS".to_string()];
         let mut batch_row = vec![ls.clone(), "batch".to_string()];
         for resource in StudiedResource::ALL {
-            let mut ls_sum = 0.0;
-            let mut batch_sum = 0.0;
+            // Cell order is fixed by the `cells` list, so det_sum pins the
+            // reduction tree regardless of which worker finished first.
+            let mut ls_slow = Vec::new();
+            let mut batch_slow = Vec::new();
             for ((cell_ls, cell_resource, cell_batch), outcome) in cells.iter().zip(&outcomes) {
                 if cell_ls == ls && *cell_resource == resource {
-                    ls_sum += 1.0 - outcome.ls_uipc / reference[cell_ls];
-                    batch_sum += 1.0 - outcome.batch_uipc / reference[cell_batch];
+                    ls_slow.push(1.0 - outcome.ls_uipc / reference[cell_ls]);
+                    batch_slow.push(1.0 - outcome.batch_uipc / reference[cell_batch]);
                 }
             }
+            let ls_sum = det_sum(&ls_slow);
+            let batch_sum = det_sum(&batch_slow);
             ls_row.push(format!("{:.1}%", ls_sum / n_batch * 100.0));
             batch_row.push(format!("{:.1}%", batch_sum / n_batch * 100.0));
         }

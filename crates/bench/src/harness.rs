@@ -115,7 +115,7 @@ impl SmtOutcome {
 
     /// Aggregate UIPC of the batch co-runners (slots 1..).
     pub fn batch_throughput(&self) -> f64 {
-        self.uipcs[1..].iter().sum()
+        sim_stats::det_sum(&self.uipcs[1..])
     }
 }
 
@@ -141,7 +141,7 @@ impl ServerOutcome {
 
     /// Aggregate UIPC of the batch threads (threads 1..).
     pub fn batch_throughput(&self) -> f64 {
-        self.uipcs[1..].iter().sum()
+        sim_stats::det_sum(&self.uipcs[1..])
     }
 }
 

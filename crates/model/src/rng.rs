@@ -55,7 +55,7 @@ impl SimRng {
     /// experiment seed without correlation between the streams.
     pub fn fork(&mut self, stream: u64) -> SimRng {
         let base = self.next_u64();
-        SimRng::new(base ^ stream.wrapping_mul(0xA076_1D64_78BD_642F))
+        SimRng::new(base ^ stream.wrapping_mul(0xA076_1D64_78BD_642F)) // simlint: allow(rng-discipline, "fork derives the child stream from self, whose own seed provenance was checked at construction")
     }
 
     /// Next raw 64-bit value.

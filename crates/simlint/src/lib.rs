@@ -23,10 +23,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod exemptions;
+pub mod flow;
+pub mod graph;
 pub mod lexer;
 pub mod manifest;
+pub mod parse;
 pub mod report;
 pub mod rules;
+pub mod sarif;
 
 use std::collections::BTreeSet;
 use std::fs;
@@ -205,14 +210,36 @@ impl Workspace {
         let files = self.read_sources(&crates)?;
         let mut findings: Vec<Finding> = Vec::new();
 
-        // Per-file rules, then workspace-level rules, then suppression —
-        // suppression must see *all* findings on a line (a canon-manifest
-        // waiver sits on the struct definition line) and runs once per file
-        // so stale allow directives are flagged even in clean files.
+        // Parse every file once; the module graph places each file for
+        // scoped exemptions and the call graph feeds the flow rules.
+        let parsed: Vec<parse::ParsedFile> = files
+            .iter()
+            .map(|f| parse::ParsedFile::parse(&f.path, &f.crate_name, &f.source))
+            .collect();
+        let modules = graph::ModuleGraph::build(&parsed);
+        let calls = graph::CallGraph::build(&parsed);
+
+        // Per-file rules, then cross-file flow rules, then workspace-level
+        // rules, then suppression — suppression must see *all* findings on
+        // a line (a canon-manifest waiver sits on the struct definition
+        // line) and runs once per file so stale allow directives are
+        // flagged even in clean files.
         let mut per_file: std::collections::BTreeMap<&str, Vec<Finding>> = files
             .iter()
-            .map(|f| (f.path.as_str(), rules::scan_source(&f.path, &f.source)))
+            .map(|f| {
+                (
+                    f.path.as_str(),
+                    rules::scan_source_in(&f.path, &modules.module_of(&f.path), &f.source),
+                )
+            })
             .collect();
+
+        for f in flow::scan(&parsed, &modules, &calls) {
+            match per_file.get_mut(f.file.as_str()) {
+                Some(list) => list.push(f),
+                None => findings.push(f),
+            }
+        }
 
         for c in &crates {
             let lib_rel = if c.dir.is_empty() {
@@ -252,7 +279,7 @@ impl Workspace {
             let list = per_file
                 .get_mut(f.path.as_str())
                 .expect("per_file was seeded with every scanned path");
-            rules::apply_suppressions(&f.path, &f.source, list);
+            rules::apply_suppressions_in(&f.path, &modules.module_of(&f.path), &f.source, list);
         }
         findings.extend(per_file.into_values().flatten());
         findings.retain(|f| filter.enabled(f.rule));
@@ -265,6 +292,15 @@ impl Workspace {
         };
         report.sort();
         Ok(report)
+    }
+
+    /// The workspace-relative paths of every file the analyzer scans —
+    /// including `crates/simlint` itself, which is subject to its own rules
+    /// (the self-scan test pins that property so the linter can never
+    /// silently exempt its own sources).
+    pub fn source_paths(&self) -> io::Result<Vec<String>> {
+        let crates = self.crates()?;
+        Ok(self.read_sources(&crates)?.into_iter().map(|f| f.path).collect())
     }
 
     /// Re-pins the `CanonicalKey` fingerprint manifest from the current
@@ -281,14 +317,60 @@ impl Workspace {
     }
 }
 
-/// Runs the per-file rules (determinism, float-eq, panic policy) plus
-/// suppression handling over a single source, as if it lived at
-/// `virtual_path` in the workspace. This is the entry point the fixture
-/// tests use: the path controls kind classification and the built-in
-/// allowlists.
+/// Runs the full rule pipeline over a single source, as if it lived at
+/// `virtual_path` in the workspace: the path controls kind classification
+/// and (through the path-derived module placement) the module-scoped
+/// exemptions. Single-file shorthand for [`analyze_sources`] — cross-file
+/// rules see a one-file workspace.
 pub fn analyze_source_as(virtual_path: &str, source: &str) -> Vec<Finding> {
-    let mut findings = rules::scan_source(virtual_path, source);
-    rules::apply_suppressions(virtual_path, source, &mut findings);
+    analyze_sources(&[SourceFile {
+        path: virtual_path.to_string(),
+        crate_name: "virtual".to_string(),
+        source: source.to_string(),
+    }])
+}
+
+/// Runs the full per-file **and** cross-file pipeline over a set of virtual
+/// sources, as if they formed the workspace: per-file rules with
+/// module-scoped exemptions, the flow rules over the module/call graphs,
+/// then suppression handling. This is the entry point the cross-file
+/// fixture tests use; it does not touch the disk (so the workspace-level
+/// `lint-header` / `canon-manifest` checks, which need `Cargo.toml`s and
+/// the pinned manifest, are out of scope here).
+pub fn analyze_sources(files: &[SourceFile]) -> Vec<Finding> {
+    let parsed: Vec<parse::ParsedFile> =
+        files.iter().map(|f| parse::ParsedFile::parse(&f.path, &f.crate_name, &f.source)).collect();
+    let modules = graph::ModuleGraph::build(&parsed);
+    let calls = graph::CallGraph::build(&parsed);
+    let mut per_file: std::collections::BTreeMap<&str, Vec<Finding>> = files
+        .iter()
+        .map(|f| {
+            (
+                f.path.as_str(),
+                rules::scan_source_in(&f.path, &modules.module_of(&f.path), &f.source),
+            )
+        })
+        .collect();
+    for f in flow::scan(&parsed, &modules, &calls) {
+        per_file
+            .get_mut(f.file.as_str())
+            .expect("flow findings only anchor in scanned files")
+            .push(f);
+    }
+    for f in files {
+        let list =
+            per_file.get_mut(f.path.as_str()).expect("per_file was seeded with every scanned path");
+        rules::apply_suppressions_in(&f.path, &modules.module_of(&f.path), &f.source, list);
+    }
+    let mut findings: Vec<Finding> = per_file.into_values().flatten().collect();
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.column, a.rule).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.column,
+            b.rule,
+        ))
+    });
     findings
 }
 

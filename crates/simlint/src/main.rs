@@ -2,7 +2,7 @@
 //! hygiene findings.
 //!
 //! ```text
-//! simlint [--root <dir>] [--rule <id>]... [--json <out>] [--fix-manifest] [--list-rules]
+//! simlint [--root <dir>] [--rule <id>]... [--json <out>] [--sarif <out>] [--fix-manifest] [--list-rules]
 //! ```
 //!
 //! Exit codes: 0 clean (suppressed findings allowed), 1 unsuppressed
@@ -16,26 +16,34 @@ struct Args {
     root: Option<String>,
     rules: Vec<String>,
     json: Option<String>,
+    sarif: Option<String>,
     fix_manifest: bool,
     list_rules: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args =
-        Args { root: None, rules: Vec::new(), json: None, fix_manifest: false, list_rules: false };
+    let mut args = Args {
+        root: None,
+        rules: Vec::new(),
+        json: None,
+        sarif: None,
+        fix_manifest: false,
+        list_rules: false,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--root" => args.root = Some(it.next().ok_or("--root needs a directory")?),
             "--rule" => args.rules.push(it.next().ok_or("--rule needs a rule id")?),
             "--json" => args.json = Some(it.next().ok_or("--json needs an output path")?),
+            "--sarif" => args.sarif = Some(it.next().ok_or("--sarif needs an output path")?),
             "--fix-manifest" => args.fix_manifest = true,
             "--list-rules" => args.list_rules = true,
             "--help" | "-h" => {
                 println!(
                     "simlint — workspace determinism & hygiene analyzer\n\n\
                      USAGE: simlint [--root <dir>] [--rule <id>]... [--json <out>] \
-                     [--fix-manifest] [--list-rules]\n\n\
+                     [--sarif <out>] [--fix-manifest] [--list-rules]\n\n\
                      Exit codes: 0 clean, 1 unsuppressed findings, 2 usage/I-O error."
                 );
                 std::process::exit(0);
@@ -78,6 +86,11 @@ fn run() -> Result<ExitCode, String> {
     if let Some(path) = &args.json {
         let text = serde_json::to_string_pretty(&report.to_json())
             .expect("the report JSON tree is finite");
+        std::fs::write(path, text + "\n").map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    if let Some(path) = &args.sarif {
+        let text = serde_json::to_string_pretty(&simlint::sarif::to_sarif(&report))
+            .expect("the SARIF tree is finite");
         std::fs::write(path, text + "\n").map_err(|e| format!("cannot write {path}: {e}"))?;
     }
     if report.unsuppressed().count() > 0 {

@@ -1,0 +1,503 @@
+//! A lightweight item-level parser on top of the [`crate::lexer`].
+//!
+//! The v1 rules were purely token-level: they could see *that* a forbidden
+//! identifier appeared, but not *where in the program* — which function owns
+//! it, whether it sits inside a closure argument, which module the file
+//! defines. The cross-file flow rules (`rng-discipline`, `reduction-order`,
+//! `scoped-exemptions` and the module/call graphs in [`crate::graph`]) need
+//! that structure, so this module extracts a flat inventory of **items**
+//! from the token stream: `fn` (with body extent and call sites), `struct`,
+//! `enum`, `static` (with mutability and type/initializer extent), `use`,
+//! and `mod` (declaration vs inline body).
+//!
+//! It is still not a Rust parser — no expressions, no types, no name
+//! resolution. It finds item *boundaries* by token-level brace/paren
+//! matching (the lexer already removed comments and strings, so nothing can
+//! confuse the matcher short of pathological macro bodies) and records
+//! spans, which is exactly the granularity the flow rules need. The parser
+//! is total: any token stream, including garbage, produces some item list
+//! without panicking (the proptest suite in `tests/simlint_prop.rs` holds
+//! it to that).
+
+use std::ops::Range;
+
+use crate::lexer::{tokenize, Tok, TokKind};
+use crate::rules::test_regions;
+
+/// The classes of item the parser extracts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    /// A `fn` item (free function, method, or trait declaration).
+    Fn,
+    /// A `struct` definition.
+    Struct,
+    /// An `enum` definition.
+    Enum,
+    /// A `static` item (the `mut` flag is in [`Item::is_mut_static`]).
+    Static,
+    /// A `use` declaration.
+    Use,
+    /// A `mod` item — declaration (`mod m;`) or inline (`mod m { … }`).
+    Mod,
+}
+
+/// One extracted item with its token extent.
+#[derive(Debug, Clone)]
+pub struct Item {
+    /// What kind of item this is.
+    pub kind: ItemKind,
+    /// The item's name (`fn name`, `struct Name`, …; `use` items take the
+    /// final path segment before any `;`/`{`/`*`).
+    pub name: String,
+    /// 1-based source line of the introducing keyword.
+    pub line: u32,
+    /// 1-based column of the introducing keyword.
+    pub col: u32,
+    /// Token index range of the whole item (keyword through close brace or
+    /// semicolon), half-open.
+    pub tokens: Range<usize>,
+    /// For `Fn` and inline `Mod`: the token index range of the `{ … }` body
+    /// including both braces, half-open. `None` for bodyless declarations.
+    pub body: Option<Range<usize>>,
+    /// Brace depth at the introducing keyword (0 = file top level).
+    pub depth: usize,
+    /// True when the item starts with `static mut`.
+    pub is_mut_static: bool,
+    /// True when the item lies inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
+/// One approximate call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// The called name: `foo` in `foo(…)`, `Type::foo(…)` and `.foo(…)`.
+    pub name: String,
+    /// True for `.foo(…)` method-call syntax.
+    pub is_method: bool,
+    /// Token index of the name.
+    pub tok: usize,
+}
+
+/// A fully parsed source file: the token stream plus its item inventory.
+#[derive(Debug)]
+pub struct ParsedFile {
+    /// Workspace-relative `/`-separated path.
+    pub path: String,
+    /// Package name of the owning crate.
+    pub crate_name: String,
+    /// The significant-token stream.
+    pub toks: Vec<Tok>,
+    /// Extracted items, in source order.
+    pub items: Vec<Item>,
+    /// `#[cfg(test)]` line ranges (1-based, inclusive).
+    pub test_regions: Vec<(u32, u32)>,
+}
+
+impl ParsedFile {
+    /// Parses `source` as the file at `path` in `crate_name`.
+    pub fn parse(path: &str, crate_name: &str, source: &str) -> ParsedFile {
+        let toks = tokenize(source);
+        let regions = test_regions(&toks);
+        let items = scan_items(&toks, &regions);
+        ParsedFile {
+            path: path.to_string(),
+            crate_name: crate_name.to_string(),
+            toks,
+            items,
+            test_regions: regions,
+        }
+    }
+
+    /// The items of a given kind, in source order.
+    pub fn items_of(&self, kind: ItemKind) -> impl Iterator<Item = &Item> {
+        self.items.iter().filter(move |i| i.kind == kind)
+    }
+
+    /// The `fn` item (by index into `items`) whose body most tightly
+    /// encloses token index `tok`, if any.
+    pub fn enclosing_fn(&self, tok: usize) -> Option<usize> {
+        self.items
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| {
+                i.kind == ItemKind::Fn
+                    && i.body.as_ref().is_some_and(|b| b.start <= tok && tok < b.end)
+            })
+            // The tightest enclosure is the one whose body starts last.
+            .max_by_key(|(_, i)| i.body.as_ref().map(|b| b.start).unwrap_or(0))
+            .map(|(idx, _)| idx)
+    }
+
+    /// Approximate call sites inside the body of `items[fn_idx]`: every
+    /// `name(…)` and `.name(…)` with a non-keyword name. The defining
+    /// `fn name(` itself and nested `fn` definitions' names are excluded;
+    /// calls inside nested closures are included (the flow rules carve out
+    /// closure regions themselves when they need to).
+    pub fn call_sites(&self, fn_idx: usize) -> Vec<CallSite> {
+        let Some(body) = self.items[fn_idx].body.clone() else { return Vec::new() };
+        let mut out = Vec::new();
+        for j in body.start..body.end {
+            let t = &self.toks[j];
+            if t.kind != TokKind::Ident
+                || is_keyword(&t.text)
+                || !self.toks.get(j + 1).is_some_and(|n| n.is_punct('('))
+            {
+                continue;
+            }
+            // `fn name(` introduces a nested definition, not a call.
+            if j > 0 && self.toks[j - 1].is_ident("fn") {
+                continue;
+            }
+            let is_method = j > 0 && self.toks[j - 1].is_punct('.');
+            out.push(CallSite { name: t.text.clone(), is_method, tok: j });
+        }
+        out
+    }
+
+    /// True when 1-based `line` falls in a `#[cfg(test)]` region.
+    pub fn in_test_region(&self, line: u32) -> bool {
+        self.test_regions.iter().any(|&(a, b)| line >= a && line <= b)
+    }
+}
+
+/// Words that look like calls but introduce control flow or bindings.
+fn is_keyword(text: &str) -> bool {
+    matches!(
+        text,
+        "if" | "else"
+            | "while"
+            | "for"
+            | "loop"
+            | "match"
+            | "return"
+            | "break"
+            | "continue"
+            | "let"
+            | "mut"
+            | "ref"
+            | "move"
+            | "fn"
+            | "struct"
+            | "enum"
+            | "impl"
+            | "trait"
+            | "mod"
+            | "use"
+            | "pub"
+            | "where"
+            | "as"
+            | "in"
+            | "static"
+            | "const"
+            | "unsafe"
+            | "dyn"
+    )
+}
+
+/// Finds the token index just past the matching `}` for the `{` at `open`
+/// (which must be a `{`). Unbalanced input ends at the stream end — the
+/// parser is lenient, like the lexer.
+fn match_brace(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < toks.len() {
+        if toks[j].is_punct('{') {
+            depth += 1;
+        } else if toks[j].is_punct('}') {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// Scans forward from `start` to the end of a `;`-terminated item, tracking
+/// brace depth so `;` inside an initializer block does not end it early.
+/// Returns the index just past the terminating `;` (or the stream end).
+fn match_semi(toks: &[Tok], start: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = start;
+    while j < toks.len() {
+        if toks[j].is_punct('{') {
+            depth += 1;
+        } else if toks[j].is_punct('}') {
+            if depth == 0 {
+                // A stray close brace ends the surrounding block; the item
+                // is malformed — stop before it.
+                return j;
+            }
+            depth -= 1;
+        } else if toks[j].is_punct(';') && depth == 0 {
+            return j + 1;
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// Finds the start of a `fn` item's body: the first `{` at zero
+/// paren/bracket/angle depth after the signature, or the terminating `;`
+/// for a bodyless declaration. Returns `(end_of_item, body_range)`.
+fn fn_extent(toks: &[Tok], kw: usize) -> (usize, Option<Range<usize>>) {
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    let mut angle = 0i32;
+    let mut j = kw + 1;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('(') {
+            paren += 1;
+        } else if t.is_punct(')') {
+            paren -= 1;
+        } else if t.is_punct('[') {
+            bracket += 1;
+        } else if t.is_punct(']') {
+            bracket -= 1;
+        } else if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            // `->` is an arrow, not an angle close.
+            if !(j > 0 && toks[j - 1].is_punct('-')) {
+                angle = (angle - 1).max(0);
+            }
+        } else if t.is_punct('{') && paren <= 0 && bracket <= 0 && angle <= 0 {
+            let end = match_brace(toks, j);
+            return (end, Some(j..end));
+        } else if t.is_punct(';') && paren <= 0 && bracket <= 0 {
+            return (j + 1, None);
+        }
+        j += 1;
+    }
+    (toks.len(), None)
+}
+
+fn scan_items(toks: &[Tok], regions: &[(u32, u32)]) -> Vec<Item> {
+    let in_test = |line: u32| regions.iter().any(|&(a, b)| line >= a && line <= b);
+    let mut items = Vec::new();
+    let mut depth = 0usize;
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('{') {
+            depth += 1;
+            i += 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+            i += 1;
+            continue;
+        }
+        if t.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        let make = |kind, name: &str, tokens: Range<usize>, body, is_mut| Item {
+            kind,
+            name: name.to_string(),
+            line: t.line,
+            col: t.col,
+            tokens,
+            body,
+            depth,
+            is_mut_static: is_mut,
+            in_test: in_test(t.line),
+        };
+        match t.text.as_str() {
+            "fn" => {
+                // `fn` as a function-pointer type has no following ident.
+                if let Some(name) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) {
+                    let (end, body) = fn_extent(toks, i);
+                    items.push(make(ItemKind::Fn, &name.text, i..end, body, false));
+                }
+                i += 1;
+            }
+            "struct" | "enum" => {
+                if let Some(name) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) {
+                    let kind = if t.text == "struct" { ItemKind::Struct } else { ItemKind::Enum };
+                    // To the matching close brace of the first brace block,
+                    // or a top-level `;` (unit / tuple structs).
+                    let mut j = i + 2;
+                    let mut end = toks.len();
+                    while j < toks.len() {
+                        if toks[j].is_punct('{') {
+                            end = match_brace(toks, j);
+                            break;
+                        }
+                        if toks[j].is_punct(';') {
+                            end = j + 1;
+                            break;
+                        }
+                        j += 1;
+                    }
+                    items.push(make(kind, &name.text, i..end, None, false));
+                }
+                i += 1;
+            }
+            "static" => {
+                let is_mut = toks.get(i + 1).is_some_and(|n| n.is_ident("mut"));
+                let name_at = if is_mut { i + 2 } else { i + 1 };
+                if let Some(name) = toks.get(name_at).filter(|n| n.kind == TokKind::Ident) {
+                    // `&'static` / `dyn` never reach here: `static` as a
+                    // lifetime is a Lifetime token, not an Ident.
+                    let end = match_semi(toks, i);
+                    items.push(make(ItemKind::Static, &name.text, i..end, None, is_mut));
+                }
+                i += 1;
+            }
+            "use" => {
+                let end = match_semi(toks, i);
+                // Name the last identifier before the terminator (good
+                // enough for counting and display).
+                let name = toks[i..end]
+                    .iter()
+                    .rev()
+                    .find(|x| x.kind == TokKind::Ident && x.text != "use")
+                    .map(|x| x.text.clone())
+                    .unwrap_or_default();
+                items.push(make(ItemKind::Use, &name, i..end, None, false));
+                i = end.max(i + 1);
+            }
+            "mod" => {
+                if let Some(name) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) {
+                    match toks.get(i + 2) {
+                        Some(n) if n.is_punct(';') => {
+                            items.push(make(ItemKind::Mod, &name.text, i..i + 3, None, false));
+                        }
+                        Some(n) if n.is_punct('{') => {
+                            let end = match_brace(toks, i + 2);
+                            items.push(make(
+                                ItemKind::Mod,
+                                &name.text,
+                                i..end,
+                                Some(i + 2..end),
+                                false,
+                            ));
+                        }
+                        _ => {}
+                    }
+                }
+                i += 1;
+            }
+            _ => {
+                i += 1;
+            }
+        }
+    }
+    items
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> ParsedFile {
+        ParsedFile::parse("crates/x/src/lib.rs", "x", src)
+    }
+
+    #[test]
+    fn extracts_fns_with_bodies_and_spans() {
+        let p = parse("pub fn alpha(a: u32) -> u32 { a + 1 }\nfn beta();\n");
+        let fns: Vec<&Item> = p.items_of(ItemKind::Fn).collect();
+        assert_eq!(fns.len(), 2);
+        assert_eq!((fns[0].name.as_str(), fns[0].line), ("alpha", 1));
+        assert!(fns[0].body.is_some());
+        assert_eq!((fns[1].name.as_str(), fns[1].line), ("beta", 2));
+        assert!(fns[1].body.is_none());
+    }
+
+    #[test]
+    fn generic_signatures_do_not_confuse_body_detection() {
+        let p = parse(
+            "fn gen<T: Fn(u32) -> Vec<u8>>(f: T, xs: [u8; 4]) -> impl Iterator<Item = u8> \
+             where T: Clone { xs.into_iter() }\n",
+        );
+        let f = p.items_of(ItemKind::Fn).next().expect("one fn parsed");
+        assert_eq!(f.name, "gen");
+        let body = f.body.clone().expect("fn has a body");
+        assert!(p.toks[body.start].is_punct('{'));
+        assert!(p.toks[body.end - 1].is_punct('}'));
+    }
+
+    #[test]
+    fn nested_items_are_found_with_depths() {
+        let p = parse("fn outer() { fn inner() {} static K: u32 = 1; }\nstatic MUT: u32 = 2;\n");
+        let fns: Vec<&Item> = p.items_of(ItemKind::Fn).collect();
+        assert_eq!(fns.len(), 2);
+        assert_eq!(fns[0].depth, 0);
+        assert_eq!(fns[1].depth, 1);
+        let statics: Vec<&Item> = p.items_of(ItemKind::Static).collect();
+        assert_eq!(statics.len(), 2);
+        assert_eq!((statics[0].name.as_str(), statics[0].depth), ("K", 1));
+        assert_eq!((statics[1].name.as_str(), statics[1].depth), ("MUT", 0));
+    }
+
+    #[test]
+    fn static_mut_is_marked() {
+        let p = parse("static mut COUNTER: u64 = 0;\nstatic PLAIN: u64 = 0;\n");
+        let statics: Vec<&Item> = p.items_of(ItemKind::Static).collect();
+        assert_eq!(statics.len(), 2);
+        assert!(statics[0].is_mut_static);
+        assert_eq!(statics[0].name, "COUNTER");
+        assert!(!statics[1].is_mut_static);
+    }
+
+    #[test]
+    fn static_lifetimes_are_not_static_items() {
+        let p = parse("fn f(s: &'static str) -> &'static str { s }\n");
+        assert_eq!(p.items_of(ItemKind::Static).count(), 0);
+    }
+
+    #[test]
+    fn mod_decl_vs_inline_mod() {
+        let p = parse("mod filemod;\nmod inline_mod { fn g() {} }\n");
+        let mods: Vec<&Item> = p.items_of(ItemKind::Mod).collect();
+        assert_eq!(mods.len(), 2);
+        assert_eq!(mods[0].name, "filemod");
+        assert!(mods[0].body.is_none());
+        assert_eq!(mods[1].name, "inline_mod");
+        assert!(mods[1].body.is_some());
+    }
+
+    #[test]
+    fn use_items_are_counted() {
+        let p = parse("use std::collections::BTreeMap;\nuse crate::lexer::{Tok, TokKind};\n");
+        assert_eq!(p.items_of(ItemKind::Use).count(), 2);
+    }
+
+    #[test]
+    fn call_sites_skip_keywords_and_definitions() {
+        let p = parse("fn f() { g(1); h.method(2); if x { g(3) } fn nested() {} nested(); }\n");
+        let calls = p.call_sites(0);
+        let names: Vec<(&str, bool)> =
+            calls.iter().map(|c| (c.name.as_str(), c.is_method)).collect();
+        assert_eq!(names, vec![("g", false), ("method", true), ("g", false), ("nested", false)]);
+    }
+
+    #[test]
+    fn enclosing_fn_picks_the_tightest_body() {
+        let p = parse("fn outer() { fn inner() { marker(); } }\n");
+        let call_tok =
+            p.toks.iter().position(|t| t.is_ident("marker")).expect("marker call is in the stream");
+        let idx = p.enclosing_fn(call_tok).expect("marker is inside a fn");
+        assert_eq!(p.items[idx].name, "inner");
+    }
+
+    #[test]
+    fn cfg_test_items_are_marked() {
+        let p = parse("fn live() {}\n#[cfg(test)]\nmod tests { fn t() {} }\n");
+        let fns: Vec<&Item> = p.items_of(ItemKind::Fn).collect();
+        assert!(!fns[0].in_test);
+        assert!(fns[1].in_test);
+    }
+
+    #[test]
+    fn garbage_input_never_panics() {
+        for src in ["fn", "fn {", "struct ; } {", "static mut", "mod", "use", "fn f(((("] {
+            let _ = parse(src);
+        }
+    }
+}

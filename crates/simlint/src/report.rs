@@ -96,13 +96,31 @@ impl Report {
         summary.insert("unsuppressed".to_string(), Value::from(self.unsuppressed().count()));
         summary.insert("suppressed".to_string(), Value::from(self.suppressed().count()));
         let mut root = Map::new();
-        root.insert("schema".to_string(), Value::from(1u64));
+        // Schema 2: adds the `exemptions` table (the module-scoped built-in
+        // waivers, so CI artifacts show *all* policy holes, not just line
+        // waivers) — consumers of schema 1 keep working, the fields they
+        // read are unchanged.
+        root.insert("schema".to_string(), Value::from(2u64));
         root.insert("root".to_string(), Value::from(self.root.as_str()));
         root.insert("files_scanned".to_string(), Value::from(self.files_scanned));
         root.insert(
             "rules".to_string(),
             Value::Array(self.rules.iter().map(|r| Value::from(r.as_str())).collect()),
         );
+        let exemptions: Vec<Value> = crate::exemptions::EXEMPTIONS
+            .iter()
+            .map(|e| {
+                let mut m = Map::new();
+                m.insert("rule".to_string(), Value::from(e.rule));
+                m.insert(
+                    "module".to_string(),
+                    Value::from(format!("{}::{}", e.crate_key, e.modules.join("::"))),
+                );
+                m.insert("reason".to_string(), Value::from(e.reason));
+                Value::Object(m)
+            })
+            .collect();
+        root.insert("exemptions".to_string(), Value::Array(exemptions));
         root.insert("findings".to_string(), Value::Array(findings));
         root.insert("summary".to_string(), Value::Object(summary));
         Value::Object(root)
@@ -168,7 +186,8 @@ mod tests {
     #[test]
     fn json_summary_counts_split_by_suppression() {
         let doc = sample().to_json();
-        assert_eq!(doc.get("schema").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(doc.get("schema").and_then(|v| v.as_u64()), Some(2));
+        assert!(doc.get("exemptions").and_then(|v| v.as_array()).is_some_and(|a| !a.is_empty()));
         let summary = doc.get("summary").expect("summary object is always emitted");
         assert_eq!(summary.get("unsuppressed").and_then(|v| v.as_u64()), Some(1));
         assert_eq!(summary.get("suppressed").and_then(|v| v.as_u64()), Some(1));

@@ -18,6 +18,8 @@
 //! assertion. The hygiene rules ([`LINT_HEADER`], [`CANON_MANIFEST`]) are
 //! workspace-level and live in [`crate::manifest`] / [`crate::Workspace`].
 
+use crate::exemptions::{exempt_rules, exemption_for};
+use crate::graph::{ModuleGraph, ModulePath};
 use crate::lexer::{tokenize, Tok, TokKind};
 use crate::report::Finding;
 
@@ -37,6 +39,17 @@ pub const LINT_HEADER: &str = "lint-header";
 pub const CANON_MANIFEST: &str = "canon-manifest";
 /// Rule id: malformed, unknown-rule or no-op `simlint: allow` directives.
 pub const ALLOW_HYGIENE: &str = "allow-hygiene";
+/// Rule id: RNG streams must originate from named seed-derivation functions
+/// and must not be shared across `parallel_map` shards.
+pub const RNG_DISCIPLINE: &str = "rng-discipline";
+/// Rule id: float accumulation on a `parallel_map` merge path must go
+/// through the canonical reducer in `sim_stats::reduce`.
+pub const REDUCTION_ORDER: &str = "reduction-order";
+/// Rule id: no `static mut` and no non-test statics with interior
+/// mutability in simulation code.
+pub const SHARED_STATE: &str = "shared-state";
+/// Rule id: line waivers that duplicate a module-scoped exemption.
+pub const SCOPED_EXEMPTIONS: &str = "scoped-exemptions";
 
 /// One catalog entry for `--list-rules`.
 #[derive(Debug, Clone, Copy)]
@@ -55,14 +68,14 @@ pub const RULES: &[RuleInfo] = &[
         id: NONDET_COLLECTIONS,
         summary: "no std HashMap/HashSet: their iteration order is nondeterministic and must \
                   never reach simulation results; use BTreeMap/BTreeSet or sorted-key iteration",
-        scope: "all first-party non-test code; allowlisted: crates/bench/src/engine.rs (the \
+        scope: "all first-party non-test code; module-scoped exemption: bench::engine (the \
                 Engine memo is keyed lookup only)",
     },
     RuleInfo {
         id: NONDET_TIME,
         summary: "no Instant::now/SystemTime/thread_rng/env reads: simulation time comes from \
                   the cycle counter and entropy from seeded SimRng streams",
-        scope: "all first-party non-test code; allowlisted: crates/bench/src/perf.rs (the perf \
+        scope: "all first-party non-test code; module-scoped exemption: bench::perf (the perf \
                 harness measures wall clocks by design); the vendored criterion shim is outside \
                 the scan scope",
     },
@@ -96,6 +109,37 @@ pub const RULES: &[RuleInfo] = &[
         summary: "simlint: allow directives must name a known rule and actually suppress a \
                   finding on their line",
         scope: "every scanned file",
+    },
+    RuleInfo {
+        id: RNG_DISCIPLINE,
+        summary: "every RNG construction must trace to a named seed-derivation function \
+                  (server_seed, pair_seed, Scenario::seed), and an RNG bound outside a \
+                  parallel_map closure must not be captured by it — shared streams make draw \
+                  order depend on worker scheduling",
+        scope: "library and binary sources of all first-party crates, non-test code",
+    },
+    RuleInfo {
+        id: REDUCTION_ORDER,
+        summary: "float accumulation (+=, additive .fold, float .sum) inside parallel_map merge \
+                  functions — or anything they reach through unambiguous calls — must go \
+                  through sim_stats::reduce::det_sum/det_merge so the reduction tree is a pure \
+                  function of the data, never of thread timing",
+        scope: "library and binary sources; module-scoped exemption: stats::reduce (it defines \
+                the canonical reducer)",
+    },
+    RuleInfo {
+        id: SHARED_STATE,
+        summary: "no `static mut`, and no non-test statics wrapping interior mutability \
+                  (RefCell/Cell/Mutex/RwLock/Once*/Lazy*/Atomic*): hidden shared state is a \
+                  cross-shard channel the determinism rules cannot see",
+        scope: "library and binary sources of all first-party crates, non-test code",
+    },
+    RuleInfo {
+        id: SCOPED_EXEMPTIONS,
+        summary: "line waivers must not duplicate a module-scoped exemption: if the module is \
+                  already exempt from a rule, a simlint: allow for that rule is stale noise",
+        scope: "every scanned file; built-in exemptions: bench::engine (nondet-collections), \
+                bench::perf (nondet-time), stats::reduce (reduction-order)",
     },
 ];
 
@@ -242,6 +286,14 @@ fn finding(rule: &'static str, path: &str, tok: &Tok, message: String) -> Findin
 /// applied separately, by [`apply_suppressions`], once *all* findings for a
 /// file — including the workspace-level ones anchored in it — are known.
 pub fn scan_source(path: &str, source: &str) -> Vec<Finding> {
+    scan_source_in(path, &ModuleGraph::fallback(path), source)
+}
+
+/// [`scan_source`] with an explicit module placement (the workspace pass
+/// resolves modules through the real `mod`-declaration graph; the plain
+/// entry point uses the path-derived fallback, which coincides for
+/// conventional layouts).
+pub fn scan_source_in(path: &str, module: &ModulePath, source: &str) -> Vec<Finding> {
     let kind = classify(path);
     let toks = tokenize(source);
     let regions = if kind == FileKind::Lib { test_regions(&toks) } else { Vec::new() };
@@ -253,10 +305,10 @@ pub fn scan_source(path: &str, source: &str) -> Vec<Finding> {
     let mut out = Vec::new();
     if !det_exempt {
         let skip = |line: u32| in_regions(&regions, line);
-        if path != "crates/bench/src/engine.rs" {
+        if exemption_for(module, NONDET_COLLECTIONS).is_none() {
             nondet_collections(path, &toks, &skip, &mut out);
         }
-        if path != "crates/bench/src/perf.rs" {
+        if exemption_for(module, NONDET_TIME).is_none() {
             nondet_time(path, &toks, &skip, &mut out);
         }
         float_eq(path, &toks, &skip, &mut out);
@@ -465,6 +517,21 @@ pub fn parse_allow(line: &str) -> Option<AllowDirective> {
 /// `path`) and appends [`ALLOW_HYGIENE`] findings for directives that are
 /// malformed, name an unknown rule, or suppress nothing.
 pub fn apply_suppressions(path: &str, source: &str, findings: &mut Vec<Finding>) {
+    apply_suppressions_in(path, &ModuleGraph::fallback(path), source, findings);
+}
+
+/// [`apply_suppressions`] with an explicit module placement. Directives
+/// waiving a rule the module is already exempt from are flagged as
+/// [`SCOPED_EXEMPTIONS`] findings instead of being treated as stale
+/// [`ALLOW_HYGIENE`] noise — the fix is to delete them, and the message
+/// says which exemption makes them redundant.
+pub fn apply_suppressions_in(
+    path: &str,
+    module: &ModulePath,
+    source: &str,
+    findings: &mut Vec<Finding>,
+) {
+    let module_exempt = exempt_rules(module);
     for (idx, raw) in source.lines().enumerate() {
         let line = idx as u32 + 1;
         let Some(directive) = parse_allow(raw) else { continue };
@@ -473,6 +540,21 @@ pub fn apply_suppressions(path: &str, source: &str, findings: &mut Vec<Finding>)
             .unwrap_or(0) as u32
             + 1;
         let anchor = Tok { kind: TokKind::Punct, text: String::new(), line, col: column };
+        if let Some(e) = module_exempt.iter().find(|e| e.rule == directive.rule) {
+            findings.push(finding(
+                SCOPED_EXEMPTIONS,
+                path,
+                &anchor,
+                format!(
+                    "allow({}) duplicates the module-scoped exemption on {} ({}); remove the \
+                     line waiver",
+                    directive.rule,
+                    module.display(),
+                    e.reason
+                ),
+            ));
+            continue;
+        }
         if rule_by_id(&directive.rule).is_none() {
             findings.push(finding(
                 ALLOW_HYGIENE,

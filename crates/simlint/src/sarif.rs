@@ -1,0 +1,187 @@
+//! SARIF 2.1.0 emission, so GitHub code scanning renders findings inline on
+//! pull requests.
+//!
+//! The document mirrors the schema-2 JSON report exactly — same findings,
+//! same canonical (file, line, column, rule) order — just in the [SARIF]
+//! shape: one run, `tool.driver.rules` carrying the catalog entries for the
+//! enabled rules, one `result` per finding. Line-waived findings are
+//! emitted with an `inSource` suppression whose justification is the
+//! waiver's reason string, which is how code scanning distinguishes "fixed"
+//! from "consciously allowed".
+//!
+//! [SARIF]: https://docs.oasis-open.org/sarif/sarif/v2.1.0/sarif-v2.1.0.html
+
+use serde_json::{Map, Value};
+
+use crate::report::Report;
+use crate::rules;
+
+/// The SARIF schema URI GitHub's upload action validates against.
+const SCHEMA_URI: &str = "https://json.schemastore.org/sarif-2.1.0.json";
+
+fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    let mut m = Map::new();
+    for (k, v) in pairs {
+        m.insert(k.to_string(), v);
+    }
+    Value::Object(m)
+}
+
+/// Renders `report` as a SARIF 2.1.0 document.
+pub fn to_sarif(report: &Report) -> Value {
+    let rule_ids: Vec<&str> = report.rules.iter().map(String::as_str).collect();
+    let driver_rules: Vec<Value> = rule_ids
+        .iter()
+        .filter_map(|id| rules::rule_by_id(id))
+        .map(|r| {
+            obj(vec![
+                ("id", Value::from(r.id)),
+                ("shortDescription", obj(vec![("text", Value::from(r.summary))])),
+                (
+                    "fullDescription",
+                    obj(vec![("text", Value::from(format!("{} (scope: {})", r.summary, r.scope)))]),
+                ),
+            ])
+        })
+        .collect();
+
+    let results: Vec<Value> = report
+        .findings
+        .iter()
+        .map(|f| {
+            let rule_index =
+                rule_ids.iter().position(|id| *id == f.rule).map(|i| Value::from(i as u64));
+            let location = obj(vec![(
+                "physicalLocation",
+                obj(vec![
+                    ("artifactLocation", obj(vec![("uri", Value::from(f.file.as_str()))])),
+                    (
+                        "region",
+                        obj(vec![
+                            ("startLine", Value::from(u64::from(f.line))),
+                            ("startColumn", Value::from(u64::from(f.column))),
+                        ]),
+                    ),
+                ]),
+            )]);
+            let mut pairs = vec![
+                ("ruleId", Value::from(f.rule)),
+                ("level", Value::from("error")),
+                ("message", obj(vec![("text", Value::from(f.message.as_str()))])),
+                ("locations", Value::Array(vec![location])),
+            ];
+            if let Some(idx) = rule_index {
+                pairs.push(("ruleIndex", idx));
+            }
+            if let Some(reason) = &f.suppressed {
+                pairs.push((
+                    "suppressions",
+                    Value::Array(vec![obj(vec![
+                        ("kind", Value::from("inSource")),
+                        ("justification", Value::from(reason.as_str())),
+                    ])]),
+                ));
+            }
+            obj(pairs)
+        })
+        .collect();
+
+    let driver = obj(vec![
+        ("name", Value::from("simlint")),
+        ("informationUri", Value::from("https://example.invalid/simlint")),
+        ("version", Value::from(env!("CARGO_PKG_VERSION"))),
+        ("rules", Value::Array(driver_rules)),
+    ]);
+    let run = obj(vec![
+        ("tool", obj(vec![("driver", driver)])),
+        ("results", Value::Array(results)),
+        (
+            "columnKind",
+            // Our columns are 1-based character offsets from the lexer.
+            Value::from("utf16CodeUnits"),
+        ),
+    ]);
+    obj(vec![
+        ("$schema", Value::from(SCHEMA_URI)),
+        ("version", Value::from("2.1.0")),
+        ("runs", Value::Array(vec![run])),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{Finding, Report};
+
+    fn sample() -> Report {
+        let mut r = Report {
+            root: ".".to_string(),
+            files_scanned: 2,
+            rules: vec!["nondet-time".to_string(), "rng-discipline".to_string()],
+            findings: vec![
+                Finding {
+                    rule: "rng-discipline",
+                    file: "crates/cluster/src/fleet.rs".to_string(),
+                    line: 7,
+                    column: 13,
+                    message: "unseeded RNG".to_string(),
+                    suppressed: None,
+                },
+                Finding {
+                    rule: "nondet-time",
+                    file: "crates/bench/src/perf.rs".to_string(),
+                    line: 2,
+                    column: 4,
+                    message: "wall clock".to_string(),
+                    suppressed: Some("perf harness".to_string()),
+                },
+            ],
+        };
+        r.sort();
+        r
+    }
+
+    /// `a.b.c` path lookup (the vendored serde_json shim has no `pointer`).
+    fn at<'a>(v: &'a Value, path: &[&str]) -> &'a Value {
+        let mut cur = v;
+        for seg in path {
+            cur = match seg.parse::<usize>() {
+                Ok(i) => cur.as_array().and_then(|a| a.get(i)).expect("index in bounds"),
+                Err(_) => cur.get(seg).expect("key present"),
+            };
+        }
+        cur
+    }
+
+    #[test]
+    fn sarif_has_one_run_with_rules_and_results() {
+        let doc = to_sarif(&sample());
+        assert_eq!(doc.get("version").and_then(Value::as_str), Some("2.1.0"));
+        let runs = doc.get("runs").and_then(Value::as_array).expect("runs array");
+        assert_eq!(runs.len(), 1);
+        let rules = at(&runs[0], &["tool", "driver", "rules"]).as_array().expect("driver rules");
+        assert_eq!(rules.len(), 2);
+        let results = runs[0].get("results").and_then(Value::as_array).expect("results");
+        assert_eq!(results.len(), 2);
+    }
+
+    #[test]
+    fn results_carry_exact_spans_and_suppressions() {
+        let doc = to_sarif(&sample());
+        let results = at(&doc, &["runs", "0", "results"]).as_array().expect("results").clone();
+        // Canonical order sorts the perf.rs finding first.
+        let first = &results[0];
+        assert_eq!(first.get("ruleId").and_then(Value::as_str), Some("nondet-time"));
+        let region = at(first, &["locations", "0", "physicalLocation", "region"]);
+        assert_eq!(region.get("startLine").and_then(Value::as_u64), Some(2));
+        assert_eq!(
+            at(first, &["suppressions", "0", "justification"]).as_str(),
+            Some("perf harness")
+        );
+        let second = &results[1];
+        assert_eq!(second.get("ruleId").and_then(Value::as_str), Some("rng-discipline"));
+        let region = at(second, &["locations", "0", "physicalLocation", "region"]);
+        assert_eq!(region.get("startColumn").and_then(Value::as_u64), Some(13));
+        assert!(second.get("suppressions").is_none());
+    }
+}

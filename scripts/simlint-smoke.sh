@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Seeded-violation smoke test for simlint.
+#
+# Injects a merge function with three deliberate determinism violations
+# into crates/bench/src/engine.rs — an ambient thread_rng() draw, an RNG
+# stream captured by a parallel_map shard closure, and a float `+=` in the
+# merge region — then asserts that `cargo run -p simlint` exits 1 and
+# reports each one at its exact file:line:col. The injection is reverted
+# on every exit path; this script must leave the tree clean.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TARGET=crates/bench/src/engine.rs
+if ! git diff --quiet -- "$TARGET"; then
+    echo "simlint-smoke: $TARGET has local modifications; refusing to inject" >&2
+    exit 2
+fi
+cleanup() { git checkout -- "$TARGET"; }
+trap cleanup EXIT
+
+BASE=$(wc -l < "$TARGET")
+cat >> "$TARGET" <<'EOF'
+
+// simlint smoke injection — reverted by scripts/simlint-smoke.sh.
+fn simlint_smoke_merge(items: Vec<f64>, seed: u64) -> f64 {
+    let _jitter = thread_rng();
+    let mut rng = SimRng::new(seed);
+    let outs = parallel_map(items, 2, |x| x * rng.next_f64());
+    let mut total = 0.0;
+    for o in &outs {
+        total += o;
+    }
+    total
+}
+EOF
+
+OUT=$(mktemp)
+set +e
+cargo run -p simlint --release --quiet > "$OUT" 2>&1
+STATUS=$?
+set -e
+
+if [ "$STATUS" -ne 1 ]; then
+    echo "simlint-smoke: expected exit 1 on the seeded violations, got $STATUS" >&2
+    cat "$OUT" >&2
+    rm -f "$OUT"
+    exit 2
+fi
+
+# Human lines are `path:line:col: rule: message`; the snippet's shape is
+# fixed, so the columns are constants and the lines are offsets from the
+# pre-injection length of the target file.
+expect() {
+    local needle="$TARGET:$1:$2: $3:"
+    if ! grep -qF "$needle" "$OUT"; then
+        echo "simlint-smoke: missing expected finding $needle" >&2
+        cat "$OUT" >&2
+        rm -f "$OUT"
+        exit 2
+    fi
+}
+expect "$((BASE + 4))" 19 nondet-time      # thread_rng() ambient entropy
+expect "$((BASE + 6))" 47 rng-discipline   # rng captured by the shard closure
+expect "$((BASE + 9))" 15 reduction-order  # float += in the merge region
+
+rm -f "$OUT"
+echo "simlint-smoke: all 3 seeded violations caught at their exact spans (exit 1)"

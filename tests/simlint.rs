@@ -7,7 +7,7 @@
 use simlint::manifest::{self, SourceFile};
 use simlint::report::Finding;
 use simlint::rules;
-use simlint::{analyze_source_as, RuleFilter, Workspace};
+use simlint::{analyze_source_as, analyze_sources, RuleFilter, Workspace};
 
 fn fixture(name: &str) -> String {
     let path = format!("{}/tests/simlint_fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
@@ -184,6 +184,205 @@ fn canon_manifest_detects_field_drift() {
         pristine.replace("pub width: u32,\n    pub scale: f64,", "pub width: u32, pub scale: f64,");
     let same = manifest::collect(&file(&reflowed));
     assert!(manifest::diff(&same, "m.json", Some(&pinned)).is_empty());
+}
+
+#[test]
+fn rng_discipline_flags_unseeded_ctors_and_shard_capture() {
+    let findings = analyze_source_as("crates/x/src/lib.rs", &fixture("rng_discipline.rs"));
+    let got: Vec<_> = findings.iter().map(span).collect();
+    assert_eq!(
+        got,
+        vec![
+            ("rng-discipline", 15, 5, false),  // SimRng::new(42), no provenance
+            ("rng-discipline", 19, 5, true),   // waived with a reason
+            ("rng-discipline", 24, 32, false), // `shared` captured by the shard closure
+        ]
+    );
+    assert!(findings[0].message.contains("seed-derivation"));
+    assert!(findings[2].message.contains("captured"));
+    // The same constructions in test code are exempt.
+    assert!(analyze_source_as("tests/anything.rs", &fixture("rng_discipline.rs"))
+        .iter()
+        .all(|f| f.rule != "rng-discipline"));
+}
+
+#[test]
+fn reduction_order_flags_merge_and_reachable_accumulation() {
+    let findings = analyze_source_as("crates/x/src/lib.rs", &fixture("reduction_order.rs"));
+    let got: Vec<_> = findings.iter().map(span).collect();
+    assert_eq!(
+        got,
+        vec![
+            ("reduction-order", 14, 15, false), // total += o in the merge region
+            ("reduction-order", 16, 50, false), // float .sum() in the merge region
+            ("reduction-order", 22, 15, false), // additive .fold in a merge-reachable fn
+            ("reduction-order", 34, 11, true),  // waived with a reason
+        ]
+    );
+    // The shard-closure accumulation (line 9) and the min/max fold (line
+    // 17) produced no findings; the helper finding names its reach.
+    assert!(findings[2].message.contains("helper_total"));
+    assert!(findings[2].message.contains("reachable"));
+    assert!(findings.iter().all(|f| f.line != 9 && f.line != 17));
+}
+
+#[test]
+fn reduction_order_reaches_helpers_across_files() {
+    let src = |path: &str, source: &str| SourceFile {
+        path: path.to_string(),
+        crate_name: "x".to_string(),
+        source: source.to_string(),
+    };
+    let merge = "fn merge(items: Vec<f64>) -> f64 {\n    \
+                 let outs = parallel_map(items, 2, |x| x);\n    total_of(&outs)\n}\n";
+    let helper = "pub fn total_of(xs: &[f64]) -> f64 {\n    \
+                  xs.iter().map(|x| x * 2.0).sum()\n}\n";
+    let findings = analyze_sources(&[
+        src("crates/bench/src/figures.rs", merge),
+        src("crates/stats/src/helpers.rs", helper),
+    ]);
+    let red: Vec<_> = findings.iter().filter(|f| f.rule == "reduction-order").collect();
+    assert_eq!(red.len(), 1);
+    assert_eq!(
+        (red[0].file.as_str(), red[0].line, red[0].column),
+        ("crates/stats/src/helpers.rs", 2, 32)
+    );
+    // The identical helper placed in stats::reduce — the canonical reducer
+    // module — is covered by the module-scoped exemption.
+    let findings = analyze_sources(&[
+        src("crates/bench/src/figures.rs", merge),
+        src("crates/stats/src/reduce.rs", helper),
+    ]);
+    assert!(findings.iter().all(|f| f.rule != "reduction-order"));
+}
+
+#[test]
+fn shared_state_flags_static_mut_and_interior_mutability() {
+    let findings = analyze_source_as("crates/x/src/lib.rs", &fixture("shared_state.rs"));
+    let got: Vec<_> = findings.iter().map(span).collect();
+    assert_eq!(
+        got,
+        vec![
+            ("shared-state", 4, 1, false), // static mut TICKS
+            ("shared-state", 6, 1, false), // static CACHE: Mutex<…>
+            ("shared-state", 10, 1, true), // waived with a reason
+        ]
+    );
+    assert!(findings[0].message.contains("static mut"));
+    assert!(findings[1].message.contains("Mutex"));
+    // The plain-const static (line 8) and the #[cfg(test)] static (line 14)
+    // are clean.
+    assert!(findings.iter().all(|f| f.line != 8 && f.line != 14));
+}
+
+#[test]
+fn scoped_exemptions_cover_modules_and_flag_redundant_waivers() {
+    // In bench::engine the module-scoped exemption silences the rule, so
+    // the line waiver is redundant — flagged at the directive's own span.
+    let findings =
+        analyze_source_as("crates/bench/src/engine.rs", &fixture("scoped_exemptions.rs"));
+    let got: Vec<_> = findings.iter().map(span).collect();
+    assert_eq!(got, vec![("scoped-exemptions", 5, 35, false)]);
+    assert!(findings[0].message.contains("duplicates the module-scoped exemption"));
+    assert!(findings[0].message.contains("bench::engine"));
+    // The exemption follows the module, not the path: the mod.rs layout of
+    // the same module behaves identically.
+    let moved =
+        analyze_source_as("crates/bench/src/engine/mod.rs", &fixture("scoped_exemptions.rs"));
+    assert_eq!(moved.iter().map(span).collect::<Vec<_>>(), got);
+    // Outside the exempted module the waiver is legitimate: the finding is
+    // suppressed with its reason.
+    let elsewhere = analyze_source_as("crates/x/src/lib.rs", &fixture("scoped_exemptions.rs"));
+    let got: Vec<_> = elsewhere.iter().map(span).collect();
+    assert_eq!(got, vec![("nondet-collections", 5, 13, true)]);
+}
+
+#[test]
+fn self_scan_includes_simlint_sources() {
+    let ws = Workspace::open(env!("CARGO_MANIFEST_DIR")).expect("repo root is a workspace");
+    let paths = ws.source_paths().expect("source walk succeeds");
+    for expected in
+        ["crates/simlint/src/lib.rs", "crates/simlint/src/parse.rs", "crates/simlint/src/flow.rs"]
+    {
+        assert!(
+            paths.iter().any(|p| p == expected),
+            "{expected} missing from the scan set — the linter must not exempt itself"
+        );
+    }
+    // The fixture corpus stays out of the scan set (deliberate violations).
+    assert!(paths.iter().all(|p| !p.starts_with("tests/simlint_fixtures/")));
+}
+
+#[test]
+fn finding_order_is_canonical_in_every_output() {
+    // Two files, interleaved lines: the canonical (file, line, col, rule)
+    // order must hold in the findings list, the JSON document, and SARIF —
+    // so CI artifact diffs between runs are meaningful.
+    let src = |path: &str, source: &str| SourceFile {
+        path: path.to_string(),
+        crate_name: "x".to_string(),
+        source: source.to_string(),
+    };
+    let findings = analyze_sources(&[
+        src("crates/b/src/lib.rs", "static mut B: u64 = 0;\nfn f() { let t = Instant::now(); }\n"),
+        src("crates/a/src/lib.rs", "fn g() { let t = Instant::now(); }\nstatic mut A: u64 = 0;\n"),
+    ]);
+    let got: Vec<_> = findings.iter().map(|f| (f.file.clone(), f.line, f.column, f.rule)).collect();
+    let mut sorted = got.clone();
+    sorted.sort();
+    assert_eq!(got, sorted, "findings must come out in canonical order");
+    assert_eq!(got[0].0, "crates/a/src/lib.rs");
+
+    let report = simlint::report::Report {
+        root: ".".to_string(),
+        files_scanned: 2,
+        rules: RuleFilter::all().rule_ids(),
+        findings,
+    };
+    let json = report.to_json();
+    let json_spans: Vec<(String, u64)> = json
+        .get("findings")
+        .and_then(|v| v.as_array())
+        .expect("findings array")
+        .iter()
+        .map(|f| {
+            (
+                f.get("file").and_then(|v| v.as_str()).expect("file").to_string(),
+                f.get("line").and_then(|v| v.as_u64()).expect("line"),
+            )
+        })
+        .collect();
+    let mut json_sorted = json_spans.clone();
+    json_sorted.sort();
+    assert_eq!(json_spans, json_sorted);
+
+    let sarif = simlint::sarif::to_sarif(&report);
+    let results = sarif
+        .get("runs")
+        .and_then(|v| v.as_array())
+        .and_then(|runs| runs[0].get("results"))
+        .and_then(|v| v.as_array())
+        .expect("sarif results");
+    let sarif_files: Vec<&str> = results
+        .iter()
+        .map(|r| {
+            r.get("locations")
+                .and_then(|v| v.as_array())
+                .and_then(|l| l[0].get("physicalLocation"))
+                .and_then(|p| p.get("artifactLocation"))
+                .and_then(|a| a.get("uri"))
+                .and_then(|v| v.as_str())
+                .expect("uri")
+        })
+        .collect();
+    let mut sarif_sorted = sarif_files.clone();
+    sarif_sorted.sort();
+    assert_eq!(sarif_files, sarif_sorted);
+    // Human output preserves the same order.
+    let human = report.human();
+    let a_pos = human.find("crates/a/src/lib.rs").expect("a.rs in human output");
+    let b_pos = human.find("crates/b/src/lib.rs").expect("b.rs in human output");
+    assert!(a_pos < b_pos);
 }
 
 #[test]

@@ -1,0 +1,37 @@
+//! reduction-order fixture: float accumulation in parallel_map merge
+//! functions and in functions they reach. Shard-closure accumulation and
+//! min/max folds are order-safe; merge-region `+=`, float `.sum()` and
+//! additive `.fold` are not.
+
+fn merge(items: Vec<f64>) -> f64 {
+    let outs = parallel_map(items, 2, |x| {
+        let mut local = 0.0;
+        local += x;
+        local
+    });
+    let mut total = 0.0;
+    for o in &outs {
+        total += o;
+    }
+    let tail: f64 = outs.iter().map(|o| o * 2.0).sum();
+    let worst = outs.iter().cloned().fold(f64::MAX, f64::min);
+    total + tail + worst
+}
+
+fn helper_total(xs: &[f64]) -> f64 {
+    xs.iter().fold(0.0, |a, b| a + b)
+}
+
+fn merge_transitive(items: Vec<f64>) -> f64 {
+    let outs = parallel_map(items, 2, |x| x + 1.0);
+    helper_total(&outs)
+}
+
+fn waived_merge(items: Vec<f64>) -> f64 {
+    let outs = parallel_map(items, 2, |x| x);
+    let mut t = 0.0;
+    for o in &outs {
+        t += o; // simlint: allow(reduction-order, "fixture: shard count pinned to 1")
+    }
+    t
+}

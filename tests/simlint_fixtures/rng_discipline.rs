@@ -1,0 +1,29 @@
+//! rng-discipline fixture: RNG construction provenance and shard capture.
+//! Seeded constructions (inside a seed-derivation fn, or fed seed material)
+//! are clean; a bare numeric seed and a closure-captured stream are not.
+
+fn server_seed(fleet_seed: u64, server: u64) -> u64 {
+    let mut rng = SimRng::new(fleet_seed ^ 0x5e72_76f1);
+    rng.fork(server).next_u64()
+}
+
+fn from_scenario(scenario_seed: u64) -> SimRng {
+    SimRng::new(scenario_seed)
+}
+
+fn sloppy() -> SimRng {
+    SimRng::new(42)
+}
+
+fn waived() -> SimRng {
+    SimRng::new(7) // simlint: allow(rng-discipline, "fixture: provenance audited by hand")
+}
+
+fn shared_across_shards(seed: u64, items: Vec<u64>) -> Vec<u64> {
+    let mut shared = SimRng::new(seed);
+    parallel_map(items, 4, |i| shared.next_u64() ^ i)
+}
+
+fn forked_per_item(seed: u64, items: Vec<u64>) -> Vec<u64> {
+    parallel_map(items, 4, |i| SimRng::new(seed ^ i).next_u64())
+}

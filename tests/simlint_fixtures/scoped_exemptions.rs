@@ -1,0 +1,9 @@
+//! scoped-exemptions fixture: a line waiver for a rule the enclosing module
+//! is already exempt from is stale noise (analyzed as bench::engine, where
+//! nondet-collections carries a module-scoped exemption).
+
+type Memo = HashMap<u64, u64>; // simlint: allow(nondet-collections, "fixture: redundant under bench::engine")
+
+fn probe(memo: &Memo, key: u64) -> bool {
+    memo.contains_key(&key)
+}

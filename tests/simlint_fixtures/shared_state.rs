@@ -1,0 +1,15 @@
+//! shared-state fixture: `static mut`, interior mutability in statics, and
+//! the `#[cfg(test)]` exemption.
+
+static mut TICKS: u64 = 0;
+
+static CACHE: Mutex<u64> = Mutex::new(0);
+
+static LIMIT: u64 = 64;
+
+static WAIVED: AtomicU64 = AtomicU64::new(0); // simlint: allow(shared-state, "fixture: diagnostics counter, never read by results")
+
+#[cfg(test)]
+mod tests {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+}

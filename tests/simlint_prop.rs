@@ -1,0 +1,179 @@
+//! Property / fuzz coverage for the `simlint` lexer and item parser.
+//!
+//! The flow rules trust two totality claims: the lexer and the item parser
+//! never panic — on any byte soup, and on any mutation of the real
+//! workspace sources — and the spans they report are in-bounds and
+//! strictly ordered. This suite holds them to it, and cross-checks the
+//! parser's item counts against a naive line-scan oracle over the fixture
+//! corpus (two completely different implementations agreeing on `fn` and
+//! `static` counts).
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use simlint::lexer::{tokenize, TokKind};
+use simlint::parse::{ItemKind, ParsedFile};
+use simlint::Workspace;
+
+/// Lexer span invariants over any input: 1-based lines within the source,
+/// columns within their line, and strictly increasing start positions.
+fn check_span_invariants(src: &str) {
+    let toks = tokenize(src);
+    let lines: Vec<&str> = src.lines().collect();
+    let mut prev = (0u32, 0u32);
+    for t in &toks {
+        assert!(t.line >= 1, "line must be 1-based");
+        assert!(
+            (t.line as usize) <= lines.len().max(1),
+            "token line {} beyond {} source lines",
+            t.line,
+            lines.len()
+        );
+        let line_chars = lines.get(t.line as usize - 1).map(|l| l.chars().count()).unwrap_or(0);
+        assert!(
+            (t.col as usize) <= line_chars + 1,
+            "token col {}:{} beyond the {line_chars}-char line",
+            t.line,
+            t.col
+        );
+        assert!(
+            (t.line, t.col) > prev,
+            "token starts must strictly increase: {:?} then {:?}",
+            prev,
+            (t.line, t.col)
+        );
+        // Verbatim token kinds must not overlap the next token's start.
+        if matches!(t.kind, TokKind::Ident | TokKind::Int | TokKind::Punct) {
+            prev = (t.line, t.col + t.text.chars().count().max(1) as u32 - 1);
+        } else {
+            prev = (t.line, t.col);
+        }
+    }
+}
+
+/// Parser structural invariants over any input: item token ranges in
+/// bounds, bodies nested inside their items.
+fn check_parse_invariants(src: &str) {
+    let p = ParsedFile::parse("crates/fuzz/src/lib.rs", "fuzz", src);
+    for item in &p.items {
+        assert!(item.tokens.start < item.tokens.end.max(item.tokens.start + 1));
+        assert!(item.tokens.end <= p.toks.len(), "item range beyond the token stream");
+        if let Some(body) = &item.body {
+            assert!(body.start >= item.tokens.start && body.end <= item.tokens.end.max(body.end));
+            assert!(body.end <= p.toks.len(), "body range beyond the token stream");
+        }
+    }
+}
+
+/// The real workspace sources, loaded once.
+fn workspace_sources() -> &'static Vec<String> {
+    static SOURCES: OnceLock<Vec<String>> = OnceLock::new();
+    SOURCES.get_or_init(|| {
+        let ws = Workspace::open(env!("CARGO_MANIFEST_DIR")).expect("repo root is a workspace");
+        ws.source_paths()
+            .expect("source walk succeeds")
+            .iter()
+            .map(|p| {
+                std::fs::read_to_string(format!("{}/{p}", env!("CARGO_MANIFEST_DIR")))
+                    .expect("scanned sources are readable")
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lexer_and_parser_are_total_on_arbitrary_bytes(
+        bytes in prop::collection::vec(0u32..256, 0..256)
+    ) {
+        let raw: Vec<u8> = bytes.iter().map(|&b| b as u8).collect();
+        let src = String::from_utf8_lossy(&raw);
+        check_span_invariants(&src);
+        check_parse_invariants(&src);
+    }
+
+    #[test]
+    fn parser_is_total_on_mutated_workspace_sources(
+        file_pick in 0u64..1_000_000,
+        op in 0u32..3,
+        cut_a in 0u64..1_000_000,
+        cut_b in 0u64..1_000_000,
+    ) {
+        let sources = workspace_sources();
+        let src = &sources[(file_pick as usize) % sources.len()];
+        let bytes = src.as_bytes();
+        let a = (cut_a as usize) % (bytes.len() + 1);
+        let b = (cut_b as usize) % (bytes.len() + 1);
+        let (lo, hi) = (a.min(b), a.max(b));
+        let mutated: Vec<u8> = match op {
+            // Truncate mid-file (can split tokens, strings, comments).
+            0 => bytes[..lo].to_vec(),
+            // Delete a byte range.
+            1 => [&bytes[..lo], &bytes[hi..]].concat(),
+            // Duplicate a byte range in place.
+            _ => [&bytes[..hi], &bytes[lo..hi], &bytes[hi..]].concat(),
+        };
+        let src = String::from_utf8_lossy(&mutated);
+        check_span_invariants(&src);
+        check_parse_invariants(&src);
+    }
+}
+
+/// Naive line-scan count of `fn` item introductions: comments stripped at
+/// `//`, the keyword at a word boundary, followed by an identifier start.
+/// Deliberately a different algorithm from the parser.
+fn naive_count(src: &str, keyword: &str) -> usize {
+    src.lines()
+        .map(|l| l.split("//").next().unwrap_or(""))
+        .map(|code| {
+            code.match_indices(&format!("{keyword} "))
+                .filter(|(i, _)| {
+                    let boundary = code[..*i]
+                        .chars()
+                        .next_back()
+                        .is_none_or(|c| !c.is_alphanumeric() && c != '_' && c != '\'');
+                    let starts_ident = code[*i + keyword.len() + 1..]
+                        .chars()
+                        .find(|c| !c.is_whitespace())
+                        .is_some_and(|c| c.is_alphabetic() || c == '_');
+                    boundary && starts_ident
+                })
+                .count()
+        })
+        .sum()
+}
+
+#[test]
+fn parser_item_counts_agree_with_line_scan_oracle_on_corpus() {
+    let dir = format!("{}/tests/simlint_fixtures", env!("CARGO_MANIFEST_DIR"));
+    let mut checked = 0;
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("fixture corpus directory exists")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let src = std::fs::read_to_string(&path).expect("fixture file is readable");
+        let p = ParsedFile::parse("crates/fixture/src/lib.rs", "fixture", &src);
+        let parsed_fns = p.items_of(ItemKind::Fn).count();
+        let parsed_statics = p.items_of(ItemKind::Static).count();
+        assert_eq!(
+            parsed_fns,
+            naive_count(&src, "fn"),
+            "fn count disagrees with the line-scan oracle in {}",
+            path.display()
+        );
+        assert_eq!(
+            parsed_statics,
+            naive_count(&src, "static"),
+            "static count disagrees with the line-scan oracle in {}",
+            path.display()
+        );
+        checked += 1;
+    }
+    assert!(checked >= 10, "expected the whole corpus, checked only {checked} files");
+}
