@@ -430,17 +430,23 @@ impl Engine {
         })
     }
 
-    /// A 24-hour fleet simulation under an explicit [`FleetConfig`] (the
+    /// A multi-day fleet simulation under an explicit [`FleetConfig`] (the
     /// measured §VI-D datacenter run). The cell's digest is the complete
     /// canonical config identity, so any knob change — balancer, scale,
-    /// thresholds, table, seed — recomputes.
+    /// topology, tail retention, day count, thresholds, table, seed —
+    /// recomputes. The run shards over the configuration's worker count;
+    /// the worker count is deliberately *not* part of the digest because
+    /// the sharded merge is bit-identical at every count.
     pub fn fleet(&self, cfg: &FleetConfig) -> FleetReport {
         let mut key = KeyEncoder::new();
-        key.str("fleet/v1").field(cfg);
+        key.str("fleet/v2").field(cfg);
         self.run_cached(
             &key,
-            &format!("fleet {} x{} {}", cfg.service.name, cfg.servers, cfg.balancer),
-            || Fleet::new(cfg.clone()).run(),
+            &format!(
+                "fleet {} x{} {} ({})",
+                cfg.service.name, cfg.servers, cfg.balancer, cfg.topology
+            ),
+            || Fleet::new(cfg.clone()).run_with_workers(self.cfg.workers()),
         )
     }
 
@@ -456,9 +462,9 @@ impl Engine {
         scale: FleetScale,
     ) -> FleetReport {
         let mut key = KeyEncoder::new();
-        key.str("fleet-study/v1").field(study).field(&balancer).field(&scale);
+        key.str("fleet-study/v2").field(study).field(&balancer).field(&scale);
         self.run_cached(&key, &format!("fleet study {} {}", study.service().name, balancer), || {
-            study.run_fleet(balancer, scale)
+            study.run_fleet_with_workers(balancer, scale, self.cfg.workers())
         })
     }
 }

@@ -13,7 +13,6 @@ use cpu_sim::{
     AllocationPolicy, ColocationPolicy, Scenario, ServerSpec, ServerThread, SimLength, ThreadSpec,
 };
 use sim_model::{CoreConfig, ThreadId, TraceSource};
-use std::sync::Mutex;
 use workloads::{batch, latency_sensitive};
 
 pub use cpu_sim::pair_seed;
@@ -155,50 +154,11 @@ pub fn batch_names() -> Vec<String> {
     batch::NAMES.iter().map(|s| s.to_string()).collect()
 }
 
-/// Runs `f` over `items` on a pool of OS threads, preserving input order.
-///
-/// Work is distributed by an atomic work-stealing index; each worker
-/// accumulates `(index, result)` pairs in a thread-local buffer and merges
-/// them into the shared output exactly once when it runs out of work, so
-/// result writes never contend per item.
-pub fn parallel_map<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
-where
-    T: Send + Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    assert!(workers > 0, "need at least one worker");
-    let n = items.len();
-    let collected: Mutex<Vec<Vec<(usize, R)>>> = Mutex::new(Vec::with_capacity(workers));
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let items_ref = &items;
-    let f_ref = &f;
-    std::thread::scope(|scope| {
-        for _ in 0..workers.min(n.max(1)) {
-            scope.spawn(|| {
-                let mut local: Vec<(usize, R)> = Vec::new();
-                loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    local.push((i, f_ref(&items_ref[i])));
-                }
-                if !local.is_empty() {
-                    collected.lock().expect("no panics while holding the lock").push(local);
-                }
-            });
-        }
-    });
-    let mut results: Vec<Option<R>> = Vec::with_capacity(n);
-    results.resize_with(n, || None);
-    for chunk in collected.into_inner().expect("scope joined all workers") {
-        for (i, r) in chunk {
-            results[i] = Some(r);
-        }
-    }
-    results.into_iter().map(|r| r.expect("every index was processed")).collect()
-}
+// The order-preserving worker pool now lives in `sim_model` (the cluster
+// simulator shards racks through it, and `cluster_sim` cannot depend on this
+// crate); re-exported here so existing `stretch_bench::harness::parallel_map`
+// callers keep working.
+pub use sim_model::parallel_map;
 
 /// Runs one latency-sensitive workload against `batches` batch co-runners on
 /// an SMT core of `1 + batches.len()` hardware threads, as a [`Scenario`].

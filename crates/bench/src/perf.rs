@@ -30,7 +30,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use cluster_sim::{CaseStudy, FleetScale, LoadBalancer};
+use cluster_sim::{CaseStudy, FleetScale, FleetTopology, LoadBalancer, TailAccumulation};
 use cpu_sim::{EqualPartition, Scenario, SimLength};
 use serde_json::Value;
 use sim_model::{ThreadId, TraceSource};
@@ -179,6 +179,63 @@ fn bench_cluster_fleet_day() -> BenchWork {
     }
 }
 
+/// Worker threads for the sharded fleet benchmarks: saturate the machine
+/// (capped, like `ExperimentConfig::workers`). The report is bit-identical
+/// at every count, so this only affects wall clock.
+fn fleet_bench_workers() -> usize {
+    std::thread::available_parallelism().map_or(4, |n| n.get()).min(8)
+}
+
+fn bench_cluster_fleet_10k() -> BenchWork {
+    // The datacenter tentpole: 10 000 servers as 125 racks of 80 behind
+    // power-of-two-choices rack dispatch, binned tail retention, one
+    // simulated day (~19.2M requests), sharded over the machine's cores.
+    // The merge is deterministic, so the fingerprint is worker-independent.
+    let report = CaseStudy::web_search()
+        .fleet_with(
+            LoadBalancer::PowerOfTwoChoices,
+            FleetScale::datacenter(42),
+            FleetTopology::racked(125, LoadBalancer::PowerOfTwoChoices),
+            TailAccumulation::binned_default(),
+            1,
+        )
+        .run_with_workers(fleet_bench_workers());
+    BenchWork {
+        sim_cycles: 0,
+        requests: report.requests as u64,
+        fingerprint: fingerprint([
+            report.gain(),
+            report.p99_ms,
+            report.hours_engaged,
+            report.violation_fraction,
+        ]),
+    }
+}
+
+fn bench_cluster_fleet_scaling() -> BenchWork {
+    // The shards × servers scaling curve: one modest fleet re-run at
+    // increasing rack counts (1 rack degenerates to the flat dispatch
+    // path). Tracks the sharding overhead — per-shard setup, the
+    // deterministic merge — separately from the raw 10k throughput number.
+    let study = CaseStudy::web_search();
+    let mut requests = 0u64;
+    let mut results = Vec::new();
+    for racks in [1usize, 8, 64] {
+        let report = study
+            .fleet_with(
+                LoadBalancer::PowerOfTwoChoices,
+                FleetScale { servers: 512, requests_per_server: 20, seed: 42 },
+                FleetTopology::racked(racks, LoadBalancer::PowerOfTwoChoices),
+                TailAccumulation::binned_default(),
+                1,
+            )
+            .run_with_workers(fleet_bench_workers());
+        requests += report.requests as u64;
+        results.extend([report.gain(), report.p99_ms, report.hours_engaged]);
+    }
+    BenchWork { sim_cycles: 0, requests, fingerprint: fingerprint(results) }
+}
+
 fn bench_figures_quick_matrix() -> BenchWork {
     // The acceptance-criterion benchmark: every figure of the paper rendered
     // cold (no result store, fresh engine) at the quick 1×2 sub-matrix.
@@ -199,7 +256,7 @@ fn bench_figures_quick_matrix() -> BenchWork {
 
 /// The benchmark registry, cheap layers first so `perf` gives early signal.
 pub fn registry() -> &'static [BenchSpec] {
-    const ALL: [BenchSpec; 8] = [
+    const ALL: [BenchSpec; 10] = [
         BenchSpec {
             name: "cpu/colocate-baseline",
             layer: "cpu",
@@ -241,6 +298,18 @@ pub fn registry() -> &'static [BenchSpec] {
             layer: "cluster",
             title: "measured Web Search fleet day incl. peak bisection + calibration",
             run: bench_cluster_fleet_day,
+        },
+        BenchSpec {
+            name: "cluster/fleet-10k",
+            layer: "cluster",
+            title: "10k-server racked fleet day, sharded + deterministically merged",
+            run: bench_cluster_fleet_10k,
+        },
+        BenchSpec {
+            name: "cluster/fleet-scaling",
+            layer: "cluster",
+            title: "512-server fleet day at 1/8/64 racks (sharding scaling curve)",
+            run: bench_cluster_fleet_scaling,
         },
         BenchSpec {
             name: "figures/quick-matrix",

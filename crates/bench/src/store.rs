@@ -229,6 +229,7 @@ impl JsonCodec for FleetIntervalReport {
             ("hour", Value::from(self.hour)),
             ("load", Value::from(self.load)),
             ("engaged_servers", Value::from(self.engaged_servers)),
+            ("measured_servers", Value::from(self.measured_servers)),
             ("p99_ms", Value::from(self.p99_ms)),
             ("batch_throughput", Value::from(self.batch_throughput)),
         ])
@@ -238,6 +239,7 @@ impl JsonCodec for FleetIntervalReport {
             hour: value.get("hour")?.as_f64()?,
             load: value.get("load")?.as_f64()?,
             engaged_servers: value.get("engaged_servers")?.as_u64()? as usize,
+            measured_servers: value.get("measured_servers")?.as_u64()? as usize,
             p99_ms: value.get("p99_ms")?.as_f64()?,
             batch_throughput: value.get("batch_throughput")?.as_f64()?,
         })
@@ -248,6 +250,7 @@ impl JsonCodec for ServerSummary {
     fn to_json(&self) -> Value {
         obj(vec![
             ("engaged_intervals", Value::from(self.engaged_intervals)),
+            ("starved_intervals", Value::from(self.starved_intervals)),
             ("p99_ms", Value::from(self.p99_ms)),
             ("requests", Value::from(self.requests)),
             ("mode_changes", Value::from(self.mode_changes)),
@@ -257,6 +260,7 @@ impl JsonCodec for ServerSummary {
     fn from_json(value: &Value) -> Option<ServerSummary> {
         Some(ServerSummary {
             engaged_intervals: value.get("engaged_intervals")?.as_u64()? as usize,
+            starved_intervals: value.get("starved_intervals")?.as_u64()? as usize,
             p99_ms: value.get("p99_ms")?.as_f64()?,
             requests: value.get("requests")?.as_u64()? as usize,
             mode_changes: value.get("mode_changes")?.as_u64()?,
@@ -521,11 +525,13 @@ mod tests {
                 hour: 0.25,
                 load: 0.424242424242,
                 engaged_servers: 7,
+                measured_servers: 15,
                 p99_ms: 81.52007759784479,
                 batch_throughput: 1.0962499999999,
             }],
             servers: vec![ServerSummary {
                 engaged_intervals: 39,
+                starved_intervals: 3,
                 p99_ms: 77.123456789,
                 requests: 14_400,
                 mode_changes: 4,

@@ -8,6 +8,7 @@
 
 use crate::diurnal::DiurnalPattern;
 use crate::fleet::{self, Fleet, FleetConfig, FleetReport, FleetScale, LoadBalancer};
+use crate::topology::{FleetTopology, TailAccumulation};
 use serde::{Deserialize, Serialize};
 use sim_model::{CanonicalKey, KeyEncoder};
 use sim_qos::{ArrivalProcess, ServiceSpec};
@@ -137,6 +138,9 @@ impl CaseStudy {
             arrivals,
             pattern: self.pattern,
             balancer,
+            topology: FleetTopology::Flat,
+            tails: TailAccumulation::Exact,
+            days: 1,
             interval_hours: self.interval_hours,
             requests_per_server: scale.requests_per_server,
             stretch: StretchConfig::b_mode_only(RobSkew::recommended_b_mode()),
@@ -172,6 +176,69 @@ impl CaseStudy {
     /// Convenience: build and run the measured fleet for this study.
     pub fn run_fleet(&self, balancer: LoadBalancer, scale: FleetScale) -> FleetReport {
         self.fleet(balancer, scale).run()
+    }
+
+    /// [`CaseStudy::run_fleet`] sharded over `workers` OS threads. The
+    /// report is bit-identical for every worker count (the merge is a
+    /// deterministic shard-index-order fold), so callers pick a count purely
+    /// for wall-clock reasons.
+    pub fn run_fleet_with_workers(
+        &self,
+        balancer: LoadBalancer,
+        scale: FleetScale,
+        workers: usize,
+    ) -> FleetReport {
+        self.fleet(balancer, scale).run_with_workers(workers)
+    }
+
+    /// [`CaseStudy::fleet_config`] generalised to a datacenter shape:
+    /// cluster → rack → server `topology`, a tail-retention policy and a
+    /// run length in days. Peak measurement and threshold calibration run
+    /// on the topology's dispatch unit (one rack when racked), so building
+    /// a 10k-server configuration stays cheap. The global `balancer` only
+    /// matters for a `Flat` topology; racked fleets dispatch through the
+    /// topology's rack balancer.
+    pub fn fleet_config_with(
+        &self,
+        balancer: LoadBalancer,
+        scale: FleetScale,
+        topology: FleetTopology,
+        tails: TailAccumulation,
+        days: usize,
+    ) -> FleetConfig {
+        self.calibrated_fleet_config_with(balancer, scale, topology, tails, days).0
+    }
+
+    /// [`CaseStudy::fleet`] over [`CaseStudy::fleet_config_with`]'s
+    /// datacenter knobs.
+    pub fn fleet_with(
+        &self,
+        balancer: LoadBalancer,
+        scale: FleetScale,
+        topology: FleetTopology,
+        tails: TailAccumulation,
+        days: usize,
+    ) -> Fleet {
+        let (cfg, peak_rps) =
+            self.calibrated_fleet_config_with(balancer, scale, topology, tails, days);
+        Fleet::with_peak(cfg, peak_rps)
+    }
+
+    fn calibrated_fleet_config_with(
+        &self,
+        balancer: LoadBalancer,
+        scale: FleetScale,
+        topology: FleetTopology,
+        tails: TailAccumulation,
+        days: usize,
+    ) -> (FleetConfig, f64) {
+        let mut cfg = self.base_fleet_config(balancer, scale);
+        cfg.topology = topology;
+        cfg.tails = tails;
+        cfg.days = days;
+        let peak_rps = fleet::measured_peak_rps(&cfg);
+        cfg.monitor = fleet::calibrated_monitor_with_peak(&cfg, self.engage_below, peak_rps);
+        (cfg, peak_rps)
     }
 }
 

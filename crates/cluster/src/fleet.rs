@@ -35,13 +35,42 @@
 //! streams forked from the fleet seed ([`server_seed`]), so a fixed-seed
 //! fleet run is bit-identical across processes and servers never share a
 //! random stream.
+//!
+//! # Fleet at scale: sharding, racks, skip-ahead
+//!
+//! Under a [`FleetTopology::Racked`] topology the fleet is a cluster of
+//! racks: the cluster tier splits the offered load evenly across racks (by
+//! server count) and the configured rack balancer dispatches *within* each
+//! rack, so racks never exchange queue state. Each rack is then one shard
+//! of [`Fleet::run_with_workers`]: shards simulate concurrently on a
+//! [`sim_model::parallel_map`] pool, each from its own [`rack_seed`]-derived
+//! RNG streams, and the merge folds per-shard partials in shard-index order
+//! through the canonical reducers ([`sim_stats::det_merge`]) and bit-exact
+//! integer histogram merges — so the report is bit-identical for every
+//! worker count, including 1. A `Flat` fleet is exactly the historical
+//! single-shard run (shard 0 reuses the fleet seed unchanged), and a
+//! 1-rack `Racked` fleet is bit-identical to `Flat` under the same
+//! balancer. Peak measurement and threshold calibration run on a single
+//! rack (the fleet's dispatch unit) rather than the whole cluster, which
+//! keeps 10k-server construction cheap and is identical to the historical
+//! behaviour for flat fleets.
+//!
+//! Memory stays bounded at scale through [`TailAccumulation::Binned`]
+//! (day- and fleet-level tails in fixed-resolution
+//! [`sim_stats::LatencyHistogram`] bins instead of raw-sample vectors), and
+//! time through a per-server *skip-ahead watermark*: an idle server — one
+//! whose last worker completion is behind the incoming arrival — answers
+//! balancer backlog probes in O(1) without scanning its workers, so a
+//! lightly-loaded fleet's dispatch cost tracks the busy servers, not the
+//! fleet size.
 
 use crate::diurnal::DiurnalPattern;
+use crate::topology::{FleetTopology, TailAccumulation};
 use cpu_sim::{ColocationPolicy, QosObservation};
 use serde::{Deserialize, Serialize};
-use sim_model::{CanonicalKey, KeyEncoder, SimRng};
+use sim_model::{parallel_map, CanonicalKey, KeyEncoder, SimRng};
 use sim_qos::{ArrivalGenerator, ArrivalProcess, ServiceSpec};
-use sim_stats::{percentile, Percentiles};
+use sim_stats::{det_merge, det_sum, percentile, LatencyHistogram, Percentiles};
 use stretch::orchestrator::PerformanceTable;
 use stretch::{ClosedLoopStretch, MonitorConfig, QosPolicy, StretchConfig};
 
@@ -114,6 +143,14 @@ impl FleetScale {
     pub fn standard(seed: u64) -> FleetScale {
         FleetScale { servers: 24, requests_per_server: 400, seed }
     }
+
+    /// Datacenter scale: 10 000 servers, 20 requests per server-interval.
+    /// Meant to be paired with a [`FleetTopology::Racked`] topology (so the
+    /// run shards) and [`TailAccumulation::Binned`] (so memory stays
+    /// bounded).
+    pub fn datacenter(seed: u64) -> FleetScale {
+        FleetScale { servers: 10_000, requests_per_server: 20, seed }
+    }
 }
 
 impl CanonicalKey for FleetScale {
@@ -134,8 +171,17 @@ pub struct FleetConfig {
     pub arrivals: ArrivalProcess,
     /// Diurnal load pattern modulating the fleet-wide arrival rate.
     pub pattern: DiurnalPattern,
-    /// Dispatcher spreading requests over the servers.
+    /// Dispatcher spreading requests over the servers (the *global*
+    /// balancer; ignored inside racks under a racked topology, where the
+    /// rack balancer dispatches instead).
     pub balancer: LoadBalancer,
+    /// Cluster → rack → server organisation; also the sharding unit for
+    /// [`Fleet::run_with_workers`].
+    pub topology: FleetTopology,
+    /// How day- and fleet-level sojourn tails are retained.
+    pub tails: TailAccumulation,
+    /// Number of simulated days (each day replays the diurnal pattern).
+    pub days: usize,
     /// Control interval in hours (how often each server's monitor acts).
     pub interval_hours: f64,
     /// Measured requests per server per interval.
@@ -159,6 +205,11 @@ impl FleetConfig {
     pub fn validate(&self) -> Result<(), String> {
         if self.servers == 0 {
             return Err("a fleet needs at least one server".into());
+        }
+        self.topology.validate(self.servers)?;
+        self.tails.validate()?;
+        if self.days == 0 {
+            return Err("a fleet run covers at least one day".into());
         }
         self.service.validate()?;
         self.arrivals.validate()?;
@@ -202,9 +253,14 @@ impl FleetConfig {
         Ok(())
     }
 
-    /// Number of control intervals in the 24-hour run.
+    /// Number of control intervals per 24-hour day.
     pub fn intervals(&self) -> usize {
         crate::diurnal::day_steps(self.interval_hours)
+    }
+
+    /// Number of control intervals over the whole run (`days` × per-day).
+    pub fn total_intervals(&self) -> usize {
+        self.days * self.intervals()
     }
 }
 
@@ -215,6 +271,9 @@ impl CanonicalKey for FleetConfig {
             .field(&self.arrivals)
             .field(&self.pattern)
             .field(&self.balancer)
+            .field(&self.topology)
+            .field(&self.tails)
+            .usize(self.days)
             .f64(self.interval_hours)
             .usize(self.requests_per_server)
             .field(&self.stretch)
@@ -232,6 +291,21 @@ pub fn server_seed(fleet_seed: u64, server: usize) -> u64 {
     // forks are functions of (root state, stream id) only, and the stream id
     // keeps them pairwise distinct.
     SimRng::new(fleet_seed ^ 0x5e72_76f1_ee75_ca1e).fork(server as u64 + 1).next_u64()
+}
+
+/// The seed of one rack's (= one shard's) private RNG root — arrival
+/// stream, balancer draws and the [`server_seed`] roots of its servers all
+/// derive from it. Rack 0 reuses the fleet seed *unchanged*: a flat fleet
+/// is a single rack, so this choice makes `Flat` and a 1-rack `Racked`
+/// topology bit-identical to the historical single-shard run. Further
+/// racks fork from a dedicated tagged root, so their streams are
+/// independent of rack 0's and of each other.
+pub fn rack_seed(fleet_seed: u64, rack: usize) -> u64 {
+    if rack == 0 {
+        fleet_seed
+    } else {
+        SimRng::new(fleet_seed ^ 0x7ac4_5eed_11ac_0b1d).fork(rack as u64).next_u64()
+    }
 }
 
 /// The per-server peak sustainable rate (requests/second), measured *on the
@@ -252,7 +326,16 @@ pub fn server_seed(fleet_seed: u64, server: usize) -> u64 {
 /// peak taken at full dedicated-core performance would make the colocated
 /// fleet supercritical at its own rated peak, piling up hours of backlog
 /// that poisons the tail signal long after the peak passes.
+///
+/// Under a [`FleetTopology::Racked`] topology the measurement runs on *one
+/// rack* (the fleet's actual dispatch unit — the cluster tier only ever
+/// offers a rack its even share of the load), which keeps 10k-server
+/// construction cheap; for a flat fleet it is the whole fleet, exactly as
+/// before. Server-intervals that measured zero requests are skipped — a
+/// starved server has no tail, not a perfect 0 ms one.
 pub fn measured_peak_rps(cfg: &FleetConfig) -> f64 {
+    let cal = calibration_config(cfg);
+    let cfg = &cal;
     let spec = &cfg.service;
     let baseline_perf = cfg.table.baseline.ls_performance.clamp(0.05, 1.0);
     // Hard ceiling: the no-queueing throughput of one server's workers.
@@ -266,11 +349,19 @@ pub fn measured_peak_rps(cfg: &FleetConfig) -> f64 {
         let mut state = DispatchState::new(cfg, cfg.seed ^ 0x9ea4);
         let mut tails = Vec::with_capacity(4 * cfg.servers);
         for t in 0..6u64 {
-            let (per_server, _) =
-                run_interval(cfg, &mut state, per_server_rps * cfg.servers as f64, &slowdowns, t);
+            let (per_server, _) = run_interval(
+                cfg,
+                &mut state,
+                cfg.balancer,
+                per_server_rps * cfg.servers as f64,
+                &slowdowns,
+                t,
+            );
             if t >= 2 {
                 for stats in &per_server {
-                    tails.push(stats.percentile(metric).unwrap_or(0.0));
+                    if let Some(tail) = stats.percentile(metric) {
+                        tails.push(tail);
+                    }
                 }
             }
         }
@@ -292,12 +383,33 @@ pub fn measured_peak_rps(cfg: &FleetConfig) -> f64 {
     lo
 }
 
-/// Dispatch state shared by every interval of one fleet run: per-server
-/// worker availability (queues persist across intervals), per-server
+/// The configuration peak measurement and threshold calibration run on:
+/// the fleet's dispatch unit. Flat fleets calibrate on themselves (the
+/// historical behaviour, bit-exactly); racked fleets calibrate on one rack
+/// flattened out — same per-server load, same balancer, same measurement
+/// budget as any rack of the real run sees.
+fn calibration_config(cfg: &FleetConfig) -> FleetConfig {
+    match cfg.topology {
+        FleetTopology::Flat => cfg.clone(),
+        FleetTopology::Racked(rt) => {
+            let mut sub = cfg.clone();
+            sub.servers = cfg.servers / rt.racks;
+            sub.balancer = rt.rack_balancer;
+            sub.topology = FleetTopology::Flat;
+            sub
+        }
+    }
+}
+
+/// Dispatch state shared by every interval of one shard of one fleet run:
+/// per-server worker availability (queues persist across intervals), the
+/// per-server skip-ahead watermark (each server's latest worker-completion
+/// time, so idle servers answer backlog probes in O(1)), per-server
 /// service-time streams, the balancer's round-robin cursor and RNG, the
 /// arrival-stream root and the continuous clock.
 struct DispatchState {
     workers: Vec<Vec<f64>>,
+    max_avail: Vec<f64>,
     service_rngs: Vec<SimRng>,
     rr_next: usize,
     balancer_rng: SimRng,
@@ -306,13 +418,23 @@ struct DispatchState {
 }
 
 impl DispatchState {
+    /// State for a whole (flat) fleet — the calibration paths.
     fn new(cfg: &FleetConfig, seed: u64) -> DispatchState {
+        DispatchState::for_servers(cfg, seed, cfg.servers)
+    }
+
+    /// State for one shard of `servers` machines under shard seed `seed`.
+    /// Service streams are keyed by the shard seed and the shard-*local*
+    /// index — for shard 0 of a run (and any flat fleet) this is exactly
+    /// the historical per-server derivation.
+    fn for_servers(cfg: &FleetConfig, seed: u64, servers: usize) -> DispatchState {
         let mut root = SimRng::new(seed);
         let arrival_root = root.fork(1);
         let balancer_rng = root.fork(2);
         DispatchState {
-            workers: vec![vec![0.0; cfg.service.workers]; cfg.servers],
-            service_rngs: (0..cfg.servers).map(|s| SimRng::new(server_seed(seed, s))).collect(),
+            workers: vec![vec![0.0; cfg.service.workers]; servers],
+            max_avail: vec![0.0; servers],
+            service_rngs: (0..servers).map(|s| SimRng::new(server_seed(seed, s))).collect(),
             rr_next: 0,
             balancer_rng,
             arrival_root,
@@ -321,30 +443,91 @@ impl DispatchState {
     }
 }
 
-/// Simulates one control interval's measurement slice: `servers ×
-/// requests_per_server` arrivals at `rate_rps`, dispatched through the
-/// balancer onto the persistent per-server queues. Returns per-server and
-/// fleet-wide sojourn collections.
+/// A day- or fleet-level sojourn collection under either
+/// [`TailAccumulation`] policy. Merging two accumulators is bit-exact for
+/// both variants — exact accumulators concatenate their raw samples (and
+/// sort-based percentiles are permutation-independent *for the
+/// shard-index-order concatenation the merge uses*), binned accumulators
+/// add integer bin counts — which is what lets the sharded merge produce
+/// identical reports for every worker count.
+#[derive(Debug, Clone, PartialEq)]
+enum TailAcc {
+    Exact(Percentiles),
+    Binned(LatencyHistogram),
+}
+
+impl TailAcc {
+    fn new(tails: &TailAccumulation) -> TailAcc {
+        match *tails {
+            TailAccumulation::Exact => TailAcc::Exact(Percentiles::new()),
+            TailAccumulation::Binned { resolution_ms, max_ms } => {
+                TailAcc::Binned(LatencyHistogram::new(resolution_ms, max_ms))
+            }
+        }
+    }
+
+    fn record(&mut self, value_ms: f64) {
+        match self {
+            TailAcc::Exact(p) => p.record(value_ms),
+            TailAcc::Binned(h) => h.record(value_ms),
+        }
+    }
+
+    fn absorb(&mut self, other: &TailAcc) {
+        match (self, other) {
+            (TailAcc::Exact(a), TailAcc::Exact(b)) => a.extend(b.samples().iter().copied()),
+            (TailAcc::Binned(a), TailAcc::Binned(b)) => a.merge(b),
+            _ => panic!("mismatched tail accumulation variants"),
+        }
+    }
+
+    fn percentile(&self, p: f64) -> Option<f64> {
+        match self {
+            TailAcc::Exact(s) => s.percentile(p),
+            TailAcc::Binned(h) => h.percentile(p),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            TailAcc::Exact(s) => s.len(),
+            TailAcc::Binned(h) => h.len(),
+        }
+    }
+}
+
+/// Simulates one control interval's measurement slice for one shard:
+/// `shard servers × requests_per_server` arrivals at `rate_rps`, dispatched
+/// through `balancer` onto the shard's persistent per-server queues.
+/// Returns per-server sojourn collections (always exact — the monitor path
+/// needs exact per-interval tails and they are transient) and the shard's
+/// interval-wide accumulator (under the configured retention policy).
+///
+/// Per-server sample counts are surfaced through the returned
+/// [`Percentiles`] (`len()`): under a queue-aware balancer the per-server
+/// interval count is random and can be zero, and callers must treat such
+/// server-intervals as *unmeasured* rather than substituting a tail.
 fn run_interval(
     cfg: &FleetConfig,
     state: &mut DispatchState,
+    balancer: LoadBalancer,
     rate_rps: f64,
     slowdowns: &[f64],
     interval_idx: u64,
-) -> (Vec<Percentiles>, Percentiles) {
-    let n = cfg.servers;
+) -> (Vec<Percentiles>, TailAcc) {
+    let n = state.workers.len();
     let spec = &cfg.service;
     let mut arrivals = ArrivalGenerator::new(
         cfg.arrivals.with_rate(rate_rps),
         state.arrival_root.fork(interval_idx),
     );
     let mut per_server: Vec<Percentiles> = vec![Percentiles::new(); n];
-    let mut fleet = Percentiles::new();
+    let mut fleet = TailAcc::new(&cfg.tails);
     let mut last_arrival = state.clock_ms;
     for _ in 0..n * cfg.requests_per_server {
         let arrival = state.clock_ms + arrivals.next_arrival_ms();
         last_arrival = arrival;
-        let s = match cfg.balancer {
+        let s = match balancer {
             LoadBalancer::RoundRobin => {
                 let s = state.rr_next;
                 state.rr_next = (state.rr_next + 1) % n;
@@ -352,8 +535,8 @@ fn run_interval(
             }
             LoadBalancer::LeastLoaded => (0..n)
                 .min_by(|&a, &b| {
-                    backlog(&state.workers[a], arrival)
-                        .partial_cmp(&backlog(&state.workers[b], arrival))
+                    backlog(&state.workers[a], state.max_avail[a], arrival)
+                        .partial_cmp(&backlog(&state.workers[b], state.max_avail[b], arrival))
                         .expect("no NaN backlogs")
                 })
                 .expect("at least one server"),
@@ -368,7 +551,9 @@ fn run_interval(
                 } else {
                     a
                 };
-                if backlog(&state.workers[a], arrival) <= backlog(&state.workers[b], arrival) {
+                let backlog_a = backlog(&state.workers[a], state.max_avail[a], arrival);
+                let backlog_b = backlog(&state.workers[b], state.max_avail[b], arrival);
+                if backlog_a <= backlog_b {
                     a
                 } else {
                     b
@@ -386,8 +571,12 @@ fn run_interval(
         let start = arrival.max(avail);
         let service_time = state.service_rngs[s]
             .log_normal(spec.service_median_ms * slowdowns[s], spec.service_sigma);
-        state.workers[s][widx] = start + service_time;
-        let sojourn = start + service_time - arrival;
+        let done = start + service_time;
+        state.workers[s][widx] = done;
+        if done > state.max_avail[s] {
+            state.max_avail[s] = done;
+        }
+        let sojourn = done - arrival;
         per_server[s].record(sojourn);
         fleet.record(sojourn);
     }
@@ -396,7 +585,16 @@ fn run_interval(
 }
 
 /// Total queued work (ms) ahead of a request arriving `now` on one server.
-fn backlog(workers: &[f64], now: f64) -> f64 {
+///
+/// `max_avail` is the server's skip-ahead watermark (its latest worker
+/// completion): when it is already behind `now` the server is fully idle
+/// and the backlog is exactly the `0.0` the scan would compute — answered
+/// in O(1), which is what keeps balancer probes cheap on a mostly-idle
+/// fleet.
+fn backlog(workers: &[f64], max_avail: f64, now: f64) -> f64 {
+    if max_avail <= now {
+        return 0.0;
+    }
     workers.iter().map(|&avail| (avail - now).max(0.0)).sum()
 }
 
@@ -448,6 +646,10 @@ pub fn calibrated_monitor_with_peak(
     );
     assert!(peak_rps > 0.0, "peak rate must be positive");
     cfg.validate().expect("invalid fleet configuration");
+    // Like the peak bisection, calibration runs on the fleet's dispatch
+    // unit: the whole fleet when flat, one rack when racked.
+    let cal = calibration_config(cfg);
+    let cfg = &cal;
     let rate = engage_below_load * cfg.servers as f64 * peak_rps;
     let metric = cfg.service.tail_metric.percentile();
     let discard = 2usize; // queue warm-up intervals
@@ -457,11 +659,15 @@ pub fn calibrated_monitor_with_peak(
         let slowdowns = vec![cfg.service.slowdown(perf.clamp(0.05, 1.0)); cfg.servers];
         let mut ratios = Vec::with_capacity(measure * cfg.servers);
         for t in 0..(discard + measure) as u64 {
-            let (per_server, _) = run_interval(cfg, &mut state, rate, &slowdowns, t);
+            let (per_server, _) = run_interval(cfg, &mut state, cfg.balancer, rate, &slowdowns, t);
             if t >= discard as u64 {
+                // Skip server-intervals that measured nothing: a starved
+                // server contributes no evidence, and a substituted 0.0
+                // would drag the calibration median toward "all slack".
                 for stats in &per_server {
-                    ratios
-                        .push(stats.percentile(metric).unwrap_or(0.0) / cfg.service.qos_target_ms);
+                    if let Some(tail) = stats.percentile(metric) {
+                        ratios.push(tail / cfg.service.qos_target_ms);
+                    }
                 }
             }
         }
@@ -482,6 +688,13 @@ pub fn calibrated_monitor_with_peak(
 }
 
 /// Per-interval fleet telemetry.
+///
+/// Small-sample contract: `requests_per_server` is a *fleet-wide average*
+/// measurement budget, not a per-server guarantee — under a queue-aware
+/// balancer the per-server interval count is random and can be zero.
+/// `measured_servers` counts the servers whose interval actually resolved
+/// a tail; the remaining `servers - measured_servers` were starved
+/// (unmeasured), contributed no tail sample and fed their monitor nothing.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FleetIntervalReport {
     /// Hour of day at the interval start.
@@ -490,18 +703,32 @@ pub struct FleetIntervalReport {
     pub load: f64,
     /// Servers whose monitor had B-mode engaged during the interval.
     pub engaged_servers: usize,
+    /// Servers that measured at least one request this interval (only these
+    /// contribute tail evidence; see the small-sample contract above).
+    pub measured_servers: usize,
     /// Fleet-wide 99th-percentile sojourn time over the interval (ms).
+    /// Under [`TailAccumulation::Binned`] this is conservative to within
+    /// one bin resolution.
     pub p99_ms: f64,
     /// Fleet batch throughput during the interval, relative to baseline.
     pub batch_throughput: f64,
 }
 
-/// Per-server summary over the whole day.
+/// Per-server summary over the whole run.
+///
+/// Small-sample contract: tail fields summarise *measured* requests only.
+/// A server can sit idle for whole intervals (`starved_intervals` counts
+/// them); those intervals produce no tail sample, no QoS violation and no
+/// monitor observation — the controller simply holds its previous mode.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ServerSummary {
     /// Intervals this server spent in B-mode.
     pub engaged_intervals: usize,
-    /// The server's own p99 sojourn time over the day (ms).
+    /// Intervals in which this server measured zero requests (unmeasured:
+    /// excluded from tails, violations and monitor feeding).
+    pub starved_intervals: usize,
+    /// The server's own p99 sojourn time over the run (ms); conservative
+    /// to one bin under [`TailAccumulation::Binned`].
     pub p99_ms: f64,
     /// Requests this server processed (measured only).
     pub requests: usize,
@@ -511,7 +738,7 @@ pub struct ServerSummary {
     pub throttle_events: u64,
 }
 
-/// Result of a 24-hour fleet run.
+/// Result of a fleet run (`days` × 24 hours).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetReport {
     /// Per-interval telemetry, in time order.
@@ -524,7 +751,9 @@ pub struct FleetReport {
     pub fraction_engaged: f64,
     /// Average hours per day each server spent in B-mode.
     pub hours_engaged: f64,
-    /// Fraction of server-intervals whose measured tail violated the target.
+    /// Fraction of *measured* server-intervals whose tail violated the
+    /// target (starved server-intervals carry no tail evidence and are
+    /// excluded from both numerator and denominator).
     pub violation_fraction: f64,
     /// Fleet-wide median sojourn time over the day (ms).
     pub p50_ms: f64,
@@ -591,100 +820,250 @@ impl Fleet {
         self.peak_rps
     }
 
-    /// Runs the 24-hour fleet simulation.
+    /// Runs the fleet simulation single-threaded. Exactly
+    /// [`Fleet::run_with_workers`] with one worker — same bits.
     pub fn run(&self) -> FleetReport {
+        self.run_with_workers(1)
+    }
+
+    /// Runs the fleet simulation with its shards distributed over `workers`
+    /// OS threads.
+    ///
+    /// The shard unit is the rack (a flat fleet is one shard, so extra
+    /// workers simply idle). The report is a deterministic function of the
+    /// configuration alone: shards simulate from independent
+    /// [`rack_seed`]-derived streams and merge in shard-index order through
+    /// the canonical reducers, so every worker count — including 1 —
+    /// produces a bit-identical [`FleetReport`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn run_with_workers(&self, workers: usize) -> FleetReport {
         let cfg = &self.cfg;
-        let n = cfg.servers;
-        let spec = &cfg.service;
-        let steps = cfg.intervals();
-        let metric_percentile = spec.tail_metric.percentile();
+        let peak_rps = self.peak_rps;
+        let plans = shard_plans(cfg);
+        let shard_days = parallel_map(plans, workers, |plan| run_shard_day(cfg, peak_rps, plan));
+        merge_shard_days(cfg, &shard_days)
+    }
+}
 
-        let mut state = DispatchState::new(cfg, cfg.seed);
-        let mut controllers: Vec<ClosedLoopStretch> =
-            (0..n).map(|_| ClosedLoopStretch::new(cfg.stretch, cfg.monitor)).collect();
+/// One contiguous shard (rack) of a fleet run: its size, the balancer
+/// dispatching inside it, and the seed its RNG streams derive from.
+struct ShardPlan {
+    servers: usize,
+    balancer: LoadBalancer,
+    seed: u64,
+}
 
-        let mut day_stats: Vec<Percentiles> = vec![Percentiles::new(); n];
-        let mut engaged_counts = vec![0usize; n];
-        let mut intervals = Vec::with_capacity(steps);
-        let mut throughput_sum = 0.0;
-        let mut engaged_total = 0usize;
+/// The shards of a fleet run, in shard-index (= rack, = server) order.
+fn shard_plans(cfg: &FleetConfig) -> Vec<ShardPlan> {
+    match cfg.topology {
+        FleetTopology::Flat => {
+            vec![ShardPlan { servers: cfg.servers, balancer: cfg.balancer, seed: cfg.seed }]
+        }
+        FleetTopology::Racked(rt) => {
+            let per_rack = cfg.servers / rt.racks;
+            (0..rt.racks)
+                .map(|r| ShardPlan {
+                    servers: per_rack,
+                    balancer: rt.rack_balancer,
+                    seed: rack_seed(cfg.seed, r),
+                })
+                .collect()
+        }
+    }
+}
+
+/// One shard's partial results for one control interval.
+struct ShardInterval {
+    engaged: usize,
+    measured_servers: usize,
+    violations: usize,
+    /// Left-to-right sum of the shard's per-server batch speedups — a
+    /// per-shard partial for [`det_merge`].
+    speedup_sum: f64,
+    tail: TailAcc,
+}
+
+/// Everything one shard contributes to the run, in shard-local server
+/// order (which is global order, shards being contiguous).
+struct ShardDay {
+    intervals: Vec<ShardInterval>,
+    day_tails: Vec<TailAcc>,
+    engaged_counts: Vec<usize>,
+    starved_counts: Vec<usize>,
+    mode_changes: Vec<u64>,
+    throttle_events: Vec<u64>,
+}
+
+/// Simulates one shard's whole run. Only ever called from inside the
+/// `parallel_map` closure of [`Fleet::run_with_workers`]: float
+/// accumulation here is shard-sequential by construction, and every
+/// cross-shard combination happens in [`merge_shard_days`] through the
+/// canonical reducers.
+fn run_shard_day(cfg: &FleetConfig, peak_rps: f64, plan: &ShardPlan) -> ShardDay {
+    let n = plan.servers;
+    let spec = &cfg.service;
+    let steps = cfg.total_intervals();
+    let metric_percentile = spec.tail_metric.percentile();
+
+    let mut state = DispatchState::for_servers(cfg, plan.seed, n);
+    let mut controllers: Vec<ClosedLoopStretch> =
+        (0..n).map(|_| ClosedLoopStretch::new(cfg.stretch, cfg.monitor)).collect();
+
+    let mut day_tails: Vec<TailAcc> = (0..n).map(|_| TailAcc::new(&cfg.tails)).collect();
+    let mut engaged_counts = vec![0usize; n];
+    let mut starved_counts = vec![0usize; n];
+    let mut intervals = Vec::with_capacity(steps);
+
+    for t in 0..steps {
+        let hour = (t as f64 * cfg.interval_hours) % 24.0;
+        let load = cfg.pattern.load_at(hour);
+        let rate = (load * n as f64 * peak_rps).max(1e-3);
+
+        // Mode for the interval is whatever each monitor decided from
+        // the *previous* interval's measurement (control acts on
+        // history, as on real hardware).
+        let modes: Vec<_> = controllers.iter().map(|c| c.mode()).collect();
+        let slowdowns: Vec<f64> = modes
+            .iter()
+            .map(|m| spec.slowdown(cfg.table.for_mode(*m).ls_performance.clamp(0.05, 1.0)))
+            .collect();
+        let engaged = modes.iter().filter(|m| m.is_batch_boost()).count();
+        for (s, m) in modes.iter().enumerate() {
+            if m.is_batch_boost() {
+                engaged_counts[s] += 1;
+            }
+        }
+        let speedup_sum = modes.iter().map(|m| cfg.table.for_mode(*m).batch_speedup).sum::<f64>();
+
+        let (per_server, interval_tail) =
+            run_interval(cfg, &mut state, plan.balancer, rate, &slowdowns, t as u64);
+
+        // Every server observes its own tail from its own requests and
+        // feeds its monitor through the policy trait — *if* it measured
+        // any. A server-interval with zero requests is unmeasured: no
+        // tail, no violation, no observation (the controller holds its
+        // mode), rather than a fabricated perfect 0 ms tail.
         let mut violations = 0usize;
-        let mut fleet_stats = Percentiles::new();
-
-        for t in 0..steps {
-            let hour = (t as f64 * cfg.interval_hours) % 24.0;
-            let load = cfg.pattern.load_at(hour);
-            let rate = (load * n as f64 * self.peak_rps).max(1e-3);
-
-            // Mode for the interval is whatever each monitor decided from
-            // the *previous* interval's measurement (control acts on
-            // history, as on real hardware).
-            let modes: Vec<_> = controllers.iter().map(|c| c.mode()).collect();
-            let slowdowns: Vec<f64> = modes
-                .iter()
-                .map(|m| spec.slowdown(cfg.table.for_mode(*m).ls_performance.clamp(0.05, 1.0)))
-                .collect();
-            let engaged = modes.iter().filter(|m| m.is_batch_boost()).count();
-            engaged_total += engaged;
-            for (s, m) in modes.iter().enumerate() {
-                if m.is_batch_boost() {
-                    engaged_counts[s] += 1;
-                }
+        let mut measured_servers = 0usize;
+        for (s, controller) in controllers.iter_mut().enumerate() {
+            for &v in per_server[s].samples() {
+                day_tails[s].record(v);
             }
-            let interval_throughput =
-                modes.iter().map(|m| cfg.table.for_mode(*m).batch_speedup).sum::<f64>() / n as f64;
-            throughput_sum += interval_throughput;
-
-            let (per_server, interval_fleet) =
-                run_interval(cfg, &mut state, rate, &slowdowns, t as u64);
-
-            // Every server observes its own tail from its own requests and
-            // feeds its monitor through the policy trait.
-            for (s, controller) in controllers.iter_mut().enumerate() {
-                let tail = per_server[s].percentile(metric_percentile).unwrap_or(0.0);
-                if tail > spec.qos_target_ms {
-                    violations += 1;
+            match per_server[s].percentile(metric_percentile) {
+                Some(tail) => {
+                    measured_servers += 1;
+                    if tail > spec.qos_target_ms {
+                        violations += 1;
+                    }
+                    let _ = controller.on_sample(&QosObservation::tail_latency(
+                        tail,
+                        spec.qos_target_ms,
+                        load,
+                    ));
                 }
-                day_stats[s].extend(per_server[s].samples().iter().copied());
-                let _ = controller.on_sample(&QosObservation::tail_latency(
-                    tail,
-                    spec.qos_target_ms,
-                    load,
-                ));
+                None => starved_counts[s] += 1,
             }
-            fleet_stats.extend(interval_fleet.samples().iter().copied());
+        }
 
-            intervals.push(FleetIntervalReport {
-                hour,
-                load,
-                engaged_servers: engaged,
-                p99_ms: interval_fleet.p99().unwrap_or(0.0),
-                batch_throughput: interval_throughput,
+        intervals.push(ShardInterval {
+            engaged,
+            measured_servers,
+            violations,
+            speedup_sum,
+            tail: interval_tail,
+        });
+    }
+
+    ShardDay {
+        intervals,
+        day_tails,
+        engaged_counts,
+        starved_counts,
+        mode_changes: controllers.iter().map(|c| c.mode_changes()).collect(),
+        throttle_events: controllers.iter().map(|c| c.throttle_events()).collect(),
+    }
+}
+
+/// Folds per-shard results into the fleet report, in shard-index order:
+/// integer counters add, float partials go through the canonical reducers
+/// ([`det_merge`] across shards, [`det_sum`] across intervals), and tail
+/// accumulators merge bit-exactly — so the report never depends on worker
+/// count or completion order.
+fn merge_shard_days(cfg: &FleetConfig, shard_days: &[ShardDay]) -> FleetReport {
+    let n = cfg.servers;
+    let steps = cfg.total_intervals();
+    let mut intervals = Vec::with_capacity(steps);
+    let mut throughputs = Vec::with_capacity(steps);
+    let mut engaged_total = 0usize;
+    let mut violations_total = 0usize;
+    let mut measured_total = 0usize;
+    let mut fleet_tail = TailAcc::new(&cfg.tails);
+    let mut speedups = Vec::with_capacity(shard_days.len());
+    for t in 0..steps {
+        let hour = (t as f64 * cfg.interval_hours) % 24.0;
+        let load = cfg.pattern.load_at(hour);
+        let mut engaged = 0usize;
+        let mut measured_servers = 0usize;
+        let mut violations = 0usize;
+        speedups.clear();
+        let mut tail = TailAcc::new(&cfg.tails);
+        for sd in shard_days {
+            let part = &sd.intervals[t];
+            engaged += part.engaged;
+            measured_servers += part.measured_servers;
+            violations += part.violations;
+            speedups.push(part.speedup_sum);
+            tail.absorb(&part.tail);
+        }
+        let batch_throughput = det_merge(&speedups) / n as f64;
+        throughputs.push(batch_throughput);
+        engaged_total += engaged;
+        violations_total += violations;
+        measured_total += measured_servers;
+        fleet_tail.absorb(&tail);
+        intervals.push(FleetIntervalReport {
+            hour,
+            load,
+            engaged_servers: engaged,
+            measured_servers,
+            p99_ms: tail.percentile(99.0).unwrap_or(0.0),
+            batch_throughput,
+        });
+    }
+
+    let mut servers = Vec::with_capacity(n);
+    for sd in shard_days {
+        for (s, acc) in sd.day_tails.iter().enumerate() {
+            servers.push(ServerSummary {
+                engaged_intervals: sd.engaged_counts[s],
+                starved_intervals: sd.starved_counts[s],
+                p99_ms: acc.percentile(99.0).unwrap_or(0.0),
+                requests: acc.len(),
+                mode_changes: sd.mode_changes[s],
+                throttle_events: sd.throttle_events[s],
             });
         }
+    }
 
-        let servers: Vec<ServerSummary> = (0..n)
-            .map(|s| ServerSummary {
-                engaged_intervals: engaged_counts[s],
-                p99_ms: day_stats[s].p99().unwrap_or(0.0),
-                requests: day_stats[s].len(),
-                mode_changes: controllers[s].mode_changes(),
-                throttle_events: controllers[s].throttle_events(),
-            })
-            .collect();
-        let server_intervals = (n * steps) as f64;
-        FleetReport {
-            intervals,
-            servers,
-            average_batch_throughput: throughput_sum / steps as f64,
-            fraction_engaged: engaged_total as f64 / server_intervals,
-            hours_engaged: engaged_total as f64 / n as f64 * cfg.interval_hours,
-            violation_fraction: violations as f64 / server_intervals,
-            p50_ms: fleet_stats.percentile(50.0).unwrap_or(0.0),
-            p95_ms: fleet_stats.p95().unwrap_or(0.0),
-            p99_ms: fleet_stats.p99().unwrap_or(0.0),
-            requests: fleet_stats.len(),
-        }
+    let server_intervals = (n * steps) as f64;
+    FleetReport {
+        intervals,
+        servers,
+        average_batch_throughput: det_sum(&throughputs) / steps as f64,
+        fraction_engaged: engaged_total as f64 / server_intervals,
+        hours_engaged: engaged_total as f64 / n as f64 * cfg.interval_hours / cfg.days as f64,
+        violation_fraction: if measured_total == 0 {
+            0.0
+        } else {
+            violations_total as f64 / measured_total as f64
+        },
+        p50_ms: fleet_tail.percentile(50.0).unwrap_or(0.0),
+        p95_ms: fleet_tail.percentile(95.0).unwrap_or(0.0),
+        p99_ms: fleet_tail.percentile(99.0).unwrap_or(0.0),
+        requests: fleet_tail.len(),
     }
 }
 

@@ -21,6 +21,11 @@
 //!   reports measured tail percentiles, and the resulting 24-hour batch
 //!   gain lands within two percentage points of the accounting
 //!   (`tests/fleet.rs` pins this).
+//! * [`topology`] — the cluster → rack → server organisation
+//!   ([`FleetTopology`], [`RackTopology`]) and tail-retention policy
+//!   ([`TailAccumulation`]) that let a fleet scale to 10k servers: racks
+//!   dispatch independently, so they shard across worker threads
+//!   ([`Fleet::run_with_workers`]) with a bit-exact deterministic merge.
 //! * [`diurnal`] — the parametric diurnal load curves of Figure 14 shared
 //!   by both routes (shapes from Meisner et al. and Gill et al.).
 //! * [`server`] — the lowering of the generalised M-core × T-thread server
@@ -36,11 +41,13 @@ pub mod case_study;
 pub mod diurnal;
 pub mod fleet;
 pub mod server;
+pub mod topology;
 
 pub use case_study::{CaseStudy, CaseStudyReport};
 pub use diurnal::{day_steps, DiurnalPattern, LoadSample};
 pub use fleet::{
-    calibrated_monitor, calibrated_monitor_with_peak, measured_peak_rps, server_seed, Fleet,
-    FleetConfig, FleetIntervalReport, FleetReport, FleetScale, LoadBalancer, ServerSummary,
+    calibrated_monitor, calibrated_monitor_with_peak, measured_peak_rps, rack_seed, server_seed,
+    Fleet, FleetConfig, FleetIntervalReport, FleetReport, FleetScale, LoadBalancer, ServerSummary,
 };
 pub use server::{MeasuredServer, ServerModeMeasurement, ServerWorkloads};
+pub use topology::{FleetTopology, RackTopology, TailAccumulation};

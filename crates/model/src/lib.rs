@@ -8,6 +8,8 @@
 //!   Table II of the paper ([`CoreConfig`], [`CacheConfig`], [`UncoreConfig`]).
 //! * [`rng`] — a small deterministic PRNG ([`SimRng`]) plus samplers
 //!   (exponential, Zipf, log-normal) used for reproducible workload generation.
+//! * [`parallel`] — the order-preserving worker pool ([`parallel_map`]) the
+//!   fleet simulator and the experiment engine fan work out through.
 //! * [`ids`] — strongly-typed identifiers ([`ThreadId`], [`WorkloadClass`]).
 //! * [`trace`] — the [`TraceGenerator`] trait implemented by workload models,
 //!   and the [`TraceSource`] recipe trait the scenario layer spawns from.
@@ -28,6 +30,7 @@
 pub mod canon;
 pub mod config;
 pub mod ids;
+pub mod parallel;
 pub mod rng;
 pub mod trace;
 pub mod uop;
@@ -35,6 +38,7 @@ pub mod uop;
 pub use canon::{CanonicalKey, KeyEncoder};
 pub use config::{BranchPredictorConfig, CacheConfig, CoreConfig, FuConfig, UncoreConfig};
 pub use ids::{ThreadId, WorkloadClass};
+pub use parallel::parallel_map;
 pub use rng::SimRng;
 pub use trace::{BoxedTrace, TraceGenerator, TraceSource};
 pub use uop::{MemAccess, MemKind, MicroOp, OpKind};

@@ -9,6 +9,9 @@
 //! * [`reduce`] — the canonical deterministic reducers ([`det_sum`],
 //!   [`det_merge`]) every float accumulation on a parallel merge path must
 //!   go through (enforced by the `reduction-order` simlint rule).
+//! * [`tail`] — bounded-memory tail-latency accumulation
+//!   ([`LatencyHistogram`]): fixed-resolution bins whose merge is bit-exact
+//!   integer addition, for fleet-scale runs that cannot retain raw samples.
 //!
 //! # Example
 //!
@@ -29,6 +32,7 @@ pub mod percentile;
 pub mod ratio;
 pub mod reduce;
 pub mod sampling;
+pub mod tail;
 
 pub use distribution::DistributionSummary;
 pub use histogram::Histogram;
@@ -36,3 +40,4 @@ pub use percentile::{percentile, Percentiles};
 pub use ratio::{geometric_mean, slowdown, speedup};
 pub use reduce::{det_mean, det_merge, det_sum};
 pub use sampling::SamplingPlan;
+pub use tail::LatencyHistogram;

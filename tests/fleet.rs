@@ -7,7 +7,10 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use stretch_bench::{Engine, ExperimentConfig};
-use stretch_repro::cluster::{server_seed, CaseStudy, Fleet, FleetScale, LoadBalancer};
+use stretch_repro::cluster::{
+    rack_seed, server_seed, CaseStudy, Fleet, FleetScale, FleetTopology, LoadBalancer,
+    TailAccumulation,
+};
 
 fn temp_dir(tag: &str) -> PathBuf {
     static NEXT: AtomicU64 = AtomicU64::new(0);
@@ -95,6 +98,175 @@ fn warm_engine_rerun_of_a_fleet_study_is_pure_cache_hits() {
     );
 
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sharded_runs_are_bit_identical_across_worker_counts() {
+    // The tentpole contract: the report is a pure function of the config —
+    // the worker count only picks how many OS threads chew through the
+    // shards, never what they compute or how the results merge.
+    let fleet = CaseStudy::web_search().fleet_with(
+        LoadBalancer::PowerOfTwoChoices,
+        FleetScale { servers: 64, requests_per_server: 50, seed: 7 },
+        FleetTopology::racked(8, LoadBalancer::PowerOfTwoChoices),
+        TailAccumulation::binned_default(),
+        1,
+    );
+    let one = fleet.run_with_workers(1);
+    let two = fleet.run_with_workers(2);
+    let eight = fleet.run_with_workers(8);
+    assert_eq!(one, two, "1 and 2 workers must produce the identical report");
+    assert_eq!(one, eight, "1 and 8 workers must produce the identical report");
+    assert_eq!(one.p99_ms.to_bits(), eight.p99_ms.to_bits());
+    assert_eq!(one.average_batch_throughput.to_bits(), eight.average_batch_throughput.to_bits());
+    for (a, b) in one.servers.iter().zip(&eight.servers) {
+        assert_eq!(a.p99_ms.to_bits(), b.p99_ms.to_bits());
+    }
+}
+
+#[test]
+fn a_single_rack_fleet_is_bit_identical_to_the_flat_fleet() {
+    // Rack 0 reuses the fleet seed (`rack_seed(seed, 0) == seed`), so a
+    // one-rack topology is the flat fleet by construction — dispatch unit,
+    // RNG streams and merge all coincide.
+    assert_eq!(rack_seed(123, 0), 123);
+    assert_ne!(rack_seed(123, 1), 123);
+    let study = CaseStudy::web_search();
+    let scale = FleetScale::quick(42);
+    let flat = study
+        .fleet_with(
+            LoadBalancer::LeastLoaded,
+            scale,
+            FleetTopology::Flat,
+            TailAccumulation::Exact,
+            1,
+        )
+        .run();
+    let racked = study
+        .fleet_with(
+            LoadBalancer::LeastLoaded,
+            scale,
+            FleetTopology::racked(1, LoadBalancer::LeastLoaded),
+            TailAccumulation::Exact,
+            1,
+        )
+        .run();
+    assert_eq!(flat, racked, "one rack must degenerate to the flat fleet bit-for-bit");
+    // And the flat path itself matches the historical single-shard entry
+    // point (`fleet_config` + `run`), so pre-topology behaviour is intact.
+    let historical = study.run_fleet(LoadBalancer::LeastLoaded, scale);
+    assert_eq!(flat, historical);
+}
+
+#[test]
+fn multi_day_runs_extend_the_day_loop() {
+    let study = CaseStudy::web_search();
+    let scale = FleetScale { servers: 8, requests_per_server: 40, seed: 9 };
+    let one_day = study
+        .fleet_with(
+            LoadBalancer::PowerOfTwoChoices,
+            scale,
+            FleetTopology::Flat,
+            TailAccumulation::Exact,
+            1,
+        )
+        .run();
+    let two_days = study
+        .fleet_with(
+            LoadBalancer::PowerOfTwoChoices,
+            scale,
+            FleetTopology::Flat,
+            TailAccumulation::Exact,
+            2,
+        )
+        .run();
+    assert_eq!(two_days.intervals.len(), 2 * one_day.intervals.len());
+    // Days share controller state (no midnight reset), and the engaged-hours
+    // figure stays normalised per 24 hours.
+    assert!(two_days.hours_engaged <= 24.0);
+    assert!(two_days.hours_engaged > 0.0);
+    // Day one of the two-day run is the one-day run: same seed, same
+    // streams, the second day merely continues.
+    for (a, b) in one_day.intervals.iter().zip(&two_days.intervals) {
+        assert_eq!(a, b, "the first day must be unchanged by appending a second");
+    }
+}
+
+#[test]
+fn starved_server_intervals_are_skipped_not_counted_as_perfect_tails() {
+    // Regression for the idle-server tail bug: least-loaded dispatch over a
+    // large, nearly idle fleet breaks all-idle ties towards the lowest
+    // server index, so high-index servers receive zero requests interval
+    // after interval. Those server-intervals used to report a 0.0 ms tail —
+    // a "perfect latency" phantom that fed the mode controllers and diluted
+    // the violation fraction. They are now skipped and surfaced as starved.
+    let study = CaseStudy {
+        pattern: stretch_repro::cluster::DiurnalPattern::Custom {
+            base: 0.02,
+            amplitude: 0.0,
+            peak_hour: 12.0,
+            width: 6.0,
+        },
+        engage_below: 0.85,
+        b_mode_batch_speedup: 1.11,
+        interval_hours: 0.25,
+    };
+    let report = study
+        .fleet_with(
+            LoadBalancer::LeastLoaded,
+            FleetScale { servers: 128, requests_per_server: 20, seed: 21 },
+            FleetTopology::Flat,
+            TailAccumulation::Exact,
+            1,
+        )
+        .run();
+    let n = report.servers.len();
+    let starved_total: usize = report.servers.iter().map(|s| s.starved_intervals).sum();
+    assert!(starved_total > 0, "a near-idle least-loaded fleet must starve some server-intervals");
+    // Conservation: every server-interval is either measured or starved.
+    let measured_total: usize = report.intervals.iter().map(|i| i.measured_servers).sum();
+    assert_eq!(measured_total + starved_total, n * report.intervals.len());
+    assert!(
+        report.intervals.iter().any(|i| i.measured_servers < n),
+        "some interval must show fewer measured servers than the fleet size"
+    );
+    // No phantom zero tails anywhere: every reported percentile is a real
+    // sojourn (a request takes strictly positive time).
+    assert!(report.p50_ms > 0.0, "fleet p50 {} must not be dragged to zero", report.p50_ms);
+    for i in &report.intervals {
+        assert!(i.p99_ms > 0.0, "interval p99 must come from real samples");
+    }
+    // A server that was starved all day never got an observation, so its
+    // controller can never have acted.
+    for s in &report.servers {
+        if s.requests == 0 {
+            assert_eq!(s.mode_changes, 0, "an unobserved controller must hold its mode");
+            assert_eq!(s.engaged_intervals, 0);
+        }
+    }
+}
+
+/// The full acceptance-scale run: a 10 000-server day (19.2M requests),
+/// sharded as 125 racks, bit-identical at 1 and 8 workers. Ignored by
+/// default because it costs several release-mode seconds (minutes in
+/// debug); run it with `cargo test --release -- --ignored`. CI exercises
+/// the same configuration every run through the `cluster/fleet-10k` perf
+/// benchmark.
+#[test]
+#[ignore = "datacenter scale: run explicitly in release mode"]
+fn datacenter_day_is_bit_identical_across_worker_counts() {
+    let fleet = CaseStudy::web_search().fleet_with(
+        LoadBalancer::PowerOfTwoChoices,
+        FleetScale::datacenter(42),
+        FleetTopology::racked(125, LoadBalancer::PowerOfTwoChoices),
+        TailAccumulation::binned_default(),
+        1,
+    );
+    let one = fleet.run_with_workers(1);
+    let eight = fleet.run_with_workers(8);
+    assert_eq!(one, eight, "10k-server day must be worker-count independent");
+    assert_eq!(one.requests, 19_200_000);
+    assert!(one.gain() > 0.0);
 }
 
 #[test]

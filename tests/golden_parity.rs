@@ -129,12 +129,19 @@ fn standalone_scenarios_match_the_old_run_standalone() {
 /// platform-independent arithmetic as the core model, so the comparison is
 /// bit-exact; re-pin consciously (and say so in the commit) if the fleet
 /// simulation legitimately changes.
-const FLEET_WS_GAIN: f64 = 0.044973958333333064;
-const FLEET_WS_P99_MS: f64 = 81.52007759784479;
+// Re-pinned (consciously) when the fleet gained sharding: the bursty
+// arrival-rate correction now uses the truncated-geometric burst mean
+// (every bursty gap moves a fraction of a percent), zero-request
+// server-intervals no longer report a 0.0 ms tail, and per-interval batch
+// throughput accumulates through `det_sum`'s balanced tree instead of a
+// left fold. The CPU-layer fixtures above are arrival-independent and did
+// not move.
+const FLEET_WS_GAIN: f64 = 0.044973958333333286;
+const FLEET_WS_P99_MS: f64 = 87.38405916230323;
 const FLEET_WS_HOURS: f64 = 9.8125;
-const FLEET_YT_GAIN: f64 = 0.0942513020833331;
-const FLEET_YT_P99_MS: f64 = 1362.1626893133298;
-const FLEET_YT_HOURS: f64 = 14.59375;
+const FLEET_YT_GAIN: f64 = 0.09404947916666706;
+const FLEET_YT_P99_MS: f64 = 1402.2615420181398;
+const FLEET_YT_HOURS: f64 = 14.5625;
 
 #[test]
 fn fleet_case_studies_match_the_pinned_quick_fixtures() {

@@ -67,11 +67,14 @@ fn qos_benchmark_matches_the_plain_queueing_api() {
 #[test]
 fn every_registry_benchmark_is_deterministic() {
     // Two invocations of any benchmark produce the same work and
-    // fingerprint. The figures/quick-matrix entry is exercised by CI's perf
-    // job instead — rendering every figure twice here would dominate the
-    // whole test suite's runtime.
+    // fingerprint. The figures/quick-matrix entry and the two datacenter
+    // fleet entries are exercised by CI's perf job instead — rendering every
+    // figure twice (or simulating a 10k-server day twice, in debug) would
+    // dominate the whole test suite's runtime; the fleet merge's worker
+    // independence is pinned at test scale by tests/fleet.rs.
+    const HEAVY: [&str; 3] = ["figures/quick-matrix", "cluster/fleet-10k", "cluster/fleet-scaling"];
     for spec in perf::registry() {
-        if spec.name == "figures/quick-matrix" {
+        if HEAVY.contains(&spec.name) {
             continue;
         }
         let a = (spec.run)();
