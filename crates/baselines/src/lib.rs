@@ -1,6 +1,10 @@
 //! Comparison systems evaluated against Stretch — each a one-file
 //! implementation of [`cpu_sim::ColocationPolicy`].
 //!
+//! Workspace architecture — crate map, simulation layers, policy stack,
+//! cache keys, where determinism is enforced: `docs/ARCHITECTURE.md` at
+//! the repository root.
+//!
 //! The paper's framing is that all of these mechanisms are interchangeable
 //! resource-allocation policies over the same SMT core; this crate makes
 //! them literally interchangeable values. Run any of them through

@@ -22,6 +22,9 @@
 //! * `--wipe-cache` — delete every cache entry, then proceed;
 //! * `--matrix <LxB>` — restrict to the first L latency-sensitive and B
 //!   batch workloads (e.g. `2x3`) for quick sub-matrix runs;
+//! * `--workers <N>` — cap simulation/render parallelism at N threads
+//!   (default: all cores). Output is byte-identical at any worker count:
+//!   figures render concurrently but are printed in selection order;
 //! * `--assert-warm` — exit non-zero if any simulation ran (CI uses this to
 //!   prove the second invocation is served entirely from the cache);
 //! * `--list` — print the registry and exit.
@@ -38,6 +41,7 @@ struct Options {
     cache_dir: Option<String>,
     wipe_cache: bool,
     sub_matrix: Option<(usize, usize)>,
+    workers: Option<usize>,
     assert_warm: bool,
     list: bool,
     names: Vec<String>,
@@ -46,7 +50,7 @@ struct Options {
 fn usage() -> String {
     let mut text = String::from(
         "usage: figures [--all | NAME...] [--quick] [--cache-dir DIR] [--no-cache] \
-         [--wipe-cache] [--matrix LxB] [--assert-warm] [--list]\n\navailable figures:\n",
+         [--wipe-cache] [--matrix LxB] [--workers N] [--assert-warm] [--list]\n\navailable figures:\n",
     );
     for spec in figures::all() {
         text.push_str(&format!("  {:<10} {}\n", spec.name, spec.title));
@@ -61,6 +65,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         cache_dir: Some("target/result-cache".to_string()),
         wipe_cache: false,
         sub_matrix: None,
+        workers: None,
         assert_warm: false,
         list: false,
         names: Vec::new(),
@@ -97,6 +102,16 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     ));
                 }
                 opts.sub_matrix = Some((ls, batch));
+            }
+            "--workers" => {
+                i += 1;
+                let v = args.get(i).ok_or("--workers needs a thread count argument")?;
+                let n: usize =
+                    v.parse().map_err(|_| format!("--workers {v}: not a thread count"))?;
+                if n == 0 {
+                    return Err("--workers must be at least 1".to_string());
+                }
+                opts.workers = Some(n);
             }
             name if !name.starts_with('-') => opts.names.push(name.to_string()),
             unknown => return Err(format!("unknown option {unknown}\n\n{}", usage())),
@@ -144,7 +159,10 @@ fn main() -> ExitCode {
         selected
     };
 
-    let cfg = if opts.quick { ExperimentConfig::quick() } else { ExperimentConfig::standard() };
+    let mut cfg = if opts.quick { ExperimentConfig::quick() } else { ExperimentConfig::standard() };
+    if let Some(n) = opts.workers {
+        cfg.parallelism = n;
+    }
     let mut engine = Engine::new(cfg);
     if let Some((ls, batch)) = opts.sub_matrix {
         engine = engine.with_sub_matrix(ls, batch);
@@ -170,11 +188,15 @@ fn main() -> ExitCode {
         }
     }
 
-    for (i, spec) in selected.iter().enumerate() {
+    // Render all selected figures concurrently (the engine deduplicates any
+    // shared cells), then print in selection order — the output is
+    // byte-identical to the serial loop this replaces, at any worker count.
+    let rendered = figures::render_many(&engine, &selected, engine.cfg().workers());
+    for (i, text) in rendered.iter().enumerate() {
         if i > 0 {
             println!();
         }
-        print!("{}", (spec.render)(&engine));
+        print!("{text}");
     }
 
     let stats = engine.stats();

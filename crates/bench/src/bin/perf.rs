@@ -24,7 +24,11 @@
 //! * `--baseline <file>` — gate against this report after measuring;
 //! * `--current <file>` — skip measuring entirely: diff this report against
 //!   the baseline;
-//! * `--gate <pct>` — allowed slowdown in percent (default 10).
+//! * `--gate <pct>` — allowed slowdown in percent (default 10);
+//! * `--assert-improved <name>` — additionally require the named benchmark's
+//!   current median to beat the baseline median outright (repeatable). Used
+//!   by CI to prove a claimed optimisation actually landed, not merely that
+//!   it "didn't regress".
 //!
 //! Exit status: 0 on success, 1 when the gate fails, 2 on usage or I/O
 //! errors.
@@ -44,12 +48,14 @@ struct Options {
     baseline: Option<String>,
     current: Option<String>,
     gate_pct: f64,
+    assert_improved: Vec<String>,
 }
 
 fn usage() -> String {
     let mut text = String::from(
         "usage: perf [--list] [--filter SUBSTR] [--label LABEL] [--out PATH] [--runs N] \
-         [--warmup N] [--baseline FILE] [--current FILE] [--gate PCT]\n\nbenchmarks:\n",
+         [--warmup N] [--baseline FILE] [--current FILE] [--gate PCT] \
+         [--assert-improved NAME]\n\nbenchmarks:\n",
     );
     for spec in perf::registry() {
         text.push_str(&format!("  {:<26} {}\n", spec.name, spec.title));
@@ -68,6 +74,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         baseline: None,
         current: None,
         gate_pct: 10.0,
+        assert_improved: Vec::new(),
     };
     let mut i = 0;
     while i < args.len() {
@@ -102,12 +109,18 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     return Err(format!("--gate {v}: must be a non-negative percentage"));
                 }
             }
+            "--assert-improved" => {
+                opts.assert_improved.push(value_of("--assert-improved", &mut i)?);
+            }
             unknown => return Err(format!("unknown option {unknown}\n\n{}", usage())),
         }
         i += 1;
     }
     if opts.current.is_some() && opts.baseline.is_none() {
         return Err("--current needs --baseline to diff against".to_string());
+    }
+    if !opts.assert_improved.is_empty() && opts.baseline.is_none() {
+        return Err("--assert-improved needs --baseline to compare against".to_string());
     }
     Ok(opts)
 }
@@ -201,9 +214,35 @@ fn main() -> ExitCode {
     };
     let outcome = perf::gate(&baseline, &current, opts.gate_pct);
     print!("{}", outcome.render());
-    if outcome.passed() {
-        ExitCode::SUCCESS
-    } else {
+    let mut failed = !outcome.passed();
+    for name in &opts.assert_improved {
+        let base = baseline.benchmarks.iter().find(|b| &b.name == name);
+        let cur = current.benchmarks.iter().find(|b| &b.name == name);
+        match (base, cur) {
+            (Some(base), Some(cur)) if cur.median_wall_ms < base.median_wall_ms => {
+                println!(
+                    "improved  {name}: {:.1} ms -> {:.1} ms ({:+.1}%)",
+                    base.median_wall_ms,
+                    cur.median_wall_ms,
+                    (cur.median_wall_ms / base.median_wall_ms - 1.0) * 100.0
+                );
+            }
+            (Some(base), Some(cur)) => {
+                println!(
+                    "NOT IMPROVED  {name}: {:.1} ms -> {:.1} ms (improvement required)",
+                    base.median_wall_ms, cur.median_wall_ms
+                );
+                failed = true;
+            }
+            _ => {
+                eprintln!("--assert-improved {name}: not present in both reports");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if failed {
         ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }

@@ -126,6 +126,25 @@ impl Drop for InFlightClaim<'_> {
 }
 
 /// The shared experiment engine. See the [module docs](self) for semantics.
+///
+/// # Examples
+///
+/// Warm-cache usage: repeating a request never re-simulates — the repeat is
+/// served bit-exactly from the in-process memo, which [`CacheStats`] proves:
+///
+/// ```
+/// use cpu_sim::EqualPartition;
+/// use stretch_bench::{Engine, ExperimentConfig};
+///
+/// let engine = Engine::new(ExperimentConfig::quick());
+/// let cold = engine.pair(&EqualPartition, "web-search", "zeusmp");
+/// let warm = engine.pair(&EqualPartition, "web-search", "zeusmp");
+/// assert_eq!(cold.ls_uipc.to_bits(), warm.ls_uipc.to_bits());
+///
+/// let stats = engine.stats();
+/// assert_eq!(stats.misses, 1, "only the cold request simulated");
+/// assert_eq!(stats.memo_hits, 1, "the warm request was a pure memo hit");
+/// ```
 pub struct Engine {
     cfg: ExperimentConfig,
     ls: Vec<String>,

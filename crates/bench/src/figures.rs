@@ -129,6 +129,21 @@ pub fn by_name(name: &str) -> Option<&'static FigureSpec> {
     all().iter().find(|f| f.name == name)
 }
 
+/// Renders `specs` against one shared engine with up to `workers` figures in
+/// flight, returning the rendered strings in `specs` order.
+///
+/// The fan-out rides on [`parallel_map`]'s order-preserving merge, so the
+/// result — and any concatenation of it — is byte-identical to rendering the
+/// specs one by one; the [`Engine`]'s in-flight deduplication guarantees each
+/// simulation cell is still computed exactly once even when figures that
+/// share cells render concurrently. The merge is pure string collection (no
+/// floating-point accumulation), keeping the `reduction-order` lint rule
+/// satisfied by construction.
+pub fn render_many(engine: &Engine, specs: &[&FigureSpec], workers: usize) -> Vec<String> {
+    let indices: Vec<usize> = (0..specs.len()).collect();
+    parallel_map(indices, workers, |&i| (specs[i].render)(engine))
+}
+
 /// Shared `main` of the thin `figureNN` binaries: parse `--quick`, build a
 /// fresh (uncached) engine, render the named figure and print it. Because
 /// this dispatches into the same registry as the `figures` driver, a

@@ -1,5 +1,9 @@
 //! Experiment harness for the Stretch (HPCA'19) reproduction.
 //!
+//! Workspace architecture — crate map, simulation layers, policy stack,
+//! cache keys, where determinism is enforced: `docs/ARCHITECTURE.md` at
+//! the repository root.
+//!
 //! The `figures` driver binary regenerates any subset of the paper's
 //! evaluation in a single process; the `figureNN` binaries are thin wrappers
 //! over the same figure definitions. This library holds the shared

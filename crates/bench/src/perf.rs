@@ -238,12 +238,13 @@ fn bench_cluster_fleet_scaling() -> BenchWork {
 
 fn bench_figures_quick_matrix() -> BenchWork {
     // The acceptance-criterion benchmark: every figure of the paper rendered
-    // cold (no result store, fresh engine) at the quick 1×2 sub-matrix.
+    // cold (no result store, fresh engine) at the quick 1×2 sub-matrix, with
+    // the figure fan-out running on all cores exactly as the `figures` driver
+    // does. The index-order merge keeps the concatenation — and therefore
+    // the fingerprint — byte-identical to the serial rendering loop.
     let engine = Engine::new(ExperimentConfig::quick()).with_sub_matrix(1, 2);
-    let mut rendered = String::new();
-    for spec in crate::figures::all() {
-        rendered.push_str(&(spec.render)(&engine));
-    }
+    let specs: Vec<&crate::figures::FigureSpec> = crate::figures::all().iter().collect();
+    let rendered = crate::figures::render_many(&engine, &specs, engine.cfg().workers()).concat();
     // Wall-clock-only benchmark: its work units are neither cycles nor
     // requests, so no rate is derived; the fingerprint covers every byte of
     // every rendered figure.

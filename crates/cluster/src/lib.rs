@@ -1,6 +1,10 @@
 //! Cluster-level impact of Stretch (§VI-D, Figure 14) — analytical *and*
 //! measured.
 //!
+//! Workspace architecture — crate map, simulation layers, policy stack,
+//! cache keys, where determinism is enforced: `docs/ARCHITECTURE.md` at
+//! the repository root.
+//!
 //! The paper closes with two deployment case studies: a Web Search cluster
 //! whose load stays below 85% of peak for about 11 hours a day, and a
 //! YouTube-like video cluster below 85% for about 17 hours a day. During

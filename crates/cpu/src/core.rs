@@ -73,15 +73,66 @@ enum EntryStatus {
     Completed,
 }
 
-#[derive(Debug, Clone)]
-struct RobEntry {
-    id: u64,
-    uop: MicroOp,
-    status: EntryStatus,
-    completion: Cycle,
-    deps: [Option<u64>; 2],
-    mispredicted: bool,
-    in_lsq: bool,
+/// Sentinel for an absent dependence slot. Instruction ids are dense
+/// sequential counters starting at zero, so `u64::MAX` can never collide
+/// with a real id.
+const NO_DEP: u64 = u64::MAX;
+
+/// A reorder buffer in structure-of-arrays layout.
+///
+/// The issue stage scans only `status` + `deps` and the complete stage only
+/// `status` + `completion`; keeping each field in its own queue means those
+/// every-cycle scans walk dense homogeneous memory instead of striding over
+/// full entries (the `MicroOp` payload alone dominates the entry size and is
+/// only touched when an instruction actually issues or commits). All queues
+/// move in lock-step: entries enter at the back in dispatch order and leave
+/// from the front at commit, so index `i` addresses one instruction across
+/// every field.
+#[derive(Debug, Default)]
+struct Rob {
+    ids: VecDeque<u64>,
+    uops: VecDeque<MicroOp>,
+    status: VecDeque<EntryStatus>,
+    completion: VecDeque<Cycle>,
+    /// Producer ids per source operand, [`NO_DEP`] when absent.
+    deps: VecDeque<[u64; 2]>,
+    mispredicted: VecDeque<bool>,
+    in_lsq: VecDeque<bool>,
+}
+
+impl Rob {
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn push_back(
+        &mut self,
+        id: u64,
+        uop: MicroOp,
+        deps: [u64; 2],
+        mispredicted: bool,
+        in_lsq: bool,
+    ) {
+        self.ids.push_back(id);
+        self.uops.push_back(uop);
+        self.status.push_back(EntryStatus::Dispatched);
+        self.completion.push_back(0);
+        self.deps.push_back(deps);
+        self.mispredicted.push_back(mispredicted);
+        self.in_lsq.push_back(in_lsq);
+    }
+
+    /// Pops the head entry, returning the fields commit needs.
+    fn pop_front(&mut self) -> Option<(MicroOp, bool)> {
+        let uop = self.uops.pop_front()?;
+        self.ids.pop_front();
+        self.status.pop_front();
+        self.completion.pop_front();
+        self.deps.pop_front();
+        self.mispredicted.pop_front();
+        let in_lsq = self.in_lsq.pop_front().expect("rob queues move in lock-step");
+        Some((uop, in_lsq))
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -112,7 +163,7 @@ pub struct ThreadStats {
 /// register scoreboard.
 struct ThreadState {
     trace: Option<BoxedTrace>,
-    rob: VecDeque<RobEntry>,
+    rob: Rob,
     lsq_occupancy: usize,
     fetch_buffer: VecDeque<FetchedOp>,
     /// Micro-ops squashed by a mode-change flush, awaiting re-fetch.
@@ -124,6 +175,20 @@ struct ThreadState {
     fetch_stall_until: Cycle,
     /// Id of an unresolved mispredicted branch blocking fetch, if any.
     waiting_branch: Option<u64>,
+    /// Earliest completion cycle among this thread's `Issued` entries
+    /// ([`Cycle::MAX`] when none are executing). The complete stage skips the
+    /// thread's ROB scan entirely before this watermark — a scan that early
+    /// would find nothing, so the skip is bit-exact. Maintained exactly: the
+    /// issue stage min-updates it and every real complete scan recomputes it.
+    next_completion: Cycle,
+    /// True when the last issue scan found zero ready-to-issue entries and no
+    /// wake event has occurred since, so the scan can be skipped. Wake events
+    /// (which clear the flag) are a dispatch into this thread, a completion
+    /// of this thread's instruction (dependences are intra-thread), and a
+    /// pipeline flush. The flag is conservative: it is only set when a scan
+    /// actually came up empty, never when entries were merely budget- or
+    /// FU-starved.
+    issue_idle: bool,
     stats: ThreadStats,
     mlp: Histogram,
 }
@@ -132,7 +197,7 @@ impl ThreadState {
     fn new() -> ThreadState {
         ThreadState {
             trace: None,
-            rob: VecDeque::new(),
+            rob: Rob::default(),
             lsq_occupancy: 0,
             fetch_buffer: VecDeque::new(),
             replay: VecDeque::new(),
@@ -140,6 +205,8 @@ impl ThreadState {
             last_writer: [None; NUM_LOGICAL_REGS],
             fetch_stall_until: 0,
             waiting_branch: None,
+            next_completion: Cycle::MAX,
+            issue_idle: false,
             stats: ThreadStats::default(),
             mlp: Histogram::new(10),
         }
@@ -427,10 +494,15 @@ impl SmtCore {
         let mut squashed = std::mem::take(&mut self.scratch_squashed);
         squashed.clear();
         let t = &mut self.threads[thread.index()];
-        for e in t.rob.drain(..) {
-            self.incomplete.remove(&e.id);
-            squashed.push(e.uop);
+        for id in t.rob.ids.drain(..) {
+            self.incomplete.remove(&id);
         }
+        squashed.extend(t.rob.uops.drain(..));
+        t.rob.status.clear();
+        t.rob.completion.clear();
+        t.rob.deps.clear();
+        t.rob.mispredicted.clear();
+        t.rob.in_lsq.clear();
         for f in t.fetch_buffer.drain(..) {
             self.incomplete.remove(&f.id);
             squashed.push(f.uop);
@@ -445,6 +517,8 @@ impl SmtCore {
         t.lsq_occupancy = 0;
         t.last_writer = [None; NUM_LOGICAL_REGS];
         t.waiting_branch = None;
+        t.next_completion = Cycle::MAX;
+        t.issue_idle = false;
         t.fetch_stall_until = t.fetch_stall_until.max(now + penalty);
         if mode_change {
             t.stats.mode_change_flushes += 1;
@@ -509,15 +583,34 @@ impl SmtCore {
             let mut flush = false;
             {
                 let t = &mut self.threads[idx];
-                for e in t.rob.iter_mut() {
-                    if e.status == EntryStatus::Issued && e.completion <= now {
-                        e.status = EntryStatus::Completed;
-                        self.incomplete.remove(&e.id);
-                        if e.mispredicted {
-                            flush = true;
-                            resolved_branch = Some(e.id);
-                        }
+                // Quiescence skip: no executing instruction of this thread can
+                // finish before the watermark, so a scan would find nothing.
+                if now < t.next_completion {
+                    continue;
+                }
+                let mut next = Cycle::MAX;
+                let mut completed_any = false;
+                for i in 0..t.rob.len() {
+                    if t.rob.status[i] != EntryStatus::Issued {
+                        continue;
                     }
+                    let c = t.rob.completion[i];
+                    if c <= now {
+                        t.rob.status[i] = EntryStatus::Completed;
+                        self.incomplete.remove(&t.rob.ids[i]);
+                        completed_any = true;
+                        if t.rob.mispredicted[i] {
+                            flush = true;
+                            resolved_branch = Some(t.rob.ids[i]);
+                        }
+                    } else {
+                        next = next.min(c);
+                    }
+                }
+                t.next_completion = next;
+                if completed_any {
+                    // A completion can wake same-thread dependents.
+                    t.issue_idle = false;
                 }
                 if flush {
                     t.stats.branch_flushes += 1;
@@ -541,20 +634,20 @@ impl SmtCore {
         for offset in 0..threads {
             let idx = (first + offset) % threads;
             while committed < width {
-                let Some(head) = self.threads[idx].rob.front() else { break };
-                if head.status != EntryStatus::Completed {
+                let Some(&head) = self.threads[idx].rob.status.front() else { break };
+                if head != EntryStatus::Completed {
                     break;
                 }
-                let entry = self.threads[idx].rob.pop_front().expect("front checked");
+                let (uop, in_lsq) = self.threads[idx].rob.pop_front().expect("front checked");
                 let thread = ThreadId::from_index(idx);
-                if entry.in_lsq {
+                if in_lsq {
                     self.threads[idx].lsq_occupancy =
                         self.threads[idx].lsq_occupancy.saturating_sub(1);
                 }
-                match entry.uop.kind {
+                match uop.kind {
                     OpKind::Store => {
-                        let mem = entry.uop.mem.expect("store carries an address");
-                        self.mem.store(thread, mem.addr, entry.uop.pc, self.now);
+                        let mem = uop.mem.expect("store carries an address");
+                        self.mem.store(thread, mem.addr, uop.pc, self.now);
                         self.threads[idx].stats.stores += 1;
                     }
                     OpKind::Load => self.threads[idx].stats.loads += 1,
@@ -583,30 +676,47 @@ impl SmtCore {
                 break;
             }
             let thread = ThreadId::from_index(idx);
+            // Quiescence skip: the last scan found nothing ready and no wake
+            // event (dispatch, same-thread completion, flush) has happened
+            // since, so this scan would find nothing too.
+            if self.threads[idx].issue_idle {
+                continue;
+            }
             let mut mshr_blocked = false;
             // Collect the positions of ready entries first to keep the borrow
             // checker happy, then issue them in age order. The position list
             // is a reusable scratch buffer — one was allocated per thread per
-            // cycle before.
+            // cycle before. The scan walks only the status and deps queues.
             let mut ready_positions = std::mem::take(&mut self.scratch_ready);
             ready_positions.clear();
-            ready_positions.extend(
-                self.threads[idx]
-                    .rob
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, e)| e.status == EntryStatus::Dispatched)
-                    .filter(|(_, e)| {
-                        e.deps.iter().flatten().all(|dep| !self.incomplete.contains(dep))
-                    })
-                    .map(|(i, _)| i),
-            );
+            {
+                let t = &self.threads[idx];
+                ready_positions.extend(
+                    t.rob
+                        .status
+                        .iter()
+                        .zip(t.rob.deps.iter())
+                        .enumerate()
+                        .filter(|(_, (&s, _))| s == EntryStatus::Dispatched)
+                        .filter(|(_, (_, deps))| {
+                            deps.iter().all(|&dep| dep == NO_DEP || !self.incomplete.contains(&dep))
+                        })
+                        .map(|(i, _)| i),
+                );
+            }
+            if ready_positions.is_empty() {
+                // Only an empty scan arms the skip; budget- or FU-starved
+                // leftovers must be retried next cycle.
+                self.threads[idx].issue_idle = true;
+                self.scratch_ready = ready_positions;
+                continue;
+            }
 
             for &pos in &ready_positions {
                 if issue_budget == 0 {
                     break;
                 }
-                let kind = self.threads[idx].rob[pos].uop.kind;
+                let kind = self.threads[idx].rob.uops[pos].kind;
                 let fu = match kind {
                     OpKind::IntAlu | OpKind::Branch => &mut fu_int,
                     OpKind::IntMul => &mut fu_mul,
@@ -622,8 +732,8 @@ impl SmtCore {
                 let completion = match kind {
                     OpKind::Load => {
                         let (addr, pc) = {
-                            let e = &self.threads[idx].rob[pos];
-                            (e.uop.mem.expect("load carries an address").addr, e.uop.pc)
+                            let uop = &self.threads[idx].rob.uops[pos];
+                            (uop.mem.expect("load carries an address").addr, uop.pc)
                         };
                         match self.mem.load(thread, addr, pc, now) {
                             LoadResult::Hit { latency } => now + latency,
@@ -639,9 +749,10 @@ impl SmtCore {
                     OpKind::Store => now + 1,
                     other => now + other.exec_latency(),
                 };
-                let e = &mut self.threads[idx].rob[pos];
-                e.status = EntryStatus::Issued;
-                e.completion = completion;
+                let t = &mut self.threads[idx];
+                t.rob.status[pos] = EntryStatus::Issued;
+                t.rob.completion[pos] = completion;
+                t.next_completion = t.next_completion.min(completion);
                 *fu -= 1;
                 issue_budget -= 1;
             }
@@ -661,6 +772,10 @@ impl SmtCore {
                 first = idx;
             }
         }
+        // Hoisted once per dispatch: each push below updates the totals
+        // incrementally instead of re-summing every thread per instruction.
+        let mut total_rob = self.total_rob_occupancy();
+        let mut total_lsq = self.total_lsq_occupancy();
         for offset in 0..threads {
             let idx = (first + offset) % threads;
             let thread = ThreadId::from_index(idx);
@@ -670,8 +785,6 @@ impl SmtCore {
             let lsq_limit = self.lsq_limit(thread);
             let enforce_total = self.partition.enforce_total_capacity();
             while budget > 0 {
-                let total_rob = self.total_rob_occupancy();
-                let total_lsq = self.total_lsq_occupancy();
                 let t = &mut self.threads[idx];
                 let Some(front) = t.fetch_buffer.front() else { break };
                 if t.rob.len() >= rob_limit {
@@ -690,11 +803,14 @@ impl SmtCore {
                     }
                 }
                 let f = t.fetch_buffer.pop_front().expect("front checked");
-                let mut deps = [None, None];
+                let mut deps = [NO_DEP, NO_DEP];
                 for (slot, src) in f.uop.srcs.iter().enumerate() {
                     if let Some(reg) = src {
-                        deps[slot] =
-                            t.last_writer[*reg as usize].filter(|id| self.incomplete.contains(id));
+                        if let Some(id) =
+                            t.last_writer[*reg as usize].filter(|id| self.incomplete.contains(id))
+                        {
+                            deps[slot] = id;
+                        }
                     }
                 }
                 if let Some(dst) = f.uop.dst {
@@ -702,16 +818,12 @@ impl SmtCore {
                 }
                 if is_mem {
                     t.lsq_occupancy += 1;
+                    total_lsq += 1;
                 }
-                t.rob.push_back(RobEntry {
-                    id: f.id,
-                    uop: f.uop,
-                    status: EntryStatus::Dispatched,
-                    completion: 0,
-                    deps,
-                    mispredicted: f.mispredicted,
-                    in_lsq: is_mem,
-                });
+                t.rob.push_back(f.id, f.uop, deps, f.mispredicted, is_mem);
+                total_rob += 1;
+                // A fresh entry may be immediately ready: wake the issue scan.
+                t.issue_idle = false;
                 budget -= 1;
             }
         }

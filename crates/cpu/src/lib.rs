@@ -1,6 +1,10 @@
 //! Cycle-level SMT-T out-of-order core model for the Stretch (HPCA'19)
 //! reproduction.
 //!
+//! Workspace architecture — crate map, simulation layers, policy stack,
+//! cache keys, where determinism is enforced: `docs/ARCHITECTURE.md` at
+//! the repository root.
+//!
 //! The crate provides:
 //!
 //! * [`core::SmtCore`] / [`core::SmtCoreBuilder`] — the Table II core,

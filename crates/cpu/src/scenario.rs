@@ -130,6 +130,26 @@ impl Scenario {
     /// threads 1..T, in order. Defaults to the [`EqualPartition`] baseline
     /// policy, the standard simulation length and base seed 42.
     ///
+    /// # Examples
+    ///
+    /// Web Search and two batch workloads on an SMT-3 core:
+    ///
+    /// ```
+    /// use cpu_sim::{Scenario, SimLength};
+    /// use sim_model::{ThreadId, TraceSource};
+    /// use workloads::profile_by_name;
+    ///
+    /// let ls = profile_by_name("web-search").expect("built-in profile");
+    /// let batches: Vec<Box<dyn TraceSource + Send + Sync>> = vec![
+    ///     Box::new(profile_by_name("zeusmp").expect("built-in profile")),
+    ///     Box::new(profile_by_name("gcc").expect("built-in profile")),
+    /// ];
+    /// let result = Scenario::colocate_n(ls, batches).length(SimLength::quick()).run();
+    /// for t in ThreadId::first_n(3) {
+    ///     assert!(result.uipc(t).expect("all three threads ran") > 0.0);
+    /// }
+    /// ```
+    ///
     /// # Panics
     ///
     /// Panics if `batches` is empty (use [`Scenario::standalone`] for a

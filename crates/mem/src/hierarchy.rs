@@ -138,6 +138,13 @@ pub struct MemoryHierarchy {
     mshrs: MshrFile,
     prefetcher: StridePrefetcher,
     pending_prefetch: Vec<Vec<PendingPrefetch>>,
+    /// Earliest cycle at which any outstanding miss or pending prefetch can
+    /// fill ([`Cycle::MAX`] when nothing is in flight). The per-cycle
+    /// [`MemoryHierarchy::tick`] returns immediately before this watermark,
+    /// so a quiescent hierarchy costs ~zero per cycle. The watermark is
+    /// conservative — never later than the true next fill, though it may be
+    /// earlier after a flush (one wasted scan, never a missed event).
+    next_event: Cycle,
     stats: HierarchyStats,
     /// Reusable buffer for completed demand-miss blocks: `tick` runs every
     /// simulated cycle, so it must not allocate on the fill path.
@@ -166,6 +173,7 @@ impl MemoryHierarchy {
             mshrs: MshrFile::with_threads(cfg.mshrs_per_thread, cfg.threads),
             prefetcher: StridePrefetcher::with_threads(cfg.prefetcher_pc_slots, cfg.threads),
             pending_prefetch: vec![Vec::new(); cfg.threads],
+            next_event: Cycle::MAX,
             stats: HierarchyStats::default(),
             scratch_fills: Vec::new(),
             scratch_landed: Vec::new(),
@@ -222,6 +230,7 @@ impl MemoryHierarchy {
         let latency = self.cfg.l1_hit_latency + self.beyond_l1_latency(thread, block);
         match self.mshrs.request(thread, block, now + latency) {
             MshrOutcome::Allocated(c) | MshrOutcome::Coalesced(c) => {
+                self.next_event = self.next_event.min(c);
                 LoadResult::Miss { completion: c }
             }
             MshrOutcome::Full => {
@@ -263,14 +272,21 @@ impl MemoryHierarchy {
                 self.cfg.mem_latency
             };
             queue.push(PendingPrefetch { block, completion: now + latency });
+            self.next_event = self.next_event.min(now + latency);
         }
     }
 
     /// Advances time to `now`: completes outstanding demand misses (filling
     /// the L1-D) and lands prefetch fills.
     pub fn tick(&mut self, now: Cycle) {
+        // Quiescence skip: nothing in flight can fill before the watermark,
+        // so the tick is a no-op (bit-exact — a full scan would find nothing).
+        if now < self.next_event {
+            return;
+        }
         let mut fills = std::mem::take(&mut self.scratch_fills);
         let mut landed = std::mem::take(&mut self.scratch_landed);
+        let mut next_event = Cycle::MAX;
         for thread in ThreadId::first_n(self.cfg.threads) {
             fills.clear();
             self.mshrs.drain_completed_into(thread, now, &mut fills);
@@ -292,7 +308,14 @@ impl MemoryHierarchy {
                 self.l1d.fill_block(thread, block);
                 self.llc[idx].fill_block(block);
             }
+            if let Some(c) = self.mshrs.next_completion(thread) {
+                next_event = next_event.min(c);
+            }
+            for p in &self.pending_prefetch[idx] {
+                next_event = next_event.min(p.completion);
+            }
         }
+        self.next_event = next_event;
         self.scratch_fills = fills;
         self.scratch_landed = landed;
     }

@@ -1,5 +1,9 @@
 //! Memory hierarchy model for the Stretch (HPCA'19) reproduction.
 //!
+//! Workspace architecture — crate map, simulation layers, policy stack,
+//! cache keys, where determinism is enforced: `docs/ARCHITECTURE.md` at
+//! the repository root.
+//!
 //! The hierarchy matches Table II of the paper:
 //!
 //! * split 64 KB, 8-way, 2-bank L1 instruction and data caches with LRU

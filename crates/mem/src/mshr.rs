@@ -110,6 +110,13 @@ impl MshrFile {
         self.entries[thread.index()].len()
     }
 
+    /// Earliest completion cycle among `thread`'s outstanding misses, if any —
+    /// the hierarchy's next-interesting-cycle watermark source, which lets the
+    /// per-cycle tick skip entirely while every MSHR file is quiescent.
+    pub fn next_completion(&self, thread: ThreadId) -> Option<Cycle> {
+        self.entries[thread.index()].iter().map(|e| e.completion).min()
+    }
+
     /// Peak simultaneous occupancy seen for `thread`.
     pub fn peak(&self, thread: ThreadId) -> usize {
         self.peak[thread.index()]

@@ -1,5 +1,9 @@
 //! Shared simulation types for the Stretch (HPCA'19) reproduction.
 //!
+//! Workspace architecture — crate map, simulation layers, policy stack,
+//! cache keys, where determinism is enforced: `docs/ARCHITECTURE.md` at
+//! the repository root.
+//!
 //! This crate holds everything that more than one simulator crate needs:
 //!
 //! * [`uop`] — the micro-op representation emitted by workload generators and

@@ -22,6 +22,21 @@ use std::sync::Mutex;
 /// them into the shared output exactly once when it runs out of work, so
 /// result writes never contend per item.
 ///
+/// # Examples
+///
+/// Results always come back in input order, whatever the worker count —
+/// which is exactly why an index-order merge over them is deterministic:
+///
+/// ```
+/// use sim_model::parallel_map;
+///
+/// let squares = parallel_map(vec![1u64, 2, 3, 4], 8, |&x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+///
+/// // One worker gives byte-for-byte the same result as eight.
+/// assert_eq!(parallel_map(vec![1u64, 2, 3, 4], 1, |&x| x * x), squares);
+/// ```
+///
 /// # Panics
 ///
 /// Panics if `workers == 0`.

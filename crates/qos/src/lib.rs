@@ -1,5 +1,9 @@
 //! Request-level queueing simulation and QoS slack analysis.
 //!
+//! Workspace architecture — crate map, simulation layers, policy stack,
+//! cache keys, where determinism is enforced: `docs/ARCHITECTURE.md` at
+//! the repository root.
+//!
 //! Section II of the paper establishes two facts on real hardware:
 //!
 //! 1. tail latency stays far below the QoS target until the load approaches

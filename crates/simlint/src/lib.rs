@@ -1,5 +1,9 @@
 //! `simlint` — the workspace determinism & hygiene analyzer.
 //!
+//! Workspace architecture — crate map, simulation layers, policy stack,
+//! cache keys, where determinism is enforced: `docs/ARCHITECTURE.md` at
+//! the repository root.
+//!
 //! Every result this reproduction reports rests on bit-exact determinism:
 //! golden-parity fixtures, the Engine's content-addressed `CanonicalKey`
 //! cache cells, and perf fingerprints all assume the simulator never

@@ -1,5 +1,9 @@
 //! Statistics utilities for the Stretch (HPCA'19) reproduction.
 //!
+//! Workspace architecture — crate map, simulation layers, policy stack,
+//! cache keys, where determinism is enforced: `docs/ARCHITECTURE.md` at
+//! the repository root.
+//!
 //! * [`percentile`](mod@percentile) — exact percentiles over sample sets (tail latency).
 //! * [`histogram`] — fixed-bin histograms (MLP census, latency histograms).
 //! * [`distribution`] — five-number / violin-style summaries used to report

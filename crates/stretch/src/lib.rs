@@ -1,6 +1,10 @@
 //! **Stretch** — software-controlled asymmetric ROB/LSQ partitioning for SMT
 //! cores (Margaritov et al., HPCA 2019).
 //!
+//! Workspace architecture — crate map, simulation layers, policy stack,
+//! cache keys, where determinism is enforced: `docs/ARCHITECTURE.md` at
+//! the repository root.
+//!
 //! Stretch exploits the performance slack of latency-sensitive services
 //! running below peak load: system software can shift reorder-buffer (and,
 //! proportionally, load/store-queue) capacity from the latency-sensitive

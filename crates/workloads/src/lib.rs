@@ -1,5 +1,9 @@
 //! Synthetic workload generators for the Stretch (HPCA'19) reproduction.
 //!
+//! Workspace architecture — crate map, simulation layers, policy stack,
+//! cache keys, where determinism is enforced: `docs/ARCHITECTURE.md` at
+//! the repository root.
+//!
 //! The paper evaluates four CloudSuite latency-sensitive services colocated
 //! with all 29 SPEC CPU2006 benchmarks. Neither is runnable inside this
 //! repository, so this crate provides parameterised synthetic equivalents

@@ -1,5 +1,9 @@
 //! Umbrella crate for the Stretch (HPCA'19) reproduction.
 //!
+//! Workspace architecture — crate map, simulation layers, policy stack,
+//! cache keys, where determinism is enforced: `docs/ARCHITECTURE.md` at
+//! the repository root.
+//!
 //! This crate re-exports every sub-crate of the workspace so that examples,
 //! integration tests and downstream users can depend on a single package:
 //!

@@ -1,0 +1,82 @@
+//! Determinism pin for the parallel figure matrix: `figures::render_many`
+//! must produce byte-identical figure output and an identical on-disk result
+//! store (same cache digests, same entry bytes) at any worker count.
+//!
+//! The serial path (1 worker) is the reference; 2 and 8 workers must match it
+//! exactly. This is the test-level mirror of the CI step that renders the
+//! full cold matrix at two worker counts and literally `diff`s the outputs —
+//! here on a cheap figure subset so debug-mode `cargo test` stays fast, with
+//! the result-store bytes checked as well (CI only diffs the rendered text).
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use stretch_bench::figures;
+use stretch_bench::{Engine, ExperimentConfig};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let unique = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("stretch-figpar-{tag}-{}-{unique}", std::process::id()))
+}
+
+/// A cheap but layer-spanning subset: two QoS-layer curves, one CPU-layer
+/// colocation figure (real pair simulations) and the static tables.
+const SUBSET: [&str; 4] = ["figure01", "figure02", "figure03", "tables"];
+
+/// Renders the subset at the given worker count against a fresh engine and a
+/// fresh result store, returning the concatenated output and the store's
+/// entries as sorted (file name, bytes) pairs.
+fn render_subset(workers: usize, dir: &Path) -> (String, Vec<(String, Vec<u8>)>) {
+    let mut cfg = ExperimentConfig::quick();
+    cfg.parallelism = workers;
+    let engine =
+        Engine::new(cfg).with_sub_matrix(1, 2).with_store(dir).expect("result store opens");
+    let specs: Vec<&figures::FigureSpec> =
+        SUBSET.iter().map(|name| figures::by_name(name).expect("figure in registry")).collect();
+    let text = figures::render_many(&engine, &specs, workers).join("\n");
+    let mut entries: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+        .expect("store directory readable")
+        .map(|entry| {
+            let entry = entry.expect("store directory entry");
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let bytes = std::fs::read(entry.path()).expect("store entry readable");
+            (name, bytes)
+        })
+        .collect();
+    entries.sort();
+    (text, entries)
+}
+
+#[test]
+fn parallel_figure_matrix_matches_serial_at_every_worker_count() {
+    let serial_dir = temp_dir("w1");
+    let (serial_text, serial_entries) = render_subset(1, &serial_dir);
+    assert!(!serial_text.is_empty());
+    assert!(!serial_entries.is_empty(), "rendering must persist result-store entries");
+
+    for workers in [2usize, 8] {
+        let dir = temp_dir(&format!("w{workers}"));
+        let (text, entries) = render_subset(workers, &dir);
+        assert_eq!(
+            text, serial_text,
+            "figure output at {workers} workers must be byte-identical to the serial path"
+        );
+        let names = |list: &[(String, Vec<u8>)]| {
+            list.iter().map(|(n, _)| n.clone()).collect::<Vec<String>>()
+        };
+        assert_eq!(
+            names(&entries),
+            names(&serial_entries),
+            "cache digests at {workers} workers must match the serial path"
+        );
+        for ((name, bytes), (_, serial_bytes)) in entries.iter().zip(&serial_entries) {
+            assert_eq!(
+                bytes, serial_bytes,
+                "store entry {name} at {workers} workers must match the serial path byte-for-byte"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let _ = std::fs::remove_dir_all(&serial_dir);
+}
